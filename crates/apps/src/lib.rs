@@ -1,0 +1,35 @@
+//! # plexus-apps — the paper's application-specific protocols
+//!
+//! The applications of §5 and §3.3, each built twice where the paper
+//! compares systems:
+//!
+//! * [`video`] — the network video system (§5.1): in-kernel multicast UDP
+//!   server vs. user-level socket server; display-bound clients.
+//! * [`forward`] — protocol forwarding (§5.2): in-kernel redirection vs.
+//!   the user-level socket splice.
+//! * [`active_messages`] — active messages over Ethernet at interrupt
+//!   level (§3.3, Figure 2).
+//! * [`httpd`] — HTTP service as a Plexus TCP extension (§7).
+//! * [`reliable`] — a stop-and-wait reliable datagram protocol as an
+//!   application extension over checksum-free UDP (§1.1 taken further).
+//! * [`transaction`] — "TCP-special" (§3.1): a transaction transport that
+//!   minimizes connection lifetime (§1.1), claiming ports away from
+//!   TCP-standard.
+
+#![warn(missing_docs)]
+
+pub mod active_messages;
+pub mod forward;
+pub mod httpd;
+pub mod reliable;
+pub mod transaction;
+pub mod video;
+
+pub use active_messages::{ActiveMessage, ActiveMessages};
+pub use forward::InKernelForwarder;
+pub use httpd::{DunixHttpd, HttpGet, Httpd};
+pub use reliable::{ReliableConfig, ReliableReceiver, ReliableSender};
+pub use transaction::{TransactionCall, TransactionClient, TransactionServer};
+pub use video::{
+    DunixVideoClient, DunixVideoServer, PlexusVideoClient, PlexusVideoServer, VideoConfig,
+};

@@ -1,0 +1,558 @@
+//! End-to-end tests of the application-specific protocols.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use plexus_apps::active_messages::{am_extension_spec, ActiveMessages};
+use plexus_apps::httpd::{httpd_extension_spec, HttpGet, Httpd};
+use plexus_apps::video::{
+    video_extension_spec, DunixVideoServer, PlexusVideoClient, PlexusVideoServer, VideoConfig,
+};
+use plexus_core::{PlexusStack, StackConfig};
+use plexus_net::ether::MacAddr;
+use plexus_sim::disk::Disk;
+use plexus_sim::framebuffer::Framebuffer;
+use plexus_sim::nic::NicProfile;
+use plexus_sim::time::{SimDuration, SimTime};
+use plexus_sim::World;
+
+fn ip(last: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, last)
+}
+
+#[test]
+fn active_messages_ping_pong_at_interrupt_level() {
+    let mut world = World::new();
+    let a = world.add_machine("a");
+    let b = world.add_machine("b");
+    let (_m, nics) = world.connect(
+        &[&a, &b],
+        NicProfile::ethernet_lance(),
+        SimDuration::from_micros(1),
+        true,
+    );
+    let sa = PlexusStack::attach(
+        &a,
+        &nics[0],
+        StackConfig::interrupt(ip(1), MacAddr::local(1)),
+    );
+    let sb = PlexusStack::attach(
+        &b,
+        &nics[1],
+        StackConfig::interrupt(ip(2), MacAddr::local(2)),
+    );
+
+    let ext_a = sa.link_extension(&am_extension_spec("AM-A")).unwrap();
+    let ext_b = sb.link_extension(&am_extension_spec("AM-B")).unwrap();
+    let am_a = Rc::new(ActiveMessages::install(&sa, &ext_a).unwrap());
+    let am_b = Rc::new(ActiveMessages::install(&sb, &ext_b).unwrap());
+
+    // B's handler 1: increment the argument and ack back on handler 2.
+    let am_b2 = am_b.clone();
+    am_b.register(1, move |ctx, msg| {
+        am_b2.reply_in(ctx, msg.src, 2, msg.argument + 1, b"");
+    });
+    // A's handler 2: record the acknowledged value and arrival time.
+    let acked: Rc<Cell<Option<(u64, u64)>>> = Rc::new(Cell::new(None));
+    let ack2 = acked.clone();
+    am_a.register(2, move |ctx, msg| {
+        ack2.set(Some((msg.argument, ctx.lease.now().as_nanos())));
+    });
+
+    let t0 = world.engine().now().as_nanos();
+    am_a.send(world.engine_mut(), MacAddr::local(2), 1, 41, b"payload")
+        .unwrap();
+    world.run();
+
+    let (value, at) = acked.get().expect("acknowledgement returned");
+    assert_eq!(value, 42);
+    assert_eq!(am_b.received(), 1);
+    assert_eq!(am_a.received(), 1);
+    let rtt_us = (at - t0) as f64 / 1000.0;
+    // AM over Ethernet skips IP/UDP processing: faster than the UDP RTT.
+    assert!(
+        rtt_us < 600.0,
+        "active-message RTT should undercut UDP: {rtt_us} us"
+    );
+}
+
+#[test]
+fn httpd_serves_documents_over_plexus_tcp() {
+    let mut world = World::new();
+    let c = world.add_machine("client");
+    let s = world.add_machine("server");
+    let (_m, nics) = world.connect(
+        &[&c, &s],
+        NicProfile::ethernet_lance(),
+        SimDuration::from_micros(1),
+        true,
+    );
+    let client = PlexusStack::attach(
+        &c,
+        &nics[0],
+        StackConfig::interrupt(ip(1), MacAddr::local(1)),
+    );
+    let server = PlexusStack::attach(
+        &s,
+        &nics[1],
+        StackConfig::interrupt(ip(2), MacAddr::local(2)),
+    );
+    client.seed_arp(server.ip(), server.mac());
+    server.seed_arp(client.ip(), client.mac());
+
+    let sext = server
+        .link_extension(&httpd_extension_spec("httpd"))
+        .unwrap();
+    let cext = client
+        .link_extension(&httpd_extension_spec("wget"))
+        .unwrap();
+    let mut docs = HashMap::new();
+    docs.insert(
+        "/index.html".to_string(),
+        b"<html>SPIN lives</html>".to_vec(),
+    );
+    let httpd = Httpd::serve(&server, &sext, 80, docs).unwrap();
+
+    let get = HttpGet::start(
+        &client,
+        &cext,
+        world.engine_mut(),
+        (ip(2), 80),
+        "/index.html",
+    )
+    .unwrap();
+    world.run_for(SimDuration::from_secs(10));
+    let (status, body) = get.result().expect("response arrived");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"<html>SPIN lives</html>");
+    assert_eq!(httpd.stats().ok, 1);
+
+    // A missing document 404s.
+    let get2 = HttpGet::start(&client, &cext, world.engine_mut(), (ip(2), 80), "/missing").unwrap();
+    world.run_for(SimDuration::from_secs(10));
+    assert_eq!(get2.result().expect("response").0, 404);
+    assert_eq!(httpd.stats().not_found, 1);
+}
+
+/// Builds a T3 video world: one server with a disk and N clients.
+fn video_world(n_clients: usize) -> (World, Vec<Ipv4Addr>) {
+    let mut world = World::new();
+    let server = world.add_machine("video-server");
+    server.set_disk(Disk::video_era());
+    let mut machines = vec![server];
+    let mut addrs = Vec::new();
+    for i in 0..n_clients {
+        let m = world.add_machine(&format!("client-{i}"));
+        m.set_framebuffer(Framebuffer::new());
+        addrs.push(ip(10 + i as u8));
+        machines.push(m);
+    }
+    let refs: Vec<&Rc<plexus_sim::Machine>> = machines.iter().collect();
+    world.connect(
+        &refs,
+        NicProfile::dec_t3(),
+        SimDuration::from_micros(2),
+        false,
+    );
+    (world, addrs)
+}
+
+#[test]
+fn plexus_video_server_streams_to_clients() {
+    let n = 3;
+    let (mut world, addrs) = video_world(n);
+    let machines: Vec<_> = world.machines().to_vec();
+    let server_stack = PlexusStack::attach(
+        &machines[0],
+        &machines[0].nic(0),
+        StackConfig::interrupt(ip(1), MacAddr::local(1)),
+    );
+    let sext = server_stack
+        .link_extension(&video_extension_spec("video-server"))
+        .unwrap();
+    let mut clients = Vec::new();
+    for (i, addr) in addrs.iter().enumerate() {
+        let m = &machines[i + 1];
+        let st = PlexusStack::attach(
+            m,
+            &m.nic(0),
+            StackConfig::interrupt(*addr, MacAddr::local(10 + i as u8)),
+        );
+        st.seed_arp(ip(1), MacAddr::local(1));
+        server_stack.seed_arp(*addr, MacAddr::local(10 + i as u8));
+        let ext = st.link_extension(&video_extension_spec("viewer")).unwrap();
+        let client = PlexusVideoClient::start(&st, &ext, VideoConfig::default()).unwrap();
+        clients.push((st, client));
+    }
+
+    let cfg = VideoConfig::default();
+    let until = SimTime::ZERO + SimDuration::from_secs(1);
+    let server = PlexusVideoServer::start(
+        &server_stack,
+        &sext,
+        world.engine_mut(),
+        addrs.clone(),
+        cfg,
+        until,
+    )
+    .unwrap();
+    world.run_for(SimDuration::from_secs(2));
+
+    // ~30 frames in 1 s to each of the 3 clients.
+    assert!(
+        server.frames_sent() >= 25 * n as u64,
+        "sent {} frame-datagrams",
+        server.frames_sent()
+    );
+    for (_st, client) in &clients {
+        let got = client.stats();
+        assert!(got.frames >= 25, "client saw {} frames", got.frames);
+        assert_eq!(got.bytes, got.frames * cfg.frame_bytes as u64);
+    }
+    // Frames exceed the T3 MTU, so they fragmented and reassembled.
+    assert!(cfg.frame_bytes > NicProfile::dec_t3().mtu);
+}
+
+#[test]
+fn dunix_video_server_uses_more_cpu_than_plexus() {
+    let n = 10;
+    let run = |plexus: bool| -> f64 {
+        let (mut world, addrs) = video_world(n);
+        let machines: Vec<_> = world.machines().to_vec();
+        let server_machine = machines[0].clone();
+        let until = SimTime::ZERO + SimDuration::from_secs(1);
+        let cfg = VideoConfig::default();
+        // Sinks on the clients so the frames are absorbed (baseline stack
+        // works for both server types as a sink).
+        for (i, addr) in addrs.iter().enumerate() {
+            let m = &machines[i + 1];
+            let st = plexus_baseline::MonolithicStack::attach(
+                m,
+                &m.nic(0),
+                *addr,
+                MacAddr::local(10 + i as u8),
+            );
+            st.seed_arp(ip(1), MacAddr::local(1));
+            std::mem::forget(st);
+        }
+        let busy0 = server_machine.cpu().busy();
+        if plexus {
+            let st = PlexusStack::attach(
+                &server_machine,
+                &server_machine.nic(0),
+                StackConfig::interrupt(ip(1), MacAddr::local(1)),
+            );
+            for (i, addr) in addrs.iter().enumerate() {
+                st.seed_arp(*addr, MacAddr::local(10 + i as u8));
+            }
+            let ext = st.link_extension(&video_extension_spec("vs")).unwrap();
+            let _srv =
+                PlexusVideoServer::start(&st, &ext, world.engine_mut(), addrs.clone(), cfg, until)
+                    .unwrap();
+            world.run_for(SimDuration::from_secs(1));
+        } else {
+            let st = plexus_baseline::MonolithicStack::attach(
+                &server_machine,
+                &server_machine.nic(0),
+                ip(1),
+                MacAddr::local(1),
+            );
+            for (i, addr) in addrs.iter().enumerate() {
+                st.seed_arp(*addr, MacAddr::local(10 + i as u8));
+            }
+            let _srv = DunixVideoServer::start(&st, world.engine_mut(), addrs.clone(), cfg, until)
+                .unwrap();
+            world.run_for(SimDuration::from_secs(1));
+        }
+        server_machine
+            .cpu()
+            .utilization(busy0, SimDuration::from_secs(1))
+    };
+    let plexus_util = run(true);
+    let dunix_util = run(false);
+    assert!(plexus_util > 0.01, "plexus server did work: {plexus_util}");
+    assert!(
+        dunix_util > plexus_util * 1.5,
+        "paper: DUNIX uses ~2x the CPU; got plexus={plexus_util:.3} dunix={dunix_util:.3}"
+    );
+}
+
+mod reliable_protocol {
+    use super::*;
+    use plexus_apps::reliable::{
+        reliable_extension_spec, ReliableConfig, ReliableReceiver, ReliableSender,
+    };
+    use plexus_sim::nic::{FaultInjector, Medium};
+
+    fn lossy_pair(
+        drop_prob: f64,
+        seed: u64,
+    ) -> (
+        plexus_sim::World,
+        Rc<PlexusStack>,
+        Rc<PlexusStack>,
+        Rc<Medium>,
+    ) {
+        let mut world = plexus_sim::World::new();
+        let a = world.add_machine("a");
+        let b = world.add_machine("b");
+        let (medium, nics) = world.connect(
+            &[&a, &b],
+            NicProfile::ethernet_lance(),
+            SimDuration::from_micros(1),
+            true,
+        );
+        medium.set_faults(FaultInjector::new(drop_prob, 0.0, seed));
+        let sa = PlexusStack::attach(
+            &a,
+            &nics[0],
+            StackConfig::interrupt(ip(1), MacAddr::local(1)),
+        );
+        let sb = PlexusStack::attach(
+            &b,
+            &nics[1],
+            StackConfig::interrupt(ip(2), MacAddr::local(2)),
+        );
+        sa.seed_arp(ip(2), MacAddr::local(2));
+        sb.seed_arp(ip(1), MacAddr::local(1));
+        (world, sa, sb, medium)
+    }
+
+    #[test]
+    fn delivers_in_order_over_a_clean_link() {
+        let (mut world, sa, sb, _m) = lossy_pair(0.0, 1);
+        let aext = sa.link_extension(&reliable_extension_spec("tx")).unwrap();
+        let bext = sb.link_extension(&reliable_extension_spec("rx")).unwrap();
+        let rx = ReliableReceiver::new(&sb, &bext, 7100).unwrap();
+        let tx = ReliableSender::new(&sa, &aext, 7101, (ip(2), 7100), ReliableConfig::default())
+            .unwrap();
+        for i in 0..10u8 {
+            tx.send(world.engine_mut(), &[i; 16]);
+        }
+        world.run_for(SimDuration::from_secs(2));
+        assert!(tx.idle());
+        assert_eq!(tx.delivered(), 10);
+        assert_eq!(tx.retransmits(), 0, "no loss, no retransmission");
+        let got = rx.received();
+        assert_eq!(got.len(), 10);
+        for (i, d) in got.iter().enumerate() {
+            assert_eq!(d, &vec![i as u8; 16]);
+        }
+    }
+
+    #[test]
+    fn survives_a_lossy_link_with_retransmission() {
+        let (mut world, sa, sb, medium) = lossy_pair(0.25, 42);
+        let aext = sa.link_extension(&reliable_extension_spec("tx")).unwrap();
+        let bext = sb.link_extension(&reliable_extension_spec("rx")).unwrap();
+        let rx = ReliableReceiver::new(&sb, &bext, 7100).unwrap();
+        let tx = ReliableSender::new(&sa, &aext, 7101, (ip(2), 7100), ReliableConfig::default())
+            .unwrap();
+        let messages: Vec<Vec<u8>> = (0..30u8).map(|i| vec![i ^ 0x5A; 64]).collect();
+        for m in &messages {
+            tx.send(world.engine_mut(), m);
+        }
+        world.run_for(SimDuration::from_secs(30));
+        assert!(tx.idle(), "all datagrams eventually acknowledged");
+        assert_eq!(tx.delivered(), 30);
+        assert!(tx.retransmits() > 0, "losses forced retransmission");
+        assert!(medium.fault_drops() > 0, "the link really dropped frames");
+        assert_eq!(rx.received(), messages, "in order, exactly once");
+        assert_eq!(tx.failed(), 0);
+    }
+
+    #[test]
+    fn gives_up_after_bounded_retries_when_peer_is_gone() {
+        // 100% loss: the datagram can never arrive.
+        let (mut world, sa, _sb, _m) = lossy_pair(1.0, 7);
+        let aext = sa.link_extension(&reliable_extension_spec("tx")).unwrap();
+        let tx = ReliableSender::new(
+            &sa,
+            &aext,
+            7101,
+            (ip(2), 7100),
+            ReliableConfig {
+                retry_timeout: SimDuration::from_millis(1),
+                max_retries: 4,
+            },
+        )
+        .unwrap();
+        tx.send(world.engine_mut(), b"into the void");
+        world.run_for(SimDuration::from_secs(1));
+        assert_eq!(tx.failed(), 1, "bounded effort, then give up");
+        assert_eq!(tx.delivered(), 0);
+        assert_eq!(tx.retransmits(), 3, "retries 2..=4 were retransmissions");
+        assert!(tx.idle());
+    }
+}
+
+mod transaction_protocol {
+    use super::*;
+    use plexus_apps::transaction::{
+        transaction_extension_spec, TransactionClient, TransactionServer,
+    };
+    use plexus_core::TcpCallbacks;
+    use plexus_sim::nic::{FaultInjector, Medium};
+
+    fn pair() -> (World, Rc<PlexusStack>, Rc<PlexusStack>) {
+        let mut world = World::new();
+        let a = world.add_machine("a");
+        let b = world.add_machine("b");
+        let (_m, nics) = world.connect(
+            &[&a, &b],
+            NicProfile::ethernet_lance(),
+            SimDuration::from_micros(1),
+            true,
+        );
+        let sa = PlexusStack::attach(
+            &a,
+            &nics[0],
+            StackConfig::interrupt(ip(1), MacAddr::local(1)),
+        );
+        let sb = PlexusStack::attach(
+            &b,
+            &nics[1],
+            StackConfig::interrupt(ip(2), MacAddr::local(2)),
+        );
+        sa.seed_arp(ip(2), MacAddr::local(2));
+        sb.seed_arp(ip(1), MacAddr::local(1));
+        (world, sa, sb)
+    }
+
+    #[test]
+    fn one_round_trip_transactions() {
+        let (mut world, client, server) = pair();
+        let cext = client
+            .link_extension(&transaction_extension_spec("txn-c"))
+            .unwrap();
+        let sext = server
+            .link_extension(&transaction_extension_spec("txn-s"))
+            .unwrap();
+        let srv = TransactionServer::install(&server, &sext, 9999, |req| {
+            let mut out = b"resp:".to_vec();
+            out.extend_from_slice(req);
+            out
+        })
+        .unwrap();
+        let cli = TransactionClient::install(&client, &cext, 9998, (ip(2), 9999)).unwrap();
+
+        let t0 = world.engine().now().as_nanos();
+        let call = cli.call(world.engine_mut(), b"get-balance");
+        world.run_for(SimDuration::from_secs(1));
+        assert_eq!(call.response().expect("answered"), b"resp:get-balance");
+        assert_eq!(srv.served(), 1);
+        assert_eq!(cli.retries(), 0);
+
+        let rtt_us = (call.completed_at_ns().unwrap() - t0) as f64 / 1000.0;
+        // One round trip, both handlers at interrupt level: near the UDP
+        // RTT, nowhere near a full TCP connect+transfer+close.
+        assert!(
+            rtt_us < 700.0,
+            "transaction should take ~1 RTT: {rtt_us} us"
+        );
+    }
+
+    #[test]
+    fn transactions_survive_loss_with_idempotent_retry() {
+        let mut world = World::new();
+        let a = world.add_machine("a");
+        let b = world.add_machine("b");
+        let (medium, nics): (Rc<Medium>, _) = world.connect(
+            &[&a, &b],
+            NicProfile::ethernet_lance(),
+            SimDuration::from_micros(1),
+            true,
+        );
+        medium.set_faults(FaultInjector::new(0.3, 0.0, 99));
+        let client = PlexusStack::attach(
+            &a,
+            &nics[0],
+            StackConfig::interrupt(ip(1), MacAddr::local(1)),
+        );
+        let server = PlexusStack::attach(
+            &b,
+            &nics[1],
+            StackConfig::interrupt(ip(2), MacAddr::local(2)),
+        );
+        client.seed_arp(ip(2), MacAddr::local(2));
+        server.seed_arp(ip(1), MacAddr::local(1));
+        let cext = client
+            .link_extension(&transaction_extension_spec("txn-c"))
+            .unwrap();
+        let sext = server
+            .link_extension(&transaction_extension_spec("txn-s"))
+            .unwrap();
+        let _srv = TransactionServer::install(&server, &sext, 9999, |req| req.to_vec()).unwrap();
+        let cli = TransactionClient::install(&client, &cext, 9998, (ip(2), 9999)).unwrap();
+        let mut calls = Vec::new();
+        for i in 0..20u8 {
+            calls.push((i, cli.call(world.engine_mut(), &[i; 8])));
+        }
+        world.run_for(SimDuration::from_secs(5));
+        for (i, call) in &calls {
+            assert_eq!(
+                call.response().expect("eventually answered"),
+                vec![*i; 8],
+                "transaction {i}"
+            );
+        }
+        assert!(cli.retries() > 0, "losses forced retries");
+    }
+
+    #[test]
+    fn transaction_beats_full_tcp_for_small_exchanges() {
+        // §1.1's claim, quantified: the same request/response as one
+        // transaction vs. a full TCP connect + transfer + close.
+        let (mut world, client, server) = pair();
+        let cext = client
+            .link_extension(&transaction_extension_spec("txn-c"))
+            .unwrap();
+        let sext = server
+            .link_extension(&transaction_extension_spec("txn-s"))
+            .unwrap();
+        let _srv = TransactionServer::install(&server, &sext, 9999, |req| req.to_vec()).unwrap();
+        let cli = TransactionClient::install(&client, &cext, 9998, (ip(2), 9999)).unwrap();
+        let t0 = world.engine().now().as_nanos();
+        let call = cli.call(world.engine_mut(), b"tiny");
+        world.run_for(SimDuration::from_secs(1));
+        let txn_us = (call.completed_at_ns().unwrap() - t0) as f64 / 1000.0;
+
+        // TCP-standard on the same stacks (different port).
+        server
+            .tcp()
+            .listen(&sext, 8000, |_, conn| {
+                conn.set_callbacks(TcpCallbacks {
+                    on_data: Some(Rc::new(|ctx, conn, data| {
+                        conn.send_in(ctx, data);
+                        conn.close_in(ctx);
+                    })),
+                    ..Default::default()
+                });
+            })
+            .unwrap();
+        let done: Rc<Cell<Option<u64>>> = Rc::new(Cell::new(None));
+        let t1 = world.engine().now().as_nanos();
+        let conn = client
+            .tcp()
+            .connect(&cext, world.engine_mut(), (ip(2), 8000))
+            .unwrap();
+        let d = done.clone();
+        conn.set_callbacks(TcpCallbacks {
+            on_connected: Some(Rc::new(|ctx, conn| conn.send_in(ctx, b"tiny"))),
+            on_data: Some(Rc::new(move |ctx, _, _| {
+                d.set(Some(ctx.lease.now().as_nanos()));
+            })),
+            on_peer_close: Some(Rc::new(|ctx, conn| conn.close_in(ctx))),
+            ..Default::default()
+        });
+        world.run_for(SimDuration::from_secs(5));
+        let tcp_us = (done.get().expect("tcp response") - t1) as f64 / 1000.0;
+        assert!(
+            txn_us < tcp_us / 1.8,
+            "transaction ({txn_us:.0} us) should roughly halve TCP's small-exchange \
+             latency ({tcp_us:.0} us)"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! §3.3's claim: active-message handlers at interrupt level minimize
+//! latency.
+//!
+//! Compares the round trip of an 8-byte active message (raw Ethernet,
+//! ephemeral handler in the receive interrupt) against the full UDP path
+//! at interrupt level and at thread level.
+//!
+//! Run with `cargo run -p plexus-bench --bin am_latency`.
+
+use std::cell::{Cell, RefCell};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use plexus_apps::active_messages::{am_extension_spec, ActiveMessages};
+use plexus_bench::table;
+use plexus_bench::udp_rtt::{udp_rtt_us, Link, System};
+use plexus_core::{PlexusStack, StackConfig};
+use plexus_net::ether::MacAddr;
+use plexus_sim::World;
+
+fn am_rtt_us(rounds: u32) -> f64 {
+    let link = Link::ethernet();
+    let mut world = World::new();
+    let a = world.add_machine("a");
+    let b = world.add_machine("b");
+    let (_m, nics) = world.connect(
+        &[&a, &b],
+        link.profile.clone(),
+        link.propagation,
+        link.half_duplex,
+    );
+    let sa = PlexusStack::attach(
+        &a,
+        &nics[0],
+        StackConfig::interrupt(Ipv4Addr::new(10, 0, 0, 1), MacAddr::local(1)),
+    );
+    let sb = PlexusStack::attach(
+        &b,
+        &nics[1],
+        StackConfig::interrupt(Ipv4Addr::new(10, 0, 0, 2), MacAddr::local(2)),
+    );
+    let ea = sa.link_extension(&am_extension_spec("am-a")).unwrap();
+    let eb = sb.link_extension(&am_extension_spec("am-b")).unwrap();
+    let am_a = Rc::new(ActiveMessages::install(&sa, &ea).unwrap());
+    let am_b = Rc::new(ActiveMessages::install(&sb, &eb).unwrap());
+
+    // B: bounce every message back on handler 2.
+    let am_b2 = am_b.clone();
+    am_b.register(1, move |ctx, msg| {
+        am_b2.reply_in(ctx, msg.src, 2, msg.argument, &msg.payload);
+    });
+
+    // A: score the round trip and fire the next.
+    let remaining = Rc::new(Cell::new(rounds));
+    let sent_at = Rc::new(Cell::new(0u64));
+    let rtts: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let (rem, sa_at, rt, am_a2) = (
+        remaining.clone(),
+        sent_at.clone(),
+        rtts.clone(),
+        am_a.clone(),
+    );
+    am_a.register(2, move |ctx, msg| {
+        let now = ctx.lease.now().as_nanos();
+        rt.borrow_mut().push(now - sa_at.get());
+        let left = rem.get() - 1;
+        rem.set(left);
+        if left > 0 {
+            sa_at.set(ctx.lease.now().as_nanos());
+            am_a2.reply_in(ctx, msg.src, 1, msg.argument, &msg.payload);
+        }
+    });
+
+    sent_at.set(world.engine().now().as_nanos());
+    am_a.send(world.engine_mut(), MacAddr::local(2), 1, 7, &[0u8; 8])
+        .unwrap();
+    world.run();
+    let v = rtts.borrow();
+    v.iter().sum::<u64>() as f64 / v.len() as f64 / 1000.0
+}
+
+fn main() {
+    const ROUNDS: u32 = 100;
+    println!("Section 3.3: interrupt-level active messages vs. the UDP path (Ethernet, 8 B)");
+    println!();
+
+    let am = am_rtt_us(ROUNDS);
+    let udp_int = udp_rtt_us(System::PlexusInterrupt, &Link::ethernet(), 8, ROUNDS);
+    let udp_thr = udp_rtt_us(System::PlexusThread, &Link::ethernet(), 8, ROUNDS);
+
+    let rows = vec![
+        vec![
+            "active messages (interrupt)".to_string(),
+            format!("{am:.0}"),
+        ],
+        vec!["UDP (interrupt)".to_string(), format!("{udp_int:.0}")],
+        vec!["UDP (thread)".to_string(), format!("{udp_thr:.0}")],
+    ];
+    println!("{}", table::render(&["protocol", "RTT (us)"], &rows));
+    println!("Claim: protocols needing little per-packet work run fastest at");
+    println!("interrupt level; skipping IP/UDP processing shaves the rest.");
+}

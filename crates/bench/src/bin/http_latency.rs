@@ -1,0 +1,41 @@
+//! §7's HTTP demonstration as an experiment: full GET latency against an
+//! in-kernel Plexus HTTP server vs. a DIGITAL UNIX user-process server.
+//!
+//! Run with `cargo run -p plexus-bench --bin http_latency`.
+
+use plexus_bench::http_latency::{http_get_latency_us, HttpSystem};
+use plexus_bench::table;
+use plexus_bench::udp_rtt::Link;
+
+fn main() {
+    println!("Section 7: HTTP GET latency (handshake + request + response + close)");
+    println!("over Ethernet, server in-kernel vs. user process");
+    println!();
+    let sizes = [128usize, 1024, 8192, 65536];
+    let mut rows = Vec::new();
+    for size in sizes {
+        let p = http_get_latency_us(HttpSystem::Plexus, &Link::ethernet(), size);
+        let d = http_get_latency_us(HttpSystem::Dunix, &Link::ethernet(), size);
+        rows.push(vec![
+            size.to_string(),
+            format!("{p:.0}"),
+            format!("{d:.0}"),
+            format!("{:.0}", d - p),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &[
+                "body (B)",
+                "Plexus (us)",
+                "DUNIX (us)",
+                "structure cost (us)"
+            ],
+            &rows
+        )
+    );
+    println!("The structure cost is per-request boundary crossing work; it is");
+    println!("roughly constant until the response is large enough that wire time");
+    println!("and per-byte copies dominate.");
+}

@@ -1,0 +1,55 @@
+//! §4.2's throughput comparison: TCP bulk transfer on Ethernet and ATM.
+//!
+//! Paper numbers: Ethernet 8.9 Mb/s for both systems (wire-limited);
+//! ATM 27.9 Mb/s (DIGITAL UNIX) vs 33 Mb/s (Plexus) under a ~53 Mb/s
+//! driver-to-driver PIO ceiling. T3 has no paper value (a DMA bug blocked
+//! the measurement); we report our number for completeness.
+//!
+//! Run with `cargo run -p plexus-bench --bin tab_tcp_throughput`.
+
+use plexus_bench::table;
+use plexus_bench::tcp_tput::{raw_driver_mbps, tcp_throughput_mbps, TputSystem};
+use plexus_bench::udp_rtt::Link;
+
+fn main() {
+    const BYTES: usize = 4_000_000;
+
+    println!(
+        "Section 4.2: TCP throughput, {} MB transfer",
+        BYTES / 1_000_000
+    );
+    println!();
+
+    let links = [
+        ("Ethernet", Link::ethernet(), "8.9 / 8.9"),
+        ("Fore ATM", Link::atm(), "33 / 27.9"),
+        ("DEC T3", Link::t3(), "n/a (DMA bug)"),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, link, paper) in &links {
+        let plexus = tcp_throughput_mbps(TputSystem::Plexus, link, BYTES);
+        let dunix = tcp_throughput_mbps(TputSystem::Dunix, link, BYTES);
+        rows.push(vec![
+            name.to_string(),
+            format!("{plexus:.1}"),
+            format!("{dunix:.1}"),
+            paper.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &[
+                "device",
+                "Plexus (Mb/s)",
+                "DIGITAL UNIX (Mb/s)",
+                "paper P/D"
+            ],
+            &rows
+        )
+    );
+
+    let atm_raw = raw_driver_mbps(&Link::atm(), BYTES);
+    println!("ATM driver-to-driver ceiling (PIO-limited): {atm_raw:.1} Mb/s (paper: ~53 Mb/s)");
+}

@@ -1,0 +1,16 @@
+//! # plexus-bench — experiment harnesses
+//!
+//! One module per paper result; the `src/bin/*` binaries print the tables
+//! and figures, and `benches/` holds Criterion microbenchmarks of the
+//! mechanisms themselves.
+
+#![warn(missing_docs)]
+
+pub mod client_video;
+pub mod fwd_latency;
+pub mod http_latency;
+pub mod table;
+pub mod tcp_tput;
+pub mod txn_latency;
+pub mod udp_rtt;
+pub mod video_cpu;

@@ -1,0 +1,181 @@
+//! §1.1 quantified: "a connection-oriented protocol that is used for many
+//! small transactions is best served by an implementation that minimizes
+//! connection lifetime."
+//!
+//! Three ways to do a small request/response on the same pair of machines:
+//!
+//! * **TCP-standard** — connect, send, receive, close: the general
+//!   solution, paying the three-way handshake and four-segment teardown.
+//! * **TCP-special (transactions)** — the §3.1-style second TCP
+//!   implementation from `plexus_apps::transaction`: one segment out, one
+//!   back, no connection state.
+//! * **UDP** — the connectionless floor (no reliability).
+
+use std::cell::Cell;
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use plexus_apps::transaction::{transaction_extension_spec, TransactionClient, TransactionServer};
+use plexus_core::{AppHandler, PlexusStack, StackConfig, TcpCallbacks, UdpRecv};
+use plexus_net::ether::MacAddr;
+use plexus_net::udp::UdpConfig;
+use plexus_sim::time::SimDuration;
+use plexus_sim::World;
+
+use crate::udp_rtt::{udp_rtt_us, Link, System};
+
+/// The exchange discipline measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnSystem {
+    /// Full TCP connection per exchange.
+    TcpStandard,
+    /// The transaction transport (TCP-special).
+    TcpSpecial,
+    /// Plain UDP (unreliable floor).
+    Udp,
+}
+
+impl TxnSystem {
+    /// Label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TxnSystem::TcpStandard => "TCP-standard (connect/close)",
+            TxnSystem::TcpSpecial => "TCP-special (transaction)",
+            TxnSystem::Udp => "UDP (floor)",
+        }
+    }
+}
+
+fn ip(last: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 5, last)
+}
+
+/// Mean latency (µs) of one complete `payload`-byte request/response
+/// exchange, over `rounds` serial exchanges.
+pub fn txn_latency_us(system: TxnSystem, link: &Link, payload: usize, rounds: u32) -> f64 {
+    match system {
+        TxnSystem::Udp => udp_rtt_us(System::PlexusInterrupt, link, payload, rounds),
+        TxnSystem::TcpSpecial => special_txn(link, payload, rounds),
+        TxnSystem::TcpStandard => tcp_exchange(link, payload, rounds),
+    }
+}
+
+fn pair(link: &Link) -> (World, Rc<PlexusStack>, Rc<PlexusStack>) {
+    let mut world = World::new();
+    let a = world.add_machine("client");
+    let b = world.add_machine("server");
+    let (_m, nics) = world.connect(
+        &[&a, &b],
+        link.profile.clone(),
+        link.propagation,
+        link.half_duplex,
+    );
+    let client = PlexusStack::attach(
+        &a,
+        &nics[0],
+        StackConfig::interrupt(ip(1), MacAddr::local(1)),
+    );
+    let server = PlexusStack::attach(
+        &b,
+        &nics[1],
+        StackConfig::interrupt(ip(2), MacAddr::local(2)),
+    );
+    client.seed_arp(ip(2), MacAddr::local(2));
+    server.seed_arp(ip(1), MacAddr::local(1));
+    (world, client, server)
+}
+
+fn special_txn(link: &Link, payload: usize, rounds: u32) -> f64 {
+    let (mut world, client, server) = pair(link);
+    let cext = client
+        .link_extension(&transaction_extension_spec("txn-c"))
+        .unwrap();
+    let sext = server
+        .link_extension(&transaction_extension_spec("txn-s"))
+        .unwrap();
+    let _srv = TransactionServer::install(&server, &sext, 9999, |req| req.to_vec()).unwrap();
+    let cli = TransactionClient::install(&client, &cext, 9998, (ip(2), 9999)).unwrap();
+    let mut total_ns = 0u64;
+    let req = vec![0x33u8; payload];
+    for _ in 0..rounds {
+        let t0 = world.engine().now().as_nanos();
+        let call = cli.call(world.engine_mut(), &req);
+        world.run_for(SimDuration::from_millis(200));
+        let done = call.completed_at_ns().expect("transaction answered");
+        total_ns += done - t0;
+    }
+    total_ns as f64 / rounds as f64 / 1000.0
+}
+
+fn tcp_exchange(link: &Link, payload: usize, rounds: u32) -> f64 {
+    let (mut world, client, server) = pair(link);
+    let spec = plexus_kernel::domain::ExtensionSpec::typesafe("x", &["TCP.Listen", "TCP.Connect"]);
+    let cext = client.link_extension(&spec).unwrap();
+    let sext = server.link_extension(&spec).unwrap();
+    server
+        .tcp()
+        .listen(&sext, 8000, |_, conn| {
+            conn.set_callbacks(TcpCallbacks {
+                on_data: Some(Rc::new(|ctx, conn, data| {
+                    conn.send_in(ctx, data);
+                    conn.close_in(ctx); // Server closes after responding.
+                })),
+                on_peer_close: Some(Rc::new(|ctx, conn| conn.close_in(ctx))),
+                ..Default::default()
+            });
+        })
+        .unwrap();
+    let mut total_ns = 0u64;
+    let req = vec![0x33u8; payload];
+    for _ in 0..rounds {
+        let done: Rc<Cell<Option<u64>>> = Rc::new(Cell::new(None));
+        let got: Rc<Cell<usize>> = Rc::new(Cell::new(0));
+        let t0 = world.engine().now().as_nanos();
+        let conn = client
+            .tcp()
+            .connect(&cext, world.engine_mut(), (ip(2), 8000))
+            .unwrap();
+        let (d, g, req2) = (done.clone(), got.clone(), req.clone());
+        conn.set_callbacks(TcpCallbacks {
+            on_connected: Some(Rc::new(move |ctx, conn| conn.send_in(ctx, &req2))),
+            on_data: Some(Rc::new(move |ctx, _, data| {
+                g.set(g.get() + data.len());
+                if g.get() >= payload {
+                    d.set(Some(ctx.lease.now().as_nanos()));
+                }
+            })),
+            on_peer_close: Some(Rc::new(|ctx, conn| conn.close_in(ctx))),
+            ..Default::default()
+        });
+        world.run_for(SimDuration::from_secs(3));
+        let at = done.get().expect("response arrived");
+        total_ns += at - t0;
+    }
+    total_ns as f64 / rounds as f64 / 1000.0
+}
+
+/// Guard against dead code in the UDP arm's shared import.
+#[allow(dead_code)]
+fn _udp_type_check(_: &RefCell<Vec<UdpRecv>>, _: UdpConfig, _: AppHandler<UdpRecv>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transactions_sit_between_udp_and_full_tcp() {
+        let link = Link::ethernet();
+        let udp = txn_latency_us(TxnSystem::Udp, &link, 64, 5);
+        let txn = txn_latency_us(TxnSystem::TcpSpecial, &link, 64, 5);
+        let tcp = txn_latency_us(TxnSystem::TcpStandard, &link, 64, 5);
+        assert!(
+            udp <= txn && txn < tcp,
+            "expected UDP <= transaction < TCP: {udp:.0} / {txn:.0} / {tcp:.0}"
+        );
+        assert!(
+            tcp > txn * 1.8,
+            "a full connection per exchange should cost ~2x+: txn={txn:.0} tcp={tcp:.0}"
+        );
+    }
+}

@@ -1,0 +1,411 @@
+//! An in-kernel IP router.
+//!
+//! The paper's protocol graph ends at single-homed hosts, but SPIN's
+//! pitch — protocol functionality "not generally available in conventional
+//! systems" loaded into the kernel (§5.2) — extends naturally to packet
+//! forwarding. This module is that extension: a multi-interface IP router
+//! built from the same primitives (ARP, IP, ICMP, device drivers), with
+//!
+//! * longest-prefix-match forwarding over a [`RouteTable`],
+//! * TTL decrement with ICMP Time Exceeded generation,
+//! * re-fragmentation when the egress MTU is smaller than the ingress
+//!   datagram (T3 → Ethernet, say), and
+//! * per-interface ARP with packet parking.
+//!
+//! Hosts reach other subnets by configuring a gateway
+//! ([`crate::StackConfig::gateway`]).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use plexus_kernel::view::view;
+use plexus_net::arp::{ArpCache, ArpPacket, Resolution};
+use plexus_net::ether::{self, EtherType, EtherView, MacAddr, ETHER_HDR_LEN};
+use plexus_net::icmp::IcmpMessage;
+use plexus_net::ip::{self, IpHeader, IpView, RouteTable};
+use plexus_net::mbuf::Mbuf;
+use plexus_sim::nic::Nic;
+use plexus_sim::{CpuLease, Engine, Machine};
+
+/// One router interface.
+struct RouterIf {
+    nic: Rc<Nic>,
+    ip: Ipv4Addr,
+    mac: MacAddr,
+    arp: RefCell<ArpCache>,
+    /// Datagrams parked awaiting ARP resolution, keyed by next hop.
+    pending: RefCell<HashMap<Ipv4Addr, Vec<Mbuf>>>,
+}
+
+/// Router statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Datagrams forwarded.
+    pub forwarded: u64,
+    /// Datagrams dropped: no route to the destination.
+    pub no_route: u64,
+    /// Datagrams dropped for TTL expiry (Time Exceeded sent).
+    pub ttl_expired: u64,
+    /// Datagrams re-fragmented for a smaller egress MTU.
+    pub refragmented: u64,
+    /// ICMP echo requests to the router itself, answered.
+    pub echoes: u64,
+    /// Datagrams dropped with a bad header checksum.
+    pub bad_header: u64,
+}
+
+/// A multi-interface IP router on one machine.
+pub struct IpRouter {
+    machine: Rc<Machine>,
+    interfaces: Vec<Rc<RouterIf>>,
+    routes: RefCell<RouteTable>,
+    stats: Cell<RouterStats>,
+    ident: Cell<u16>,
+}
+
+impl IpRouter {
+    /// Builds a router over `machine`'s interfaces. `interfaces` pairs each
+    /// NIC with its (address, MAC); directly attached /24 routes are
+    /// installed automatically.
+    pub fn attach(
+        machine: &Rc<Machine>,
+        interfaces: &[(Rc<Nic>, Ipv4Addr, MacAddr)],
+    ) -> Rc<IpRouter> {
+        assert!(
+            interfaces.len() >= 2,
+            "a router needs at least two interfaces"
+        );
+        let mut routes = RouteTable::new();
+        let ifs: Vec<Rc<RouterIf>> = interfaces
+            .iter()
+            .enumerate()
+            .map(|(idx, (nic, ip_addr, mac))| {
+                let net = Ipv4Addr::from(u32::from(*ip_addr) & 0xFFFF_FF00);
+                routes.add(net, 24, idx, None);
+                Rc::new(RouterIf {
+                    nic: nic.clone(),
+                    ip: *ip_addr,
+                    mac: *mac,
+                    arp: RefCell::new(ArpCache::new()),
+                    pending: RefCell::new(HashMap::new()),
+                })
+            })
+            .collect();
+        let router = Rc::new(IpRouter {
+            machine: machine.clone(),
+            interfaces: ifs,
+            routes: RefCell::new(routes),
+            stats: Cell::new(RouterStats::default()),
+            ident: Cell::new(0x4000),
+        });
+        for (idx, riface) in router.interfaces.iter().enumerate() {
+            let r = router.clone();
+            let iface = riface.clone();
+            riface.nic.set_rx_handler(move |engine, frame| {
+                r.rx(engine, idx, &iface, frame);
+            });
+        }
+        router
+    }
+
+    /// Adds a route (e.g. to a network behind another router).
+    pub fn add_route(
+        &self,
+        prefix: Ipv4Addr,
+        prefix_len: u8,
+        iface: usize,
+        gateway: Option<Ipv4Addr>,
+    ) {
+        self.routes
+            .borrow_mut()
+            .add(prefix, prefix_len, iface, gateway);
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats.get()
+    }
+
+    /// The address of interface `idx`.
+    pub fn iface_ip(&self, idx: usize) -> Ipv4Addr {
+        self.interfaces[idx].ip
+    }
+
+    fn bump<F: FnOnce(&mut RouterStats)>(&self, f: F) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+
+    fn next_ident(&self) -> u16 {
+        let id = self.ident.get();
+        self.ident.set(id.wrapping_add(1));
+        id
+    }
+
+    fn is_my_ip(&self, ip_addr: Ipv4Addr) -> bool {
+        self.interfaces.iter().any(|i| i.ip == ip_addr)
+    }
+
+    fn rx(self: &Rc<Self>, engine: &mut Engine, idx: usize, iface: &Rc<RouterIf>, frame: Vec<u8>) {
+        let mut lease = self.machine.cpu().begin(engine.now());
+        let model = lease.model().clone();
+        lease.charge(model.interrupt_entry);
+        lease.charge(iface.nic.profile().rx_cpu_cost(frame.len()));
+        let Some(v) = view::<EtherView>(&frame) else {
+            lease.charge(model.interrupt_exit);
+            return;
+        };
+        if v.dst() != iface.mac && !v.dst().is_broadcast() {
+            lease.charge(model.interrupt_exit);
+            return;
+        }
+        match v.ethertype() {
+            EtherType::ARP => self.arp_input(engine, &mut lease, iface, &frame[ETHER_HDR_LEN..]),
+            EtherType::IPV4 => {
+                lease.charge(model.eth_proc);
+                self.ip_input(engine, &mut lease, idx, &frame[ETHER_HDR_LEN..]);
+            }
+            _ => {}
+        }
+        lease.charge(model.interrupt_exit);
+    }
+
+    fn arp_input(
+        self: &Rc<Self>,
+        engine: &mut Engine,
+        lease: &mut CpuLease,
+        iface: &Rc<RouterIf>,
+        bytes: &[u8],
+    ) {
+        let Some(pkt) = ArpPacket::parse(bytes) else {
+            return;
+        };
+        let now = lease.now().as_nanos();
+        let satisfied = iface
+            .arp
+            .borrow_mut()
+            .learn(pkt.sender_ip, pkt.sender_mac, now);
+        if satisfied {
+            let parked = iface.pending.borrow_mut().remove(&pkt.sender_ip);
+            for dgram in parked.into_iter().flatten() {
+                self.transmit(engine, lease, iface, pkt.sender_mac, dgram);
+            }
+        }
+        if pkt.op == plexus_net::arp::ArpOp::Request && pkt.target_ip == iface.ip {
+            let reply = ArpPacket::reply_to(&pkt, iface.mac, iface.ip);
+            let m = Mbuf::from_payload(ETHER_HDR_LEN, &reply.to_bytes());
+            self.transmit_raw(engine, lease, iface, pkt.sender_mac, EtherType::ARP, m);
+        }
+    }
+
+    fn ip_input(
+        self: &Rc<Self>,
+        engine: &mut Engine,
+        lease: &mut CpuLease,
+        in_idx: usize,
+        bytes: &[u8],
+    ) {
+        let model = lease.model().clone();
+        lease.charge(model.ip_proc);
+        let Some(v) = view::<IpView>(bytes) else {
+            return;
+        };
+        if !v.checksum_ok() || v.version() != 4 {
+            self.bump(|s| s.bad_header += 1);
+            return;
+        }
+        let (src, dst, ttl) = (v.src(), v.dst(), v.ttl());
+        let hlen = v.header_len();
+        let total = v.total_len().min(bytes.len());
+
+        // Addressed to the router itself: answer pings, drop the rest.
+        if self.is_my_ip(dst) {
+            if v.protocol() == ip::proto::ICMP && !v.is_fragment() {
+                if let Some(msg) = IcmpMessage::parse(&bytes[hlen..total]) {
+                    if msg.kind == plexus_net::icmp::IcmpType::EchoRequest {
+                        self.bump(|s| s.echoes += 1);
+                        let reply = IcmpMessage::echo_reply(&msg);
+                        let m = Mbuf::from_payload(64, &reply.to_bytes());
+                        lease.charge(model.checksum(m.total_len()));
+                        self.route_and_send(
+                            engine,
+                            lease,
+                            self.iface_for_reply(src),
+                            src,
+                            ip::proto::ICMP,
+                            &m,
+                        );
+                    }
+                }
+            }
+            return;
+        }
+
+        // Forwarding path.
+        if ttl <= 1 {
+            self.bump(|s| s.ttl_expired += 1);
+            let te = IcmpMessage {
+                kind: plexus_net::icmp::IcmpType::TimeExceeded,
+                code: 0,
+                ident: 0,
+                seq: 0,
+                payload: bytes[..total.min(28)].to_vec(),
+            };
+            let m = Mbuf::from_payload(64, &te.to_bytes());
+            lease.charge(model.checksum(m.total_len()));
+            self.route_and_send(
+                engine,
+                lease,
+                self.iface_for_reply(src),
+                src,
+                ip::proto::ICMP,
+                &m,
+            );
+            return;
+        }
+
+        let Some(route) = self.routes.borrow().lookup(dst) else {
+            self.bump(|s| s.no_route += 1);
+            return;
+        };
+        let out = &self.interfaces[route.iface];
+        let next_hop = route.gateway.unwrap_or(dst);
+        self.bump(|s| s.forwarded += 1);
+        let _ = in_idx;
+
+        // Rebuild the datagram with TTL-1 (the header checksum is
+        // recomputed by `encapsulate`; a real router would fix it
+        // incrementally — the CPU cost model charges `ip_proc` either way).
+        let payload_bytes = &bytes[hlen..total];
+        let hdr = IpHeader {
+            src,
+            dst,
+            protocol: v.protocol(),
+            ident: v.ident(),
+            ttl: ttl - 1,
+            more_fragments: v.more_fragments(),
+            frag_offset: v.frag_offset(),
+        };
+        let egress_mtu = out.nic.profile().mtu;
+        if payload_bytes.len() + ip::IP_HDR_LEN > egress_mtu {
+            // Re-fragment for the smaller egress link. (Fragments of
+            // fragments keep the original offsets, which `fragment`
+            // handles via `hdr.frag_offset`.)
+            self.bump(|s| s.refragmented += 1);
+            let frags = ip::fragment(&hdr, &Mbuf::from_payload(0, payload_bytes), egress_mtu);
+            for frag in frags {
+                self.resolve_and_send(engine, lease, route.iface, next_hop, frag);
+            }
+        } else {
+            let dgram = ip::encapsulate(&hdr, Mbuf::from_payload(ETHER_HDR_LEN, payload_bytes));
+            self.resolve_and_send(engine, lease, route.iface, next_hop, dgram);
+        }
+    }
+
+    /// Picks the interface whose subnet contains `dst` (for ICMP replies).
+    fn iface_for_reply(&self, dst: Ipv4Addr) -> usize {
+        self.routes
+            .borrow()
+            .lookup(dst)
+            .map(|r| r.iface)
+            .unwrap_or(0)
+    }
+
+    /// Builds and sends a router-originated datagram (ICMP) out `iface`.
+    fn route_and_send(
+        self: &Rc<Self>,
+        engine: &mut Engine,
+        lease: &mut CpuLease,
+        iface_idx: usize,
+        dst: Ipv4Addr,
+        protocol: u8,
+        payload: &Mbuf,
+    ) {
+        let model = lease.model().clone();
+        lease.charge(model.ip_proc);
+        let src = self.interfaces[iface_idx].ip;
+        let hdr = IpHeader::simple(src, dst, protocol, self.next_ident());
+        let next_hop = self
+            .routes
+            .borrow()
+            .lookup(dst)
+            .and_then(|r| r.gateway)
+            .unwrap_or(dst);
+        let dgram = ip::encapsulate(&hdr, payload.share());
+        self.resolve_and_send(engine, lease, iface_idx, next_hop, dgram);
+    }
+
+    fn resolve_and_send(
+        self: &Rc<Self>,
+        engine: &mut Engine,
+        lease: &mut CpuLease,
+        iface_idx: usize,
+        next_hop: Ipv4Addr,
+        dgram: Mbuf,
+    ) {
+        let model = lease.model().clone();
+        let iface = &self.interfaces[iface_idx];
+        lease.charge(model.arp_lookup);
+        let res = iface
+            .arp
+            .borrow_mut()
+            .resolve(next_hop, lease.now().as_nanos());
+        match res {
+            Resolution::Known(mac) => self.transmit(engine, lease, iface, mac, dgram),
+            Resolution::NeedsRequest(first) => {
+                iface
+                    .pending
+                    .borrow_mut()
+                    .entry(next_hop)
+                    .or_default()
+                    .push(dgram);
+                if first {
+                    let req = ArpPacket::request(iface.mac, iface.ip, next_hop);
+                    let m = Mbuf::from_payload(ETHER_HDR_LEN, &req.to_bytes());
+                    self.transmit_raw(engine, lease, iface, MacAddr::BROADCAST, EtherType::ARP, m);
+                }
+            }
+        }
+    }
+
+    fn transmit(
+        self: &Rc<Self>,
+        engine: &mut Engine,
+        lease: &mut CpuLease,
+        iface: &Rc<RouterIf>,
+        dst: MacAddr,
+        dgram: Mbuf,
+    ) {
+        self.transmit_raw(engine, lease, iface, dst, EtherType::IPV4, dgram);
+    }
+
+    fn transmit_raw(
+        self: &Rc<Self>,
+        engine: &mut Engine,
+        lease: &mut CpuLease,
+        iface: &Rc<RouterIf>,
+        dst: MacAddr,
+        ethertype: EtherType,
+        packet: Mbuf,
+    ) {
+        let model = lease.model().clone();
+        lease.charge(model.eth_proc);
+        let mut frame = packet.share();
+        ether::write_header(frame.prepend(ETHER_HDR_LEN), dst, iface.mac, ethertype);
+        let bytes = frame.to_vec();
+        lease.charge(iface.nic.profile().tx_cpu_cost(bytes.len()));
+        let ready = lease.now();
+        iface.nic.transmit(engine, ready, bytes);
+    }
+
+    /// Seeds an interface's ARP cache (steady-state benchmarking).
+    pub fn seed_arp(&self, iface: usize, ip_addr: Ipv4Addr, mac: MacAddr) {
+        self.interfaces[iface]
+            .arp
+            .borrow_mut()
+            .learn(ip_addr, mac, 0);
+    }
+}

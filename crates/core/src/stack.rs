@@ -1,0 +1,867 @@
+//! The Plexus protocol graph on one machine (Figure 1).
+//!
+//! [`PlexusStack::attach`] builds the kernel-resident graph over a
+//! simulated machine and NIC:
+//!
+//! ```text
+//!             device rx interrupt
+//!                    |
+//!            Ethernet.PacketRecv          (event)
+//!             /        |        \
+//!        [type=ARP] [type=IP] [type=X]    (guards)
+//!           ARP        IP      app ext    (handlers)
+//!                       |
+//!                 Ip.PacketRecv           (event)
+//!               /       |       \
+//!        [proto=ICMP][proto=UDP][proto=TCP]
+//!           ICMP       UDP        TCP
+//!                       |          |
+//!               Udp.PacketRecv  Tcp.PacketRecv
+//!                /      \            \
+//!          [port=a]  [port=b]     [4-tuple]
+//!           app A     app B       connection
+//! ```
+//!
+//! Packets go *up* through `PacketRecv` events and *down* through
+//! `PacketSend` events; every hop is a dispatcher raise whose guard/handler
+//! costs are charged to the CPU, and the whole receive path runs either at
+//! interrupt level (ephemeral handlers) or in per-event threads, per
+//! [`DispatchMode`] — the two Plexus bars of Figure 5.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use plexus_kernel::dispatcher::{Dispatcher, Event, GuardFn, HandlerId, RaiseCtx};
+use plexus_kernel::domain::{Domain, ExtensionSpec, Interface, LinkedExtension};
+use plexus_kernel::ephemeral::Ephemeral;
+use plexus_kernel::view::view;
+use plexus_sim::nic::Nic;
+use plexus_sim::time::SimDuration;
+use plexus_sim::{Cpu, Engine, Machine};
+
+use plexus_net::arp::{ArpCache, ArpPacket, Resolution};
+use plexus_net::ether::{EtherType, EtherView, MacAddr, ETHER_HDR_LEN};
+use plexus_net::icmp::{IcmpMessage, IcmpType};
+use plexus_net::ip::{self, IpHeader, Reassembler};
+use plexus_net::mbuf::Mbuf;
+
+use crate::tcp_manager::TcpManager;
+use crate::types::{
+    AppHandler, DispatchMode, EthRecv, EthSendReq, IpRecv, IpSendReq, PlexusError, TcpRecv, UdpRecv,
+};
+use crate::udp_manager::UdpManager;
+
+/// Configuration for one stack instance.
+#[derive(Clone, Debug)]
+pub struct StackConfig {
+    /// This host's IP address.
+    pub ip: Ipv4Addr,
+    /// This host's MAC address.
+    pub mac: MacAddr,
+    /// Receive-path delivery mode (Figure 5's interrupt vs. thread bars).
+    pub mode: DispatchMode,
+    /// Optional per-handler time limit for interrupt-level extension
+    /// handlers (§3.3's termination allotment).
+    pub ext_time_limit: Option<SimDuration>,
+    /// Local subnet prefix length (default /24); destinations outside it
+    /// go via the gateway.
+    pub prefix_len: u8,
+    /// Default gateway for off-subnet destinations (see
+    /// [`crate::router::IpRouter`]).
+    pub gateway: Option<Ipv4Addr>,
+}
+
+impl StackConfig {
+    /// Interrupt-mode stack for `ip`/`mac`.
+    pub fn interrupt(ip: Ipv4Addr, mac: MacAddr) -> StackConfig {
+        StackConfig {
+            ip,
+            mac,
+            mode: DispatchMode::Interrupt,
+            ext_time_limit: None,
+            prefix_len: 24,
+            gateway: None,
+        }
+    }
+
+    /// Sets the default gateway (and keeps the /24 prefix).
+    pub fn with_gateway(mut self, gateway: Ipv4Addr) -> StackConfig {
+        self.gateway = Some(gateway);
+        self
+    }
+
+    /// Thread-mode stack for `ip`/`mac`.
+    pub fn thread(ip: Ipv4Addr, mac: MacAddr) -> StackConfig {
+        StackConfig {
+            mode: DispatchMode::Thread,
+            ..StackConfig::interrupt(ip, mac)
+        }
+    }
+}
+
+/// Counters the stack keeps (beyond the dispatcher's own).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StackStats {
+    /// Frames delivered to `Ethernet.PacketRecv`.
+    pub eth_rx: u64,
+    /// Frames dropped by the MAC filter.
+    pub eth_filtered: u64,
+    /// Datagrams delivered to `Ip.PacketRecv`.
+    pub ip_rx: u64,
+    /// IP datagrams dropped (bad checksum, not addressed to us).
+    pub ip_dropped: u64,
+    /// Datagrams sent through `Ip.PacketSend`.
+    pub ip_tx: u64,
+    /// ICMP echo requests answered.
+    pub icmp_echoes: u64,
+    /// ARP requests answered.
+    pub arp_replies: u64,
+    /// Sends queued waiting on ARP resolution.
+    pub arp_queued: u64,
+    /// Sends dropped: destination off-subnet and no gateway configured.
+    pub no_route: u64,
+    /// ARP resolutions abandoned after retries; their parked packets were
+    /// dropped.
+    pub arp_failures: u64,
+}
+
+/// The events of the protocol graph (all capabilities are held privately by
+/// the stack and its managers; extensions never see them — §3.1).
+pub(crate) struct StackEvents {
+    pub(crate) eth_recv: Event<EthRecv>,
+    pub(crate) eth_send: Event<EthSendReq>,
+    pub(crate) ip_recv: Event<IpRecv>,
+    pub(crate) ip_send: Event<IpSendReq>,
+    pub(crate) udp_recv: Event<UdpRecv>,
+    pub(crate) tcp_recv: Event<TcpRecv>,
+}
+
+/// Shared stack state, reachable from every installed handler.
+pub(crate) struct StackShared {
+    pub(crate) cpu: Rc<Cpu>,
+    pub(crate) nic: Rc<Nic>,
+    pub(crate) dispatcher: Rc<Dispatcher>,
+    pub(crate) mode: DispatchMode,
+    pub(crate) ip: Ipv4Addr,
+    pub(crate) mac: MacAddr,
+    pub(crate) ext_time_limit: Option<SimDuration>,
+    prefix_len: u8,
+    gateway: Option<Ipv4Addr>,
+    pub(crate) events: StackEvents,
+    arp: RefCell<ArpCache>,
+    arp_pending: RefCell<HashMap<Ipv4Addr, Vec<Mbuf>>>,
+    /// Additional local addresses (e.g. a load-balancer VIP a backend
+    /// accepts after DSR-style redirection, §5.2).
+    ip_aliases: RefCell<HashSet<Ipv4Addr>>,
+    reasm: RefCell<Reassembler>,
+    ip_ident: Cell<u16>,
+    pub(crate) stats: Cell<StackStats>,
+    ext_domain: Rc<Domain>,
+    /// Per-extension teardown actions, run when the extension unloads
+    /// (runtime adaptation: extensions "come and go with their
+    /// corresponding applications").
+    ext_cleanup: RefCell<HashMap<String, Vec<Box<dyn Fn()>>>>,
+    /// True while the NIC rx glue should deliver (promiscuous snooping is
+    /// structurally impossible: the filter runs before any extension code).
+    promiscuous: Cell<bool>,
+}
+
+impl StackShared {
+    pub(crate) fn bump<F: FnOnce(&mut StackStats)>(&self, f: F) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+
+    /// Installs a protocol-layer handler per the stack's dispatch mode.
+    pub(crate) fn install_layer<T, F>(
+        &self,
+        event: Event<T>,
+        guard: Option<GuardFn<T>>,
+        handler: F,
+    ) -> HandlerId
+    where
+        T: 'static,
+        F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
+    {
+        match self.mode {
+            DispatchMode::Interrupt => {
+                self.dispatcher
+                    .install_interrupt(event, guard, Ephemeral::certify(handler), None)
+            }
+            DispatchMode::Thread => self.dispatcher.install_thread(event, guard, handler),
+        }
+    }
+
+    /// Installs a send-path handler. The send path is always a direct
+    /// call chain (the caller's thread carries the packet down); Figure 5's
+    /// thread cost is a *receive*-delivery phenomenon, where each raised
+    /// `PacketRecv` event creates a new thread.
+    pub(crate) fn install_send<T, F>(&self, event: Event<T>, handler: F) -> HandlerId
+    where
+        T: 'static,
+        F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
+    {
+        self.dispatcher
+            .install_interrupt(event, None, Ephemeral::certify(handler), None)
+    }
+
+    /// Installs an *application* handler: interrupt-level only when the app
+    /// provided certified-ephemeral code (§3.3), thread otherwise.
+    pub(crate) fn install_app<T: 'static>(
+        &self,
+        event: Event<T>,
+        guard: Option<GuardFn<T>>,
+        handler: AppHandler<T>,
+    ) -> HandlerId {
+        match handler {
+            AppHandler::Interrupt(eph) => {
+                let f = eph.into_inner();
+                self.dispatcher.install_interrupt(
+                    event,
+                    guard,
+                    Ephemeral::certify(move |ctx: &mut RaiseCtx<'_>, arg: &T| f(ctx, arg)),
+                    self.ext_time_limit,
+                )
+            }
+            AppHandler::Thread(f) => self.dispatcher.install_thread(event, guard, f),
+        }
+    }
+
+    /// Registers a teardown action to run when extension `ext` unloads.
+    pub(crate) fn register_cleanup<F: Fn() + 'static>(&self, ext: &LinkedExtension, f: F) {
+        self.ext_cleanup
+            .borrow_mut()
+            .entry(ext.name().to_string())
+            .or_default()
+            .push(Box::new(f));
+    }
+
+    fn next_ident(&self) -> u16 {
+        let id = self.ip_ident.get();
+        self.ip_ident.set(id.wrapping_add(1));
+        id
+    }
+
+    /// The full IP send path: fragment, resolve the next hop, hand frames
+    /// to `Ethernet.PacketSend`. Runs on the caller's CPU lease.
+    pub(crate) fn ip_output(self: &Rc<Self>, ctx: &mut RaiseCtx<'_>, req: &IpSendReq) {
+        let model = ctx.lease.model().clone();
+        ctx.lease.charge(model.ip_proc);
+        self.bump(|s| s.ip_tx += 1);
+        let hdr = IpHeader {
+            src: req.src,
+            dst: req.dst,
+            protocol: req.protocol,
+            ident: self.next_ident(),
+            ttl: ip::DEFAULT_TTL,
+            more_fragments: false,
+            frag_offset: 0,
+        };
+        let mtu = self.nic.profile().mtu;
+        let frags = ip::fragment(&hdr, &req.payload, mtu);
+        let broadcast = req.dst == Ipv4Addr::BROADCAST;
+        // Next hop: on-subnet destinations directly, everything else via
+        // the gateway (if any).
+        let next_hop = if broadcast {
+            None
+        } else if self.on_subnet(req.dst) {
+            Some(req.dst)
+        } else {
+            match self.gateway {
+                Some(gw) => Some(gw),
+                None => {
+                    self.bump(|s| s.no_route += 1);
+                    return;
+                }
+            }
+        };
+        for frag in frags {
+            let Some(next_hop) = next_hop else {
+                self.raise_eth_send(ctx, MacAddr::BROADCAST, EtherType::IPV4, frag);
+                continue;
+            };
+            ctx.lease.charge(model.arp_lookup);
+            let resolution = self
+                .arp
+                .borrow_mut()
+                .resolve(next_hop, ctx.lease.now().as_nanos());
+            match resolution {
+                Resolution::Known(mac) => {
+                    self.raise_eth_send(ctx, mac, EtherType::IPV4, frag);
+                }
+                Resolution::NeedsRequest(first) => {
+                    self.bump(|s| s.arp_queued += 1);
+                    self.arp_pending
+                        .borrow_mut()
+                        .entry(next_hop)
+                        .or_default()
+                        .push(frag);
+                    if first {
+                        let arp = ArpPacket::request(self.mac, self.ip, next_hop);
+                        let m = Mbuf::from_payload(ETHER_HDR_LEN, &arp.to_bytes());
+                        self.raise_eth_send(ctx, MacAddr::BROADCAST, EtherType::ARP, m);
+                        self.schedule_arp_retry(ctx.engine, next_hop, 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retries an unanswered ARP request twice at one-second intervals,
+    /// then drops whatever was parked on the resolution — lost ARP replies
+    /// must not strand packets (and their senders) forever.
+    fn schedule_arp_retry(self: &Rc<Self>, engine: &mut Engine, next_hop: Ipv4Addr, attempt: u32) {
+        let me = self.clone();
+        engine.schedule_in(SimDuration::from_secs(1), move |eng| {
+            let still_pending = me.arp_pending.borrow().contains_key(&next_hop);
+            if !still_pending {
+                return; // Resolved in the meantime.
+            }
+            if attempt >= 3 {
+                let dropped = me
+                    .arp_pending
+                    .borrow_mut()
+                    .remove(&next_hop)
+                    .map(|v| v.len())
+                    .unwrap_or(0);
+                if dropped > 0 {
+                    me.bump(|s| s.arp_failures += 1);
+                }
+                return;
+            }
+            let mut lease = me.cpu.begin(eng.now());
+            let mut ctx = RaiseCtx {
+                engine: eng,
+                lease: &mut lease,
+            };
+            let arp = ArpPacket::request(me.mac, me.ip, next_hop);
+            let m = Mbuf::from_payload(ETHER_HDR_LEN, &arp.to_bytes());
+            me.raise_eth_send(&mut ctx, MacAddr::BROADCAST, EtherType::ARP, m);
+            let eng = ctx.engine;
+            me.schedule_arp_retry(eng, next_hop, attempt + 1);
+        });
+    }
+
+    /// True if `dst` is on this host's subnet.
+    fn on_subnet(&self, dst: Ipv4Addr) -> bool {
+        let mask = if self.prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.prefix_len)
+        };
+        (u32::from(dst) & mask) == (u32::from(self.ip) & mask)
+    }
+
+    /// True if `dst` is one of this host's addresses (or broadcast).
+    pub(crate) fn is_local_ip(&self, dst: Ipv4Addr) -> bool {
+        dst == self.ip || dst == Ipv4Addr::BROADCAST || self.ip_aliases.borrow().contains(&dst)
+    }
+
+    /// Resolves `ip` to a MAC, broadcasting an ARP request (and returning
+    /// `None`) when unknown. Callers that cannot park the packet simply
+    /// drop it; transports recover by retransmission.
+    pub(crate) fn resolve_or_request(
+        self: &Rc<Self>,
+        ctx: &mut RaiseCtx<'_>,
+        ip_addr: Ipv4Addr,
+    ) -> Option<MacAddr> {
+        let model = ctx.lease.model().clone();
+        ctx.lease.charge(model.arp_lookup);
+        let res = self
+            .arp
+            .borrow_mut()
+            .resolve(ip_addr, ctx.lease.now().as_nanos());
+        match res {
+            Resolution::Known(mac) => Some(mac),
+            Resolution::NeedsRequest(first) => {
+                if first {
+                    let arp = ArpPacket::request(self.mac, self.ip, ip_addr);
+                    let m = Mbuf::from_payload(ETHER_HDR_LEN, &arp.to_bytes());
+                    self.raise_eth_send(ctx, MacAddr::BROADCAST, EtherType::ARP, m);
+                }
+                None
+            }
+        }
+    }
+
+    pub(crate) fn raise_eth_send(
+        self: &Rc<Self>,
+        ctx: &mut RaiseCtx<'_>,
+        dst: MacAddr,
+        ethertype: EtherType,
+        packet: Mbuf,
+    ) {
+        let req = EthSendReq {
+            dst,
+            ethertype,
+            packet,
+        };
+        self.dispatcher.raise(ctx, self.events.eth_send, &req);
+    }
+
+    /// Raises `Ip.PacketSend` — the entry point managers use after stamping
+    /// the legitimate source (§3.1).
+    pub(crate) fn raise_ip_send(self: &Rc<Self>, ctx: &mut RaiseCtx<'_>, req: IpSendReq) {
+        self.dispatcher.raise(ctx, self.events.ip_send, &req);
+    }
+}
+
+/// A Plexus protocol stack bound to one machine + NIC.
+pub struct PlexusStack {
+    machine: Rc<Machine>,
+    shared: Rc<StackShared>,
+    udp: Rc<UdpManager>,
+    tcp: Rc<TcpManager>,
+}
+
+impl PlexusStack {
+    /// Builds the graph of Figure 1 over `machine`'s NIC `nic`.
+    pub fn attach(machine: &Rc<Machine>, nic: &Rc<Nic>, config: StackConfig) -> Rc<PlexusStack> {
+        let dispatcher = Dispatcher::new();
+        let events = StackEvents {
+            eth_recv: dispatcher.define_event("Ethernet.PacketRecv"),
+            eth_send: dispatcher.define_event("Ethernet.PacketSend"),
+            ip_recv: dispatcher.define_event("Ip.PacketRecv"),
+            ip_send: dispatcher.define_event("Ip.PacketSend"),
+            udp_recv: dispatcher.define_event("Udp.PacketRecv"),
+            tcp_recv: dispatcher.define_event("Tcp.PacketRecv"),
+        };
+
+        // The logical protection domain applications link against: the
+        // public manager interfaces only. Internal events/symbols (VM,
+        // device, dispatcher internals) are *not* here, so an extension
+        // importing them is rejected at link time (§2).
+        let ext_domain = Domain::new("plexus-extensions");
+        ext_domain.add_interface(Interface::new("Mbuf", &["Alloc", "Free", "Prepend", "Adj"]));
+        ext_domain.add_interface(Interface::new("Ethernet", &["Attach", "Detach", "Send"]));
+        ext_domain.add_interface(Interface::new(
+            "UDP",
+            &["Bind", "Unbind", "Send", "Redirect"],
+        ));
+        ext_domain.add_interface(Interface::new(
+            "TCP",
+            &["Listen", "Connect", "Send", "Close", "Redirect"],
+        ));
+        ext_domain.add_interface(Interface::new("ICMP", &["Ping"]));
+
+        let shared = Rc::new(StackShared {
+            cpu: machine.cpu().clone(),
+            nic: nic.clone(),
+            dispatcher: dispatcher.clone(),
+            mode: config.mode,
+            ip: config.ip,
+            mac: config.mac,
+            ext_time_limit: config.ext_time_limit,
+            prefix_len: config.prefix_len,
+            gateway: config.gateway,
+            events,
+            arp: RefCell::new(ArpCache::new()),
+            arp_pending: RefCell::new(HashMap::new()),
+            ip_aliases: RefCell::new(HashSet::new()),
+            reasm: RefCell::new(Reassembler::new()),
+            ip_ident: Cell::new(1),
+            stats: Cell::new(StackStats::default()),
+            ext_domain,
+            ext_cleanup: RefCell::new(HashMap::new()),
+            promiscuous: Cell::new(false),
+        });
+
+        Self::install_driver_glue(&shared);
+        Self::install_eth_output(&shared);
+        Self::install_arp(&shared);
+        Self::install_ip(&shared);
+        Self::install_icmp(&shared);
+        let udp = UdpManager::install(&shared);
+        let tcp = TcpManager::install(&shared);
+
+        Rc::new(PlexusStack {
+            machine: machine.clone(),
+            shared,
+            udp,
+            tcp,
+        })
+    }
+
+    /// The device receive interrupt: charge driver + interrupt costs, MAC
+    /// filter, then raise `Ethernet.PacketRecv`.
+    fn install_driver_glue(shared: &Rc<StackShared>) {
+        let s = shared.clone();
+        shared.nic.set_rx_handler(move |engine, frame| {
+            let mut lease = s.cpu.begin(engine.now());
+            let model = lease.model().clone();
+            lease.charge(model.interrupt_entry);
+            lease.charge(s.nic.profile().rx_cpu_cost(frame.len()));
+            let accept = match view::<EtherView>(&frame) {
+                Some(v) => {
+                    let dst = v.dst();
+                    dst == s.mac || dst.is_broadcast() || s.promiscuous.get()
+                }
+                None => false,
+            };
+            if accept {
+                s.bump(|st| st.eth_rx += 1);
+                let mut mbuf = Mbuf::from_wire(&frame);
+                mbuf.pkthdr_mut().rcvif = Some(0);
+                let arg = EthRecv { mbuf };
+                let mut ctx = RaiseCtx {
+                    engine,
+                    lease: &mut lease,
+                };
+                s.dispatcher.raise(&mut ctx, s.events.eth_recv, &arg);
+            } else {
+                s.bump(|st| st.eth_filtered += 1);
+            }
+            lease.charge(model.interrupt_exit);
+        });
+    }
+
+    /// `Ethernet.PacketSend`: prepend the link header, pay the driver TX
+    /// cost, hand the frame to the adapter.
+    fn install_eth_output(shared: &Rc<StackShared>) {
+        let s = shared.clone();
+        shared.install_send(shared.events.eth_send, move |ctx, req: &EthSendReq| {
+            let model = ctx.lease.model().clone();
+            ctx.lease.charge(model.eth_proc);
+            let mut frame = req.packet.share();
+            let hdr = frame.prepend(ETHER_HDR_LEN);
+            plexus_net::ether::write_header(hdr, req.dst, s.mac, req.ethertype);
+            let bytes = frame.to_vec();
+            ctx.lease.charge(s.nic.profile().tx_cpu_cost(bytes.len()));
+            let ready = ctx.lease.now();
+            s.nic.transmit(ctx.engine, ready, bytes);
+        });
+    }
+
+    fn install_arp(shared: &Rc<StackShared>) {
+        let s = shared.clone();
+        let guard: GuardFn<EthRecv> = Box::new(|ev: &EthRecv| {
+            view::<EtherView>(ev.mbuf.head())
+                .map(|v| v.ethertype() == EtherType::ARP)
+                .unwrap_or(false)
+        });
+        shared.install_layer(
+            shared.events.eth_recv,
+            Some(guard),
+            move |ctx, ev: &EthRecv| {
+                let model = ctx.lease.model().clone();
+                ctx.lease.charge(model.eth_proc);
+                let bytes = ev.mbuf.to_vec();
+                let Some(pkt) = ArpPacket::parse(&bytes[ETHER_HDR_LEN..]) else {
+                    return;
+                };
+                let now = ctx.lease.now().as_nanos();
+                let satisfied = s.arp.borrow_mut().learn(pkt.sender_ip, pkt.sender_mac, now);
+                if satisfied {
+                    // Drain datagrams parked on this resolution.
+                    let parked = s.arp_pending.borrow_mut().remove(&pkt.sender_ip);
+                    for frag in parked.into_iter().flatten() {
+                        s.raise_eth_send(ctx, pkt.sender_mac, EtherType::IPV4, frag);
+                    }
+                }
+                if pkt.op == plexus_net::arp::ArpOp::Request && pkt.target_ip == s.ip {
+                    s.bump(|st| st.arp_replies += 1);
+                    let reply = ArpPacket::reply_to(&pkt, s.mac, s.ip);
+                    let m = Mbuf::from_payload(ETHER_HDR_LEN, &reply.to_bytes());
+                    s.raise_eth_send(ctx, pkt.sender_mac, EtherType::ARP, m);
+                }
+            },
+        );
+    }
+
+    /// The standard IP implementation: validate, reassemble, raise
+    /// `Ip.PacketRecv`; plus the `Ip.PacketSend` output handler.
+    fn install_ip(shared: &Rc<StackShared>) {
+        let s = shared.clone();
+        let guard: GuardFn<EthRecv> = Box::new(|ev: &EthRecv| {
+            view::<EtherView>(ev.mbuf.head())
+                .map(|v| v.ethertype() == EtherType::IPV4)
+                .unwrap_or(false)
+        });
+        shared.install_layer(
+            shared.events.eth_recv,
+            Some(guard),
+            move |ctx, ev: &EthRecv| {
+                let model = ctx.lease.model().clone();
+                ctx.lease.charge(model.ip_proc);
+                let mut pkt = ev.mbuf.share();
+                pkt.trim_front(ETHER_HDR_LEN);
+                let now = ctx.lease.now().as_nanos();
+                let offered = s.reasm.borrow_mut().offer(&pkt, now);
+                let Some((hdr, payload)) = offered else {
+                    // Bad checksum/version, or a fragment still waiting.
+                    if pkt.total_len() >= ip::IP_HDR_LEN {
+                        s.bump(|st| st.ip_dropped += 1);
+                    }
+                    return;
+                };
+                if !s.is_local_ip(hdr.dst) {
+                    s.bump(|st| st.ip_dropped += 1);
+                    return;
+                }
+                s.bump(|st| st.ip_rx += 1);
+                let arg = IpRecv {
+                    src: hdr.src,
+                    dst: hdr.dst,
+                    protocol: hdr.protocol,
+                    payload,
+                };
+                s.dispatcher.raise(ctx, s.events.ip_recv, &arg);
+            },
+        );
+
+        let s = shared.clone();
+        shared.install_send(shared.events.ip_send, move |ctx, req: &IpSendReq| {
+            s.ip_output(ctx, req);
+        });
+    }
+
+    fn install_icmp(shared: &Rc<StackShared>) {
+        let s = shared.clone();
+        let guard: GuardFn<IpRecv> = Box::new(|ev: &IpRecv| ev.protocol == ip::proto::ICMP);
+        shared.install_layer(
+            shared.events.ip_recv,
+            Some(guard),
+            move |ctx, ev: &IpRecv| {
+                let model = ctx.lease.model().clone();
+                let bytes = ev.payload.to_vec();
+                ctx.lease.charge(model.checksum(bytes.len()));
+                let Some(msg) = IcmpMessage::parse(&bytes) else {
+                    return;
+                };
+                if msg.kind == IcmpType::EchoRequest {
+                    s.bump(|st| st.icmp_echoes += 1);
+                    let reply = IcmpMessage::echo_reply(&msg);
+                    let payload = Mbuf::from_payload(64, &reply.to_bytes());
+                    ctx.lease.charge(model.checksum(payload.total_len()));
+                    s.raise_ip_send(
+                        ctx,
+                        IpSendReq {
+                            src: s.ip,
+                            dst: ev.src,
+                            protocol: ip::proto::ICMP,
+                            payload,
+                        },
+                    );
+                }
+            },
+        );
+    }
+
+    /// The machine this stack runs on.
+    pub fn machine(&self) -> &Rc<Machine> {
+        &self.machine
+    }
+
+    /// This stack's IP address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.shared.ip
+    }
+
+    /// This stack's MAC address.
+    pub fn mac(&self) -> MacAddr {
+        self.shared.mac
+    }
+
+    /// The stack's dispatcher (for inspection in tests/benches).
+    pub fn dispatcher(&self) -> &Rc<Dispatcher> {
+        &self.shared.dispatcher
+    }
+
+    /// Stack counters.
+    pub fn stats(&self) -> StackStats {
+        self.shared.stats.get()
+    }
+
+    /// Renders the live protocol graph — Figure 1 as the kernel actually
+    /// sees it: one line per event, with the number of handler nodes and
+    /// how many hang off guards (packet filters).
+    pub fn graph_description(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "protocol graph on {} ({}):\n",
+            self.shared.ip, self.shared.mac
+        ));
+        for ev in self.shared.dispatcher.event_summary() {
+            out.push_str(&format!(
+                "  {:<22} {} handler(s), {} guarded\n",
+                ev.name, ev.handlers, ev.guarded
+            ));
+        }
+        out
+    }
+
+    /// The UDP protocol manager.
+    pub fn udp(&self) -> &Rc<UdpManager> {
+        &self.udp
+    }
+
+    /// The TCP protocol manager.
+    pub fn tcp(&self) -> &Rc<TcpManager> {
+        &self.tcp
+    }
+
+    /// Dynamically links an application extension against the public
+    /// extension domain. Fails — rejecting the extension — if it imports
+    /// any symbol outside that domain (§2).
+    pub fn link_extension(&self, spec: &ExtensionSpec) -> Result<LinkedExtension, PlexusError> {
+        Ok(self.shared.ext_domain.link(spec)?)
+    }
+
+    /// Unlinks an extension (managers revoke its endpoints separately).
+    pub fn unlink_extension(&self, name: &str) -> bool {
+        self.shared.ext_domain.unlink(name)
+    }
+
+    /// Unloads an extension completely: every endpoint, listener, and raw
+    /// handler it installed is torn down, and its symbols are unlinked —
+    /// the full "extensions come and go with their corresponding
+    /// applications" lifecycle. Returns whether the extension was linked.
+    pub fn unload_extension(&self, name: &str) -> bool {
+        let actions = self.shared.ext_cleanup.borrow_mut().remove(name);
+        for f in actions.into_iter().flatten() {
+            f();
+        }
+        self.shared.ext_domain.unlink(name)
+    }
+
+    /// Attaches a raw Ethernet extension (e.g. active messages, §3.3) for
+    /// frames of `ethertype` addressed to this host. The *manager* builds
+    /// the guard, so the extension cannot widen it to snoop other traffic;
+    /// claiming the IP or ARP types is refused outright.
+    pub fn attach_ether(
+        &self,
+        ext: &LinkedExtension,
+        ethertype: EtherType,
+        handler: AppHandler<EthRecv>,
+    ) -> Result<HandlerId, PlexusError> {
+        if ethertype == EtherType::IPV4 || ethertype == EtherType::ARP {
+            return Err(PlexusError::SnoopDenied(
+                "EtherType belongs to the system protocol stack",
+            ));
+        }
+        let my_mac = self.shared.mac;
+        let guard: GuardFn<EthRecv> = Box::new(move |ev: &EthRecv| {
+            view::<EtherView>(ev.mbuf.head())
+                .map(|v| {
+                    v.ethertype() == ethertype && (v.dst() == my_mac || v.dst().is_broadcast())
+                })
+                .unwrap_or(false)
+        });
+        let id = self
+            .shared
+            .install_app(self.shared.events.eth_recv, Some(guard), handler);
+        let shared = self.shared.clone();
+        self.shared.register_cleanup(ext, move || {
+            shared.dispatcher.uninstall(shared.events.eth_recv, id);
+        });
+        Ok(id)
+    }
+
+    /// Detaches a raw Ethernet extension (runtime adaptation: extensions
+    /// "come and go with their corresponding applications").
+    pub fn detach_ether(&self, id: HandlerId) -> bool {
+        self.shared
+            .dispatcher
+            .uninstall(self.shared.events.eth_recv, id)
+    }
+
+    /// Sends a raw Ethernet frame on behalf of an extension. The manager
+    /// refuses the system EtherTypes, so extensions cannot inject forged
+    /// IP/ARP traffic (link-level anti-spoofing).
+    pub fn send_ether(
+        &self,
+        engine: &mut Engine,
+        dst: MacAddr,
+        ethertype: EtherType,
+        payload: &[u8],
+    ) -> Result<(), PlexusError> {
+        let mut lease = self.shared.cpu.begin(engine.now());
+        let mut ctx = RaiseCtx {
+            engine,
+            lease: &mut lease,
+        };
+        self.send_ether_in(&mut ctx, dst, ethertype, payload)
+    }
+
+    /// [`PlexusStack::send_ether`] from inside an event handler (continues
+    /// on the caller's CPU lease) — e.g. an active-message acknowledgement
+    /// sent from the interrupt-level handler itself (§3.3).
+    pub fn send_ether_in(
+        &self,
+        ctx: &mut RaiseCtx<'_>,
+        dst: MacAddr,
+        ethertype: EtherType,
+        payload: &[u8],
+    ) -> Result<(), PlexusError> {
+        if ethertype == EtherType::IPV4 || ethertype == EtherType::ARP {
+            return Err(PlexusError::SnoopDenied(
+                "EtherType belongs to the system protocol stack",
+            ));
+        }
+        let m = Mbuf::from_payload(ETHER_HDR_LEN, payload);
+        self.shared.raise_eth_send(ctx, dst, ethertype, m);
+        Ok(())
+    }
+
+    /// Sends a raw transport-layer packet over IP from inside a handler —
+    /// the send path for *special protocol implementations* (§3.1's
+    /// TCP-special and kin) that build their own transport headers. The
+    /// source address is stamped with this host's own (the managers'
+    /// Overwrite anti-spoofing policy applies here too).
+    pub fn send_raw_ip(&self, ctx: &mut RaiseCtx<'_>, dst: Ipv4Addr, protocol: u8, payload: Mbuf) {
+        self.shared.raise_ip_send(
+            ctx,
+            IpSendReq {
+                src: self.shared.ip,
+                dst,
+                protocol,
+                payload,
+            },
+        );
+    }
+
+    /// Sends an ICMP echo request (used by examples/tests).
+    pub fn ping(&self, engine: &mut Engine, dst: Ipv4Addr, ident: u16, seq: u16, data: &[u8]) {
+        let msg = IcmpMessage::echo_request(ident, seq, data);
+        let payload = Mbuf::from_payload(64, &msg.to_bytes());
+        let mut lease = self.shared.cpu.begin(engine.now());
+        let model = lease.model().clone();
+        lease.charge(model.checksum(payload.total_len()));
+        let mut ctx = RaiseCtx {
+            engine,
+            lease: &mut lease,
+        };
+        self.shared.raise_ip_send(
+            &mut ctx,
+            IpSendReq {
+                src: self.shared.ip,
+                dst,
+                protocol: ip::proto::ICMP,
+                payload,
+            },
+        );
+    }
+
+    /// Pre-seeds the ARP cache (lets latency benches measure steady-state
+    /// round trips, as the paper's do).
+    pub fn seed_arp(&self, ip: Ipv4Addr, mac: MacAddr) {
+        self.shared.arp.borrow_mut().learn(ip, mac, 0);
+    }
+
+    /// Adds a local IP alias (privileged): the stack accepts datagrams for
+    /// `ip` as its own. Used by a redirection target to take over the
+    /// forwarder's address (§5.2) while preserving end-to-end semantics.
+    pub fn add_ip_alias(&self, ip: Ipv4Addr) {
+        self.shared.ip_aliases.borrow_mut().insert(ip);
+    }
+
+    /// Enables promiscuous delivery on the driver glue. Only the privileged
+    /// stack owner can call this (it is not in the extension domain); used
+    /// by tests to show extensions *cannot* obtain it.
+    pub fn set_promiscuous(&self, on: bool) {
+        self.shared.promiscuous.set(on);
+    }
+}

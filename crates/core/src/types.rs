@@ -1,0 +1,193 @@
+//! Event argument types, handler classes, and errors for the Plexus graph.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use plexus_kernel::dispatcher::RaiseCtx;
+use plexus_kernel::domain::LinkError;
+use plexus_kernel::ephemeral::Ephemeral;
+use plexus_net::ether::{EtherType, MacAddr};
+use plexus_net::mbuf::Mbuf;
+
+/// Argument of `Ethernet.PacketRecv`: a whole received frame. Guards use
+/// `VIEW` on [`Mbuf::head`] (the driver pulls the link header up front),
+/// exactly like Figure 2's active-message guard.
+#[derive(Debug)]
+pub struct EthRecv {
+    /// The frame, link header first.
+    pub mbuf: Mbuf,
+}
+
+/// Argument of `Ethernet.PacketSend`: a network-layer packet plus the link
+/// addressing the sender resolved.
+#[derive(Debug)]
+pub struct EthSendReq {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// EtherType for the payload.
+    pub ethertype: EtherType,
+    /// The network-layer packet (header space available for prepend).
+    pub packet: Mbuf,
+}
+
+/// Argument of `Ip.PacketRecv`: a validated (and, if needed, reassembled)
+/// IP payload.
+#[derive(Debug)]
+pub struct IpRecv {
+    /// Source address from the IP header.
+    pub src: Ipv4Addr,
+    /// Destination address from the IP header.
+    pub dst: Ipv4Addr,
+    /// Payload protocol number.
+    pub protocol: u8,
+    /// The transport-layer bytes (IP header already consumed). Transport
+    /// guards `VIEW` their headers at offset 0 of this buffer.
+    pub payload: Mbuf,
+}
+
+/// Argument of `Ip.PacketSend`: a transport packet awaiting an IP header.
+#[derive(Debug)]
+pub struct IpSendReq {
+    /// Source address. Protocol managers *overwrite* this with the sending
+    /// endpoint's legitimate address before raising (§3.1's anti-spoofing).
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol number.
+    pub protocol: u8,
+    /// Transport-layer packet.
+    pub payload: Mbuf,
+}
+
+/// Argument of `Udp.PacketRecv`: a validated datagram. Per-endpoint guards
+/// match on the port/address fields.
+#[derive(Debug)]
+pub struct UdpRecv {
+    /// Source IP.
+    pub src: Ipv4Addr,
+    /// Destination IP.
+    pub dst: Ipv4Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Application payload.
+    pub payload: Mbuf,
+}
+
+/// Argument of `Tcp.PacketRecv`: a verified TCP segment with its
+/// addressing. Connection guards match the 4-tuple.
+#[derive(Debug)]
+pub struct TcpRecv {
+    /// Source IP.
+    pub src: Ipv4Addr,
+    /// Destination IP.
+    pub dst: Ipv4Addr,
+    /// The parsed segment.
+    pub segment: plexus_net::tcp::TcpSegment,
+}
+
+/// How an application wants its handler delivered (§3.3).
+///
+/// Protocol managers *verify* ephemerality before installing at interrupt
+/// level: only a certified [`Ephemeral`] handler can ask for
+/// interrupt-level delivery, so the type system plays the role of the
+/// Modula-3 compiler's `EPHEMERAL` check.
+pub enum AppHandler<T> {
+    /// Run directly in the network interrupt; must be certified ephemeral.
+    Interrupt(Ephemeral<BoxedHandler<T>>),
+    /// Run in a freshly spawned kernel thread per event.
+    Thread(BoxedHandler<T>),
+}
+
+/// A boxed application event handler.
+pub type BoxedHandler<T> = Box<dyn Fn(&mut RaiseCtx<'_>, &T)>;
+
+impl<T> AppHandler<T> {
+    /// Convenience: certify `f` and request interrupt-level delivery.
+    pub fn interrupt<F>(f: F) -> AppHandler<T>
+    where
+        F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
+    {
+        AppHandler::Interrupt(Ephemeral::certify(Box::new(f)))
+    }
+
+    /// Convenience: request thread delivery for `f`.
+    pub fn thread<F>(f: F) -> AppHandler<T>
+    where
+        F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
+    {
+        AppHandler::Thread(Box::new(f))
+    }
+
+    /// True for interrupt-level (certified ephemeral) handlers.
+    pub fn is_ephemeral(&self) -> bool {
+        matches!(self, AppHandler::Interrupt(_))
+    }
+}
+
+/// How the stack's *protocol-layer* handlers are delivered — Figure 5's
+/// two Plexus configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Protocol handlers run at interrupt level as ephemeral procedures.
+    Interrupt,
+    /// Each event raise spawns a kernel thread (paper: "each event raise
+    /// creating a new thread").
+    Thread,
+}
+
+/// Errors surfaced by the Plexus managers.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PlexusError {
+    /// Dynamic linking failed; the extension was rejected (§2).
+    Link(LinkError),
+    /// The requested port already has an implementation bound.
+    PortInUse(u16),
+    /// The requested binding would let the extension receive traffic that
+    /// is not legitimately its own (§3.1's anti-snooping policy).
+    SnoopDenied(&'static str),
+    /// An outgoing packet's source field did not match the sending
+    /// endpoint (§3.1; only possible with [`SourcePolicy::Verify`]).
+    SpoofDetected,
+    /// A capability used after revocation (the owning extension unloaded).
+    Revoked,
+    /// Interrupt-level delivery requested for a handler the manager could
+    /// not verify as ephemeral.
+    NotEphemeral,
+}
+
+impl fmt::Display for PlexusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlexusError::Link(e) => write!(f, "extension rejected by linker: {e}"),
+            PlexusError::PortInUse(p) => write!(f, "port {p} already bound"),
+            PlexusError::SnoopDenied(why) => write!(f, "binding denied (would snoop): {why}"),
+            PlexusError::SpoofDetected => write!(f, "outgoing source field is not the endpoint's"),
+            PlexusError::Revoked => write!(f, "capability revoked"),
+            PlexusError::NotEphemeral => {
+                write!(f, "interrupt-level delivery requires an ephemeral handler")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlexusError {}
+
+impl From<LinkError> for PlexusError {
+    fn from(e: LinkError) -> Self {
+        PlexusError::Link(e)
+    }
+}
+
+/// What a send-side protocol manager does about the packet's source field
+/// (§3.1): overwriting "provides the best performance", verifying "is
+/// useful for debugging protocols".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SourcePolicy {
+    /// Overwrite the source field with the endpoint's legitimate address.
+    #[default]
+    Overwrite,
+    /// Check the source field; reject the packet if it does not match.
+    Verify,
+}

@@ -1,0 +1,44 @@
+//! Unit tests for the shared types (kept out of `types.rs` to keep that
+//! file declaration-only).
+
+#[cfg(test)]
+mod tests {
+    use crate::types::{AppHandler, DispatchMode, PlexusError, SourcePolicy, UdpRecv};
+    use plexus_kernel::domain::LinkError;
+
+    #[test]
+    fn app_handler_classes_report_ephemerality() {
+        let i: AppHandler<UdpRecv> = AppHandler::interrupt(|_, _| {});
+        let t: AppHandler<UdpRecv> = AppHandler::thread(|_, _| {});
+        assert!(i.is_ephemeral());
+        assert!(!t.is_ephemeral());
+    }
+
+    #[test]
+    fn errors_render_usable_messages() {
+        let cases: Vec<(PlexusError, &str)> = vec![
+            (PlexusError::PortInUse(80), "port 80"),
+            (PlexusError::SnoopDenied("x"), "snoop"),
+            (PlexusError::SpoofDetected, "source field"),
+            (PlexusError::Revoked, "revoked"),
+            (PlexusError::NotEphemeral, "ephemeral"),
+            (
+                PlexusError::Link(LinkError::Unresolved(vec!["VM.Map".into()])),
+                "VM.Map",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(
+                text.to_lowercase().contains(&needle.to_lowercase()),
+                "{text:?} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn defaults_are_the_paper_defaults() {
+        assert_eq!(SourcePolicy::default(), SourcePolicy::Overwrite);
+        assert_ne!(DispatchMode::Interrupt, DispatchMode::Thread);
+    }
+}

@@ -1,0 +1,460 @@
+//! The UDP protocol manager (§3.1).
+//!
+//! The manager is the only party that installs handlers on the UDP events;
+//! applications hand it a binding and a handler, and it builds the guard —
+//! so an extension can only ever receive datagrams addressed to its own
+//! port (anti-snooping) and every datagram it sends leaves with its own
+//! source address stamped by the manager (anti-spoofing, "overwrite the
+//! source field ... provides the best performance").
+//!
+//! Two extension mechanisms from the paper live here:
+//!
+//! * **Multiple implementations of one protocol** — a [`UdpConfig`] with
+//!   the checksum disabled makes the binding a *special implementation*:
+//!   the manager installs it as its own node on `Ip.PacketRecv` and
+//!   excludes its port from the standard UDP node's guard, exactly like
+//!   the paper's TCP-standard/TCP-special example.
+//! * **Protocol redirection** (§5.2) — [`UdpManager::redirect`] installs a
+//!   node that rewrites the destination of every datagram for a port and
+//!   re-emits it below the transport layer, fixing the checksum
+//!   incrementally.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use plexus_kernel::dispatcher::{GuardFn, HandlerId, RaiseCtx};
+use plexus_kernel::domain::LinkedExtension;
+use plexus_kernel::view::view;
+use plexus_net::checksum::incremental_update;
+use plexus_net::ip::proto;
+use plexus_net::mbuf::Mbuf;
+use plexus_net::udp::{self, UdpConfig, UdpView, UDP_HDR_LEN};
+use plexus_sim::Engine;
+
+use crate::stack::StackShared;
+use crate::types::{AppHandler, IpRecv, IpSendReq, PlexusError, SourcePolicy, UdpRecv};
+
+/// How a port is occupied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PortUse {
+    Standard,
+    Special,
+    Redirect,
+}
+
+/// The UDP protocol manager for one stack.
+pub struct UdpManager {
+    shared: Rc<StackShared>,
+    ports: RefCell<HashMap<u16, PortUse>>,
+    /// Ports claimed by special implementations or redirects; the standard
+    /// UDP node's guard excludes them.
+    special_ports: Rc<RefCell<HashSet<u16>>>,
+    delivered: Cell<u64>,
+    spoofs_blocked: Cell<u64>,
+    unreachable: Cell<u64>,
+}
+
+impl UdpManager {
+    /// Installs the standard UDP implementation node and returns the
+    /// manager.
+    pub(crate) fn install(shared: &Rc<StackShared>) -> Rc<UdpManager> {
+        let special_ports: Rc<RefCell<HashSet<u16>>> = Rc::new(RefCell::new(HashSet::new()));
+        let mgr = Rc::new(UdpManager {
+            shared: shared.clone(),
+            ports: RefCell::new(HashMap::new()),
+            special_ports: special_ports.clone(),
+            delivered: Cell::new(0),
+            spoofs_blocked: Cell::new(0),
+            unreachable: Cell::new(0),
+        });
+
+        // Standard UDP node: IP payloads whose protocol is UDP and whose
+        // destination port is not claimed by a special implementation.
+        let sp = special_ports.clone();
+        let guard: GuardFn<IpRecv> = Box::new(move |ev: &IpRecv| {
+            if ev.protocol != proto::UDP {
+                return false;
+            }
+            match view::<UdpView>(ev.payload.head()) {
+                Some(v) => !sp.borrow().contains(&v.dst_port()),
+                None => false,
+            }
+        });
+        let s = shared.clone();
+        let m = mgr.clone();
+        shared.install_layer(
+            shared.events.ip_recv,
+            Some(guard),
+            move |ctx, ev: &IpRecv| {
+                let model = ctx.lease.model().clone();
+                ctx.lease.charge(model.udp_proc);
+                ctx.lease.charge(model.checksum(ev.payload.total_len()));
+                let Some(dgram) =
+                    udp::decapsulate(ev.src, ev.dst, UdpConfig::default(), &ev.payload)
+                else {
+                    return;
+                };
+                m.delivered.set(m.delivered.get() + 1);
+                let arg = UdpRecv {
+                    src: ev.src,
+                    dst: ev.dst,
+                    src_port: dgram.src_port,
+                    dst_port: dgram.dst_port,
+                    payload: dgram.payload,
+                };
+                let outcome = s.dispatcher.raise(ctx, s.events.udp_recv, &arg);
+                if outcome.invoked == 0 && arg.dst != Ipv4Addr::BROADCAST {
+                    // No endpoint claimed the datagram: answer with ICMP
+                    // port unreachable (code 3), quoting the offending
+                    // datagram's head, as a period BSD stack would.
+                    m.unreachable.set(m.unreachable.get() + 1);
+                    let mut quoted = ev.payload.to_vec();
+                    quoted.truncate(28);
+                    let msg = plexus_net::icmp::IcmpMessage::unreachable(3, &quoted);
+                    let model = ctx.lease.model().clone();
+                    let reply = Mbuf::from_payload(64, &msg.to_bytes());
+                    ctx.lease.charge(model.checksum(reply.total_len()));
+                    s.raise_ip_send(
+                        ctx,
+                        IpSendReq {
+                            src: s.ip,
+                            dst: ev.src,
+                            protocol: proto::ICMP,
+                            payload: reply,
+                        },
+                    );
+                }
+            },
+        );
+        mgr
+    }
+
+    /// Datagrams the standard node delivered upward.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.get()
+    }
+
+    /// Sends rejected for carrying a forged source (Verify policy).
+    pub fn spoofs_blocked(&self) -> u64 {
+        self.spoofs_blocked.get()
+    }
+
+    /// Datagrams answered with ICMP port unreachable (no endpoint bound).
+    pub fn unreachable_sent(&self) -> u64 {
+        self.unreachable.get()
+    }
+
+    fn claim_port(&self, port: u16, kind: PortUse) -> Result<(), PlexusError> {
+        let mut ports = self.ports.borrow_mut();
+        if ports.contains_key(&port) {
+            return Err(PlexusError::PortInUse(port));
+        }
+        ports.insert(port, kind);
+        Ok(())
+    }
+
+    /// Binds `port` for an application extension.
+    ///
+    /// The *manager* builds the guard (destination port and address match),
+    /// so the handler can only see the endpoint's own traffic. A non-default
+    /// `config` (checksum disabled) installs the binding as a special UDP
+    /// implementation below the standard node.
+    pub fn bind(
+        self: &Rc<Self>,
+        ext: &LinkedExtension,
+        port: u16,
+        config: UdpConfig,
+        handler: AppHandler<UdpRecv>,
+    ) -> Result<Rc<UdpEndpoint>, PlexusError> {
+        let standard = config == UdpConfig::default();
+        self.claim_port(
+            port,
+            if standard {
+                PortUse::Standard
+            } else {
+                PortUse::Special
+            },
+        )?;
+
+        let my_ip = self.shared.ip;
+        let handler_id = if standard {
+            // Endpoint node on Udp.PacketRecv.
+            let guard: GuardFn<UdpRecv> = Box::new(move |ev: &UdpRecv| {
+                ev.dst_port == port && (ev.dst == my_ip || ev.dst == Ipv4Addr::BROADCAST)
+            });
+            self.shared
+                .install_app(self.shared.events.udp_recv, Some(guard), handler)
+        } else {
+            // Special implementation: its own node on Ip.PacketRecv, doing
+            // its own (cheaper) datagram processing.
+            self.special_ports.borrow_mut().insert(port);
+            let guard: GuardFn<IpRecv> = Box::new(move |ev: &IpRecv| {
+                ev.protocol == proto::UDP
+                    && (ev.dst == my_ip || ev.dst == Ipv4Addr::BROADCAST)
+                    && view::<UdpView>(ev.payload.head())
+                        .map(|v| v.dst_port() == port)
+                        .unwrap_or(false)
+            });
+            let wrapped = wrap_special_udp(config, handler);
+            self.shared
+                .install_app(self.shared.events.ip_recv, Some(guard), wrapped)
+        };
+
+        let endpoint = Rc::new(UdpEndpoint {
+            manager: self.clone(),
+            port,
+            config,
+            handler_id,
+            standard,
+            closed: Cell::new(false),
+        });
+        // Unloading the owning extension closes the endpoint. The registry
+        // holds a strong reference: the installation outlives the app's
+        // handle (the dispatcher side is what actually receives), and
+        // `close` is idempotent if the app already closed it.
+        let ep = endpoint.clone();
+        self.shared.register_cleanup(ext, move || ep.close());
+        Ok(endpoint)
+    }
+
+    /// Installs a port redirector (the §5.2 forwarding protocol): every
+    /// datagram arriving for `port` is re-emitted to `new_dst` *below* the
+    /// transport layer, preserving the original source so the protocol's
+    /// end-to-end fields survive. The UDP checksum is fixed incrementally.
+    pub fn redirect(
+        self: &Rc<Self>,
+        _ext: &LinkedExtension,
+        port: u16,
+        new_dst: Ipv4Addr,
+    ) -> Result<HandlerId, PlexusError> {
+        self.claim_port(port, PortUse::Redirect)?;
+        self.special_ports.borrow_mut().insert(port);
+        let shared = self.shared.clone();
+        let guard: GuardFn<IpRecv> = Box::new(move |ev: &IpRecv| {
+            ev.protocol == proto::UDP
+                && view::<UdpView>(ev.payload.head())
+                    .map(|v| v.dst_port() == port)
+                    .unwrap_or(false)
+        });
+        let old_dst = self.shared.ip;
+        Ok(self.shared.install_layer(
+            self.shared.events.ip_recv,
+            Some(guard),
+            move |ctx, ev: &IpRecv| {
+                let model = ctx.lease.model().clone();
+                // Header rewrite + incremental checksum fix: a handful of
+                // loads/stores, modeled as one procedure call.
+                ctx.lease.charge(model.proc_call);
+                let mut fixed = ev.payload.share();
+                fix_udp_checksum_for_dst(&mut fixed, old_dst, new_dst);
+                shared.raise_ip_send(
+                    ctx,
+                    IpSendReq {
+                        src: ev.src, // Preserved: end-to-end semantics hold.
+                        dst: new_dst,
+                        protocol: proto::UDP,
+                        payload: fixed,
+                    },
+                );
+            },
+        ))
+    }
+
+    fn release(&self, port: u16) {
+        self.ports.borrow_mut().remove(&port);
+        self.special_ports.borrow_mut().remove(&port);
+    }
+}
+
+/// Rewrites the UDP checksum for a destination-address change using the
+/// RFC 1624 incremental update (no payload rescan).
+fn fix_udp_checksum_for_dst(m: &mut Mbuf, old_dst: Ipv4Addr, new_dst: Ipv4Addr) {
+    let mut field = [0u8; 2];
+    if !m.read_at(6, &mut field) {
+        return;
+    }
+    let mut check = u16::from_be_bytes(field);
+    if check == 0 {
+        return; // Checksum disabled.
+    }
+    let old = old_dst.octets();
+    let new = new_dst.octets();
+    for i in [0usize, 2] {
+        check = incremental_update(
+            check,
+            u16::from_be_bytes([old[i], old[i + 1]]),
+            u16::from_be_bytes([new[i], new[i + 1]]),
+        );
+    }
+    m.write_at(6, &check.to_be_bytes());
+}
+
+/// Adapts an application's `UdpRecv` handler to run as a special UDP
+/// implementation directly on `Ip.PacketRecv`, preserving its
+/// interrupt/thread class (the certification carries through the adapter —
+/// an ephemeral wrapper around an ephemeral body).
+fn wrap_special_udp(config: UdpConfig, handler: AppHandler<UdpRecv>) -> AppHandler<IpRecv> {
+    let adapt =
+        move |ctx: &mut RaiseCtx<'_>, ev: &IpRecv, inner: &dyn Fn(&mut RaiseCtx<'_>, &UdpRecv)| {
+            let model = ctx.lease.model().clone();
+            ctx.lease.charge(model.udp_proc);
+            if config.checksum {
+                ctx.lease.charge(model.checksum(ev.payload.total_len()));
+            }
+            let Some(dgram) = udp::decapsulate(ev.src, ev.dst, config, &ev.payload) else {
+                return;
+            };
+            let arg = UdpRecv {
+                src: ev.src,
+                dst: ev.dst,
+                src_port: dgram.src_port,
+                dst_port: dgram.dst_port,
+                payload: dgram.payload,
+            };
+            inner(ctx, &arg);
+        };
+    match handler {
+        AppHandler::Interrupt(eph) => {
+            let f = eph.into_inner();
+            AppHandler::interrupt(move |ctx: &mut RaiseCtx<'_>, ev: &IpRecv| {
+                adapt(ctx, ev, &*f);
+            })
+        }
+        AppHandler::Thread(f) => AppHandler::thread(move |ctx: &mut RaiseCtx<'_>, ev: &IpRecv| {
+            adapt(ctx, ev, &*f);
+        }),
+    }
+}
+
+/// A legitimate UDP sending/receiving endpoint (§3.1): the object whose
+/// possession is the right to raise the sends for its port.
+pub struct UdpEndpoint {
+    manager: Rc<UdpManager>,
+    port: u16,
+    config: UdpConfig,
+    handler_id: HandlerId,
+    standard: bool,
+    closed: Cell<bool>,
+}
+
+impl UdpEndpoint {
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Sends `payload` from this endpoint. The source address/port are the
+    /// endpoint's own — the manager stamps them, so spoofing is
+    /// structurally impossible. Use inside an event handler.
+    pub fn send_in(
+        &self,
+        ctx: &mut RaiseCtx<'_>,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Result<(), PlexusError> {
+        self.send_mbuf_in(ctx, dst, dst_port, Mbuf::from_payload(64, payload))
+    }
+
+    /// [`UdpEndpoint::send_in`] taking an existing mbuf (zero-copy path,
+    /// used by the video server to send disk blocks directly).
+    pub fn send_mbuf_in(
+        &self,
+        ctx: &mut RaiseCtx<'_>,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: Mbuf,
+    ) -> Result<(), PlexusError> {
+        if self.closed.get() {
+            return Err(PlexusError::Revoked);
+        }
+        let shared = &self.manager.shared;
+        let model = ctx.lease.model().clone();
+        ctx.lease.charge(model.udp_proc);
+        if self.config.checksum {
+            ctx.lease
+                .charge(model.checksum(payload.total_len() + UDP_HDR_LEN));
+        }
+        let dgram = udp::encapsulate(shared.ip, dst, self.port, dst_port, self.config, payload);
+        shared.raise_ip_send(
+            ctx,
+            IpSendReq {
+                src: shared.ip, // Manager-stamped source (Overwrite policy).
+                dst,
+                protocol: proto::UDP,
+                payload: dgram,
+            },
+        );
+        Ok(())
+    }
+
+    /// Top-level send (opens its own CPU lease): for code running outside
+    /// any event handler, e.g. a benchmark driver kicking off a ping.
+    pub fn send(
+        &self,
+        engine: &mut Engine,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Result<(), PlexusError> {
+        let cpu = self.manager.shared.cpu.clone();
+        let mut lease = cpu.begin(engine.now());
+        let mut ctx = RaiseCtx {
+            engine,
+            lease: &mut lease,
+        };
+        self.send_in(&mut ctx, dst, dst_port, payload)
+    }
+
+    /// Debugging variant with [`SourcePolicy::Verify`] (§3.1): the caller
+    /// *claims* a source address; the manager checks it against the
+    /// endpoint's legitimate address and rejects mismatches.
+    pub fn send_verified(
+        &self,
+        engine: &mut Engine,
+        claimed_src: Ipv4Addr,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: &[u8],
+        policy: SourcePolicy,
+    ) -> Result<(), PlexusError> {
+        if policy == SourcePolicy::Verify && claimed_src != self.manager.shared.ip {
+            self.manager
+                .spoofs_blocked
+                .set(self.manager.spoofs_blocked.get() + 1);
+            return Err(PlexusError::SpoofDetected);
+        }
+        self.send(engine, dst, dst_port, payload)
+    }
+
+    /// Unbinds the endpoint: uninstalls the handler and frees the port
+    /// (runtime adaptation). Idempotent.
+    pub fn close(&self) {
+        if self.closed.replace(true) {
+            return;
+        }
+        let shared = &self.manager.shared;
+        if self.standard {
+            shared
+                .dispatcher
+                .uninstall(shared.events.udp_recv, self.handler_id);
+        } else {
+            shared
+                .dispatcher
+                .uninstall(shared.events.ip_recv, self.handler_id);
+        }
+        self.manager.release(self.port);
+    }
+}
+
+impl std::fmt::Debug for UdpEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpEndpoint")
+            .field("port", &self.port)
+            .field("checksum", &self.config.checksum)
+            .field("closed", &self.closed.get())
+            .finish()
+    }
+}

@@ -1,0 +1,88 @@
+//! Typesafe, revocable capabilities.
+//!
+//! SPIN references kernel resources (domains, endpoints, events) through
+//! typesafe pointers — capabilities — that can be created, copied, and
+//! passed around. Rust references already give us unforgeability; what this
+//! module adds is **revocation**, which Plexus needs for runtime
+//! adaptation: when an application and its extension go away, the kernel
+//! revokes the capabilities it handed out, and any copies an extension
+//! squirreled away stop working.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A revocable handle to a kernel resource of type `T`.
+///
+/// Cloning shares the same revocation root: revoking any clone revokes all.
+pub struct Cap<T> {
+    slot: Rc<RefCell<Option<Rc<T>>>>,
+}
+
+impl<T> Clone for Cap<T> {
+    fn clone(&self) -> Self {
+        Cap {
+            slot: self.slot.clone(),
+        }
+    }
+}
+
+/// Error returned when using a revoked capability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Revoked;
+
+impl fmt::Display for Revoked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "capability has been revoked")
+    }
+}
+
+impl std::error::Error for Revoked {}
+
+impl<T> Cap<T> {
+    /// Wraps `resource` in a fresh capability.
+    pub fn new(resource: Rc<T>) -> Cap<T> {
+        Cap {
+            slot: Rc::new(RefCell::new(Some(resource))),
+        }
+    }
+
+    /// Dereferences the capability.
+    pub fn get(&self) -> Result<Rc<T>, Revoked> {
+        self.slot.borrow().clone().ok_or(Revoked)
+    }
+
+    /// True if the capability is still live.
+    pub fn is_live(&self) -> bool {
+        self.slot.borrow().is_some()
+    }
+
+    /// Revokes this capability and every clone of it. Idempotent.
+    pub fn revoke(&self) {
+        *self.slot.borrow_mut() = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_dereferences_until_revoked() {
+        let cap = Cap::new(Rc::new(41));
+        assert_eq!(*cap.get().unwrap(), 41);
+        assert!(cap.is_live());
+        cap.revoke();
+        assert_eq!(cap.get(), Err(Revoked));
+        assert!(!cap.is_live());
+        cap.revoke(); // Idempotent.
+    }
+
+    #[test]
+    fn revoking_one_clone_revokes_all() {
+        let cap = Cap::new(Rc::new("endpoint"));
+        let stashed = cap.clone();
+        cap.revoke();
+        assert_eq!(stashed.get(), Err(Revoked));
+    }
+}

@@ -1,0 +1,802 @@
+//! The SPIN dynamic event dispatcher (§2).
+//!
+//! Kernel services and extensions *raise* events; extensions *install*
+//! handlers on them. A handler may carry a **guard** — an arbitrary
+//! predicate evaluated by the dispatcher before the handler is invoked — and
+//! Plexus uses guards as packet filters that demultiplex packets through the
+//! protocol graph. More than one handler may be installed on an event; the
+//! overhead of invoking each is roughly one procedure call, which the
+//! dispatcher charges to the caller's [`CpuLease`].
+//!
+//! Handlers are installed in one of two modes, matching Figure 5's bars:
+//!
+//! * [`HandlerMode::Interrupt`] — the handler runs directly in the raising
+//!   context (for receive events, the network interrupt). Only certified
+//!   [`Ephemeral`] handlers may be installed this way, and the installer may
+//!   attach a time limit; an over-budget handler is *terminated* (its CPU
+//!   charge is capped and the termination reported).
+//! * [`HandlerMode::Thread`] — each raise spawns a fresh kernel thread for
+//!   the handler, paying thread-creation and context-switch costs.
+//!
+//! Possession of an [`Event`] handle is the authority to raise and to
+//! install on it — the capability discipline protocol managers rely on to
+//! keep untrusted extensions from touching protocol events directly (§3.1).
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use plexus_sim::engine::Engine;
+use plexus_sim::time::SimDuration;
+use plexus_sim::CpuLease;
+
+use crate::ephemeral::Ephemeral;
+
+/// A guard predicate: packet filter over the event argument.
+pub type GuardFn<T> = Box<dyn Fn(&T) -> bool>;
+
+/// An event handler body.
+pub type HandlerFn<T> = Box<dyn Fn(&mut RaiseCtx<'_>, &T)>;
+
+/// Context passed to handlers: the engine (to schedule follow-up work) and
+/// the open CPU lease (to charge processing costs).
+pub struct RaiseCtx<'a> {
+    /// The discrete-event engine.
+    pub engine: &'a mut Engine,
+    /// The CPU lease of the activity that raised the event.
+    pub lease: &'a mut CpuLease,
+}
+
+/// How a handler is delivered when its event is raised.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandlerMode {
+    /// Run directly in the raiser's (interrupt) context; optionally
+    /// terminated if it exceeds the time limit.
+    Interrupt {
+        /// Allotment after which the dispatcher terminates the handler.
+        time_limit: Option<SimDuration>,
+    },
+    /// Spawn a new kernel thread per raise (Figure 5's "thread" bars).
+    Thread,
+}
+
+/// Identifies an installed handler, for later uninstall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HandlerId(u64);
+
+/// A typed, copyable capability to one event.
+///
+/// Holding an `Event<T>` is the authority to raise it and install handlers
+/// on it. Protocol managers keep their events private and install handlers
+/// on behalf of applications.
+pub struct Event<T> {
+    dispatcher: u64,
+    index: usize,
+    _arg: PhantomData<fn(&T)>,
+}
+
+impl<T> Clone for Event<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Event<T> {}
+
+/// Counters the dispatcher keeps about its own operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Events raised.
+    pub raises: u64,
+    /// Handlers invoked.
+    pub invocations: u64,
+    /// Guards evaluated.
+    pub guard_evals: u64,
+    /// Guards that rejected the argument.
+    pub guard_rejects: u64,
+    /// Ephemeral handlers terminated for exceeding their allotment.
+    pub terminations: u64,
+}
+
+/// One record in the dispatcher's event trace (see
+/// [`Dispatcher::enable_trace`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The raised event's name.
+    pub event: String,
+    /// Simulated instant of the raise (nanoseconds).
+    pub at_ns: u64,
+    /// Handlers invoked.
+    pub invoked: u32,
+    /// Guards that rejected the argument.
+    pub rejected: u32,
+}
+
+/// Result of a single raise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RaiseOutcome {
+    /// Handlers whose guards matched and which were invoked.
+    pub invoked: u32,
+    /// Handlers skipped because their guard rejected the argument.
+    pub rejected: u32,
+    /// Invoked handlers that were terminated over-budget.
+    pub terminated: u32,
+}
+
+struct Entry<T> {
+    id: HandlerId,
+    guard: Option<GuardFn<T>>,
+    handler: HandlerFn<T>,
+    mode: HandlerMode,
+    ephemeral: bool,
+    removed: Cell<bool>,
+}
+
+struct Table<T> {
+    name: String,
+    entries: RefCell<Vec<Rc<Entry<T>>>>,
+}
+
+/// Type-erased view of a [`Table`] for graph introspection.
+trait TableInfo {
+    fn event_name(&self) -> &str;
+    /// `(live handlers, of which guarded)`.
+    fn live_counts(&self) -> (usize, usize);
+}
+
+impl<T> TableInfo for Table<T> {
+    fn event_name(&self) -> &str {
+        &self.name
+    }
+
+    fn live_counts(&self) -> (usize, usize) {
+        let entries = self.entries.borrow();
+        let live = entries.iter().filter(|e| !e.removed.get()).count();
+        let guarded = entries
+            .iter()
+            .filter(|e| !e.removed.get() && e.guard.is_some())
+            .count();
+        (live, guarded)
+    }
+}
+
+/// One row of [`Dispatcher::event_summary`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventSummary {
+    /// The event's name.
+    pub name: String,
+    /// Live handlers installed.
+    pub handlers: usize,
+    /// Of those, how many carry guards (packet filters).
+    pub guarded: usize,
+}
+
+/// The dynamic event dispatcher. One per simulated kernel.
+/// Both facets of a stored table: the typed side (downcast on access) and
+/// the type-erased introspection side.
+type TableSlot = (Rc<dyn Any>, Rc<dyn TableInfo>);
+
+/// The dynamic event dispatcher. One per simulated kernel.
+pub struct Dispatcher {
+    id: u64,
+    tables: RefCell<Vec<TableSlot>>,
+    names: RefCell<HashMap<String, usize>>,
+    next_handler: Cell<u64>,
+    stats: Cell<DispatchStats>,
+    trace: RefCell<Option<TraceRing>>,
+}
+
+struct TraceRing {
+    capacity: usize,
+    entries: std::collections::VecDeque<TraceEntry>,
+}
+
+thread_local! {
+    static NEXT_DISPATCHER: Cell<u64> = const { Cell::new(1) };
+}
+
+impl Dispatcher {
+    /// Creates an empty dispatcher.
+    pub fn new() -> Rc<Dispatcher> {
+        let id = NEXT_DISPATCHER.with(|n| {
+            let v = n.get();
+            n.set(v + 1);
+            v
+        });
+        Rc::new(Dispatcher {
+            id,
+            tables: RefCell::new(Vec::new()),
+            names: RefCell::new(HashMap::new()),
+            next_handler: Cell::new(1),
+            stats: Cell::new(DispatchStats::default()),
+            trace: RefCell::new(None),
+        })
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> DispatchStats {
+        self.stats.get()
+    }
+
+    /// Turns on event tracing with a bounded ring of `capacity` entries
+    /// (oldest entries fall off). Tracing is the kernel-side observability
+    /// tool extensions cannot get any other way — they cannot snoop events
+    /// they are not installed on.
+    pub fn enable_trace(&self, capacity: usize) {
+        *self.trace.borrow_mut() = Some(TraceRing {
+            capacity: capacity.max(1),
+            entries: std::collections::VecDeque::new(),
+        });
+    }
+
+    /// Stops tracing and discards the ring.
+    pub fn disable_trace(&self) {
+        *self.trace.borrow_mut() = None;
+    }
+
+    /// A snapshot of the trace ring, oldest first. Entries are recorded as
+    /// each raise *completes*, so a nested raise (a handler re-raising a
+    /// higher-layer event) appears before its parent — read bottom-up for
+    /// a packet's walk through the graph. Empty when tracing is off.
+    pub fn trace(&self) -> Vec<TraceEntry> {
+        self.trace
+            .borrow()
+            .as_ref()
+            .map(|t| t.entries.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Defines a new event with argument type `T` and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event with this name already exists — events are
+    /// declared once, by the interface that owns them.
+    pub fn define_event<T: 'static>(&self, name: &str) -> Event<T> {
+        let mut names = self.names.borrow_mut();
+        assert!(
+            !names.contains_key(name),
+            "event {name:?} is already defined"
+        );
+        let mut tables = self.tables.borrow_mut();
+        let index = tables.len();
+        let table = Rc::new(Table::<T> {
+            name: name.to_string(),
+            entries: RefCell::new(Vec::new()),
+        });
+        tables.push((table.clone() as Rc<dyn Any>, table as Rc<dyn TableInfo>));
+        names.insert(name.to_string(), index);
+        Event {
+            dispatcher: self.id,
+            index,
+            _arg: PhantomData,
+        }
+    }
+
+    /// The name an event was defined with.
+    pub fn event_name<T: 'static>(&self, event: Event<T>) -> String {
+        self.table(event).name.clone()
+    }
+
+    fn table<T: 'static>(&self, event: Event<T>) -> Rc<Table<T>> {
+        assert_eq!(
+            event.dispatcher, self.id,
+            "event handle belongs to a different dispatcher"
+        );
+        let any = self.tables.borrow()[event.index].0.clone();
+        any.downcast::<Table<T>>()
+            .expect("event argument type mismatch")
+    }
+
+    /// Lists every defined event with its live handler and guard counts —
+    /// the raw material for rendering the protocol graph (Figure 1) from a
+    /// running kernel.
+    pub fn event_summary(&self) -> Vec<EventSummary> {
+        self.tables
+            .borrow()
+            .iter()
+            .map(|(_, info)| {
+                let (handlers, guarded) = info.live_counts();
+                EventSummary {
+                    name: info.event_name().to_string(),
+                    handlers,
+                    guarded,
+                }
+            })
+            .collect()
+    }
+
+    fn push_entry<T: 'static>(
+        &self,
+        event: Event<T>,
+        guard: Option<GuardFn<T>>,
+        handler: HandlerFn<T>,
+        mode: HandlerMode,
+        ephemeral: bool,
+    ) -> HandlerId {
+        let id = HandlerId(self.next_handler.get());
+        self.next_handler.set(id.0 + 1);
+        self.table(event).entries.borrow_mut().push(Rc::new(Entry {
+            id,
+            guard,
+            handler,
+            mode,
+            ephemeral,
+            removed: Cell::new(false),
+        }));
+        id
+    }
+
+    /// Installs a thread-mode handler: each raise spawns a kernel thread
+    /// that runs `handler`.
+    pub fn install_thread<T, F>(
+        &self,
+        event: Event<T>,
+        guard: Option<GuardFn<T>>,
+        handler: F,
+    ) -> HandlerId
+    where
+        T: 'static,
+        F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
+    {
+        self.push_entry(event, guard, Box::new(handler), HandlerMode::Thread, false)
+    }
+
+    /// Installs an interrupt-mode handler. Only certified [`Ephemeral`]
+    /// handlers are accepted — the type-level analogue of the manager
+    /// querying the compiler's `EPHEMERAL` evidence (§3.3). `time_limit`,
+    /// if given, terminates the handler when exceeded.
+    pub fn install_interrupt<T, F>(
+        &self,
+        event: Event<T>,
+        guard: Option<GuardFn<T>>,
+        handler: Ephemeral<F>,
+        time_limit: Option<SimDuration>,
+    ) -> HandlerId
+    where
+        T: 'static,
+        F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
+    {
+        let f = handler.into_inner();
+        self.push_entry(
+            event,
+            guard,
+            Box::new(f),
+            HandlerMode::Interrupt { time_limit },
+            true,
+        )
+    }
+
+    /// Removes a handler. Returns `false` if it was not installed (or was
+    /// already removed). Safe to call from inside a handler.
+    pub fn uninstall<T: 'static>(&self, event: Event<T>, id: HandlerId) -> bool {
+        let table = self.table(event);
+        let entries = table.entries.borrow();
+        for e in entries.iter() {
+            if e.id == id && !e.removed.get() {
+                e.removed.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of live handlers installed on `event`.
+    pub fn handler_count<T: 'static>(&self, event: Event<T>) -> usize {
+        self.table(event)
+            .entries
+            .borrow()
+            .iter()
+            .filter(|e| !e.removed.get())
+            .count()
+    }
+
+    /// Whether the installed handler is certified ephemeral.
+    pub fn is_ephemeral<T: 'static>(&self, event: Event<T>, id: HandlerId) -> Option<bool> {
+        self.table(event)
+            .entries
+            .borrow()
+            .iter()
+            .find(|e| e.id == id && !e.removed.get())
+            .map(|e| e.ephemeral)
+    }
+
+    /// Raises `event` with `arg`: evaluates each live handler's guard and
+    /// invokes the matches, charging dispatch/guard/thread costs to
+    /// `ctx.lease` per the machine's [`plexus_sim::CostModel`].
+    pub fn raise<T: 'static>(
+        &self,
+        ctx: &mut RaiseCtx<'_>,
+        event: Event<T>,
+        arg: &T,
+    ) -> RaiseOutcome {
+        let table = self.table(event);
+        let model = ctx.lease.model().clone();
+        ctx.lease.charge(model.dispatch_raise);
+
+        // Snapshot the entry list so handlers can install/uninstall without
+        // aliasing the `RefCell` borrow; entries removed mid-raise are
+        // skipped via their `removed` flag.
+        let entries: Vec<Rc<Entry<T>>> = table.entries.borrow().iter().cloned().collect();
+
+        let mut outcome = RaiseOutcome::default();
+        let mut stats = self.stats.get();
+        stats.raises += 1;
+
+        for entry in entries {
+            if entry.removed.get() {
+                continue;
+            }
+            if let Some(guard) = &entry.guard {
+                stats.guard_evals += 1;
+                ctx.lease.charge(model.guard_eval);
+                if !guard(arg) {
+                    stats.guard_rejects += 1;
+                    outcome.rejected += 1;
+                    continue;
+                }
+            }
+            if entry.mode == HandlerMode::Thread {
+                ctx.lease.charge(model.thread_spawn + model.context_switch);
+            }
+            ctx.lease.charge(model.dispatch_handler);
+            stats.invocations += 1;
+            outcome.invoked += 1;
+
+            let mark = ctx.lease.mark();
+            // Persist stats before calling out: the handler may re-raise.
+            self.stats.set(stats);
+            (entry.handler)(ctx, arg);
+            stats = self.stats.get();
+
+            if let HandlerMode::Interrupt {
+                time_limit: Some(limit),
+            } = entry.mode
+            {
+                let used = ctx.lease.mark() - mark;
+                if used > limit {
+                    ctx.lease.rollback_to(mark, limit);
+                    stats.terminations += 1;
+                    outcome.terminated += 1;
+                }
+            }
+        }
+        self.stats.set(stats);
+        if let Some(ring) = self.trace.borrow_mut().as_mut() {
+            if ring.entries.len() == ring.capacity {
+                ring.entries.pop_front();
+            }
+            ring.entries.push_back(TraceEntry {
+                event: table.name.clone(),
+                at_ns: ctx.lease.now().as_nanos(),
+                invoked: outcome.invoked,
+                rejected: outcome.rejected,
+            });
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plexus_sim::cpu::{CostModel, Cpu};
+    use plexus_sim::time::SimTime;
+
+    fn ctx_parts() -> (Engine, Rc<Cpu>) {
+        (Engine::new(), Cpu::new(CostModel::alpha_3000_400()))
+    }
+
+    #[test]
+    fn raise_invokes_matching_handlers_in_install_order() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<u32>("Test.Event");
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in ["a", "b"] {
+            let log = log.clone();
+            d.install_thread(ev, None, move |_, arg: &u32| {
+                log.borrow_mut().push(format!("{tag}:{arg}"));
+            });
+        }
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        let out = d.raise(&mut ctx, ev, &7);
+        assert_eq!(out.invoked, 2);
+        assert_eq!(*log.borrow(), vec!["a:7", "b:7"]);
+    }
+
+    #[test]
+    fn guards_filter_delivery() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<u32>("Guarded");
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        d.install_thread(
+            ev,
+            Some(Box::new(|arg: &u32| arg.is_multiple_of(2))),
+            move |_, _| h.set(h.get() + 1),
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        assert_eq!(d.raise(&mut ctx, ev, &4).invoked, 1);
+        let out = d.raise(&mut ctx, ev, &5);
+        assert_eq!(out.invoked, 0);
+        assert_eq!(out.rejected, 1);
+        assert_eq!(hits.get(), 1);
+        assert_eq!(d.stats().guard_rejects, 1);
+    }
+
+    #[test]
+    fn dispatch_costs_are_charged() {
+        let (mut engine, cpu) = ctx_parts();
+        let model = cpu.model().clone();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<u32>("Costed");
+        d.install_thread(ev, Some(Box::new(|_| true)), |_, _| {});
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        d.raise(&mut ctx, ev, &0);
+        let expected = model.dispatch_raise
+            + model.guard_eval
+            + model.thread_spawn
+            + model.context_switch
+            + model.dispatch_handler;
+        assert_eq!(lease.elapsed(), expected);
+    }
+
+    #[test]
+    fn interrupt_mode_skips_thread_costs() {
+        let (mut engine, cpu) = ctx_parts();
+        let model = cpu.model().clone();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<u32>("Fast");
+        d.install_interrupt(
+            ev,
+            None,
+            Ephemeral::certify(|_: &mut RaiseCtx, _: &u32| {}),
+            None,
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        d.raise(&mut ctx, ev, &0);
+        assert_eq!(
+            lease.elapsed(),
+            model.dispatch_raise + model.dispatch_handler
+        );
+    }
+
+    #[test]
+    fn over_budget_ephemeral_handler_is_terminated() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<u32>("Limited");
+        let limit = SimDuration::from_micros(10);
+        d.install_interrupt(
+            ev,
+            None,
+            Ephemeral::certify(|ctx: &mut RaiseCtx, _: &u32| {
+                // A runaway handler: tries to burn 1 ms of interrupt time.
+                ctx.lease.charge(SimDuration::from_millis(1));
+            }),
+            Some(limit),
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let before = lease.mark();
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        let out = d.raise(&mut ctx, ev, &0);
+        assert_eq!(out.terminated, 1);
+        assert_eq!(d.stats().terminations, 1);
+        // The charge is capped at the allotment, not the attempted 1 ms.
+        let model = cpu.model().clone();
+        assert_eq!(
+            lease.mark() - before,
+            model.dispatch_raise + model.dispatch_handler + limit
+        );
+    }
+
+    #[test]
+    fn well_behaved_ephemeral_handler_is_not_terminated() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<u32>("WithinBudget");
+        d.install_interrupt(
+            ev,
+            None,
+            Ephemeral::certify(|ctx: &mut RaiseCtx, _: &u32| {
+                ctx.lease.charge(SimDuration::from_micros(3));
+            }),
+            Some(SimDuration::from_micros(10)),
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        let out = d.raise(&mut ctx, ev, &0);
+        assert_eq!(out.terminated, 0);
+        assert_eq!(out.invoked, 1);
+    }
+
+    #[test]
+    fn uninstalled_handler_stops_firing() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<u32>("Removable");
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        let id = d.install_thread(ev, None, move |_, _| h.set(h.get() + 1));
+        assert_eq!(d.handler_count(ev), 1);
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        d.raise(&mut ctx, ev, &0);
+        assert!(d.uninstall(ev, id));
+        assert!(!d.uninstall(ev, id), "double uninstall must fail");
+        assert_eq!(d.handler_count(ev), 0);
+        d.raise(&mut ctx, ev, &0);
+        assert_eq!(hits.get(), 1);
+    }
+
+    #[test]
+    fn handlers_can_uninstall_themselves_during_raise() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<u32>("SelfRemoving");
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        let d2 = d.clone();
+        let id_cell: Rc<Cell<Option<HandlerId>>> = Rc::new(Cell::new(None));
+        let idc = id_cell.clone();
+        let id = d.install_thread(ev, None, move |_, _| {
+            h.set(h.get() + 1);
+            d2.uninstall(ev, idc.get().expect("id set before raise"));
+        });
+        id_cell.set(Some(id));
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        d.raise(&mut ctx, ev, &0);
+        d.raise(&mut ctx, ev, &0);
+        assert_eq!(hits.get(), 1);
+    }
+
+    #[test]
+    fn handlers_can_raise_other_events_reentrantly() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let outer = d.define_event::<u32>("Outer");
+        let inner = d.define_event::<u32>("Inner");
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        let d2 = d.clone();
+        d.install_thread(outer, None, move |ctx, arg: &u32| {
+            l1.borrow_mut().push(format!("outer:{arg}"));
+            d2.raise(ctx, inner, &(arg + 1));
+        });
+        let l2 = log.clone();
+        d.install_thread(inner, None, move |_, arg: &u32| {
+            l2.borrow_mut().push(format!("inner:{arg}"));
+        });
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        d.raise(&mut ctx, outer, &1);
+        assert_eq!(*log.borrow(), vec!["outer:1", "inner:2"]);
+    }
+
+    #[test]
+    fn ephemerality_is_queryable_by_managers() {
+        let d = Dispatcher::new();
+        let ev = d.define_event::<u32>("Queried");
+        let eph = d.install_interrupt(
+            ev,
+            None,
+            Ephemeral::certify(|_: &mut RaiseCtx, _: &u32| {}),
+            None,
+        );
+        let thr = d.install_thread(ev, None, |_, _| {});
+        assert_eq!(d.is_ephemeral(ev, eph), Some(true));
+        assert_eq!(d.is_ephemeral(ev, thr), Some(false));
+        d.uninstall(ev, eph);
+        assert_eq!(d.is_ephemeral(ev, eph), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn duplicate_event_names_are_rejected() {
+        let d = Dispatcher::new();
+        d.define_event::<u32>("Dup");
+        d.define_event::<u64>("Dup");
+    }
+
+    #[test]
+    #[should_panic(expected = "different dispatcher")]
+    fn foreign_event_handles_are_rejected() {
+        let d1 = Dispatcher::new();
+        let d2 = Dispatcher::new();
+        let ev = d1.define_event::<u32>("Foreign");
+        d2.handler_count(ev);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use plexus_sim::cpu::{CostModel, Cpu};
+    use plexus_sim::time::SimTime;
+
+    fn ctx_parts() -> (Engine, Rc<Cpu>) {
+        (Engine::new(), Cpu::new(CostModel::alpha_3000_400()))
+    }
+
+    #[test]
+    fn trace_records_raises_in_order() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let a = d.define_event::<u32>("Alpha");
+        let b = d.define_event::<u32>("Beta");
+        d.install_thread(a, Some(Box::new(|x: &u32| *x > 0)), |_, _| {});
+        d.install_thread(b, None, |_, _| {});
+        d.enable_trace(8);
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        d.raise(&mut ctx, a, &5);
+        d.raise(&mut ctx, a, &0);
+        d.raise(&mut ctx, b, &1);
+        let trace = d.trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].event, "Alpha");
+        assert_eq!(trace[0].invoked, 1);
+        assert_eq!(trace[1].invoked, 0);
+        assert_eq!(trace[1].rejected, 1);
+        assert_eq!(trace[2].event, "Beta");
+        assert!(trace[2].at_ns >= trace[0].at_ns, "monotone timestamps");
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<u32>("Flood");
+        d.install_thread(ev, None, |_, _| {});
+        d.enable_trace(4);
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        for i in 0..10u32 {
+            d.raise(&mut ctx, ev, &i);
+        }
+        assert_eq!(d.trace().len(), 4, "oldest entries fell off");
+        d.disable_trace();
+        assert!(d.trace().is_empty());
+    }
+}

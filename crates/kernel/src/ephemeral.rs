@@ -1,0 +1,107 @@
+//! The `EPHEMERAL` discipline (§3.3).
+//!
+//! In SPIN, a procedure labeled `EPHEMERAL` may be asynchronously terminated
+//! without damaging important state, and the Modula-3 compiler enforces that
+//! ephemeral procedures call only other ephemeral procedures. Protocol
+//! managers query a handler's ephemerality before letting it run at
+//! interrupt level, and may attach a time limit after which the dispatcher
+//! terminates it.
+//!
+//! Rust has no `EPHEMERAL` keyword, so we mirror the *structure* of the
+//! guarantee with a certification type: an [`Ephemeral<F>`] wraps a value
+//! that has been asserted interrupt-safe. The only ways to obtain one are
+//!
+//! * [`Ephemeral::certify`] — the programmer's explicit assertion, playing
+//!   the role of writing `EPHEMERAL` on the declaration, and
+//! * the composition helpers ([`Ephemeral::map_with`], [`seq`]) — which,
+//!   like the compiler rule, only build ephemeral code out of ephemeral
+//!   pieces.
+//!
+//! Managers require `Ephemeral<…>` in their interrupt-level install APIs,
+//! so a plain closure simply does not typecheck there — the moral
+//! equivalent of Figure 3's `IllegalHandler` failing to compile.
+
+/// A value certified safe to run (and to be terminated) in an interrupt
+/// context: it returns quickly, never blocks, and tolerates premature
+/// termination without violating data-structure invariants.
+#[derive(Clone, Copy, Debug)]
+pub struct Ephemeral<F>(F);
+
+impl<F> Ephemeral<F> {
+    /// Certifies `f` as ephemeral.
+    ///
+    /// This is the programmer's assertion, standing in for SPIN's
+    /// compiler-checked `EPHEMERAL` label: `f` must not block, must return
+    /// quickly, and must keep shared state consistent even if terminated at
+    /// any point.
+    pub fn certify(f: F) -> Ephemeral<F> {
+        Ephemeral(f)
+    }
+
+    /// Borrows the certified value.
+    pub fn get(&self) -> &F {
+        &self.0
+    }
+
+    /// Unwraps the certified value. The ephemerality evidence is lost, so
+    /// the result can no longer be installed at interrupt level.
+    pub fn into_inner(self) -> F {
+        self.0
+    }
+
+    /// Composes with another *ephemeral* function, yielding an ephemeral
+    /// result. Mirrors the compiler rule that ephemeral procedures may call
+    /// only ephemeral procedures: there is no variant of this method that
+    /// accepts an uncertified closure.
+    pub fn map_with<G, H>(self, other: Ephemeral<G>, combine: H) -> Ephemeral<(F, G, H)> {
+        Ephemeral((self.0, other.0, combine))
+    }
+}
+
+/// Sequences two certified handlers over the same argument into one
+/// certified handler: `seq(f, g)` runs `f` then `g`.
+pub fn seq<A, F, G>(f: Ephemeral<F>, g: Ephemeral<G>) -> Ephemeral<impl Fn(&A)>
+where
+    F: Fn(&A),
+    G: Fn(&A),
+{
+    let (f, g) = (f.0, g.0);
+    Ephemeral(move |a: &A| {
+        f(a);
+        g(a);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn certify_and_call() {
+        let hits = Rc::new(Cell::new(0));
+        let h = hits.clone();
+        let eph = Ephemeral::certify(move |n: &i32| h.set(h.get() + n));
+        (eph.get())(&5);
+        assert_eq!(hits.get(), 5);
+    }
+
+    #[test]
+    fn seq_composes_in_order() {
+        let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let (l1, l2) = (log.clone(), log.clone());
+        let a = Ephemeral::certify(move |x: &i32| l1.borrow_mut().push(*x));
+        let b = Ephemeral::certify(move |x: &i32| l2.borrow_mut().push(x * 10));
+        let both = seq(a, b);
+        (both.get())(&3);
+        assert_eq!(*log.borrow(), vec![3, 30]);
+    }
+
+    #[test]
+    fn into_inner_discards_certification() {
+        let eph = Ephemeral::certify(|x: &i32| *x);
+        let plain = eph.into_inner();
+        assert_eq!(plain(&7), 7);
+    }
+}

@@ -1,0 +1,42 @@
+//! # plexus-kernel — the SPIN substrate
+//!
+//! Plexus runs in the context of the SPIN extensible operating system
+//! (§2). This crate reproduces the SPIN services Plexus depends on:
+//!
+//! * [`dispatcher`] — the dynamic event dispatcher: events, guards,
+//!   handlers, interrupt-level vs. thread delivery, termination of
+//!   over-budget ephemeral handlers.
+//! * [`domain`] — logical protection domains, compiler-signed extension
+//!   specs, and safe dynamic linking/unlinking (the "install" problem).
+//! * [`ephemeral`] — the `EPHEMERAL` certification discipline (§3.3).
+//! * [`capability`] — typesafe, revocable handles to kernel resources.
+//! * [`thread`] — simulated kernel threads and wait queues.
+//! * [`vm`] — address spaces and user/kernel boundary costs (used by the
+//!   monolithic baseline).
+//! * [`view`](mod@view) — the `VIEW` operator: safe zero-copy casting of packet
+//!   bytes to typed headers (§3.2).
+//!
+//! The typesafe language itself is played by Rust: extensions are ordinary
+//! Rust values compiled against narrow interfaces, read-only packet access
+//! is `&Mbuf` (§3.4), and the `EPHEMERAL`/`VIEW` extensions are modeled by
+//! the corresponding modules here.
+
+#![warn(missing_docs)]
+
+pub mod capability;
+pub mod dispatcher;
+pub mod domain;
+pub mod ephemeral;
+pub mod thread;
+pub mod view;
+pub mod vm;
+
+pub use capability::Cap;
+pub use dispatcher::{
+    Dispatcher, Event, EventSummary, HandlerId, HandlerMode, RaiseCtx, TraceEntry,
+};
+pub use domain::{Domain, ExtensionSpec, Interface, LinkError, LinkedExtension, Nameserver};
+pub use ephemeral::Ephemeral;
+pub use thread::{Scheduler, WaitQueue};
+pub use view::{view, view_at, WireView};
+pub use vm::AddressSpace;

@@ -1,0 +1,223 @@
+//! Simulated kernel threads and wait queues.
+//!
+//! SPIN delivers most events on "special lightweight kernel threads";
+//! Figure 5's thread bars pay a thread creation plus a context switch per
+//! event. The monolithic baseline additionally blocks *user processes* in
+//! the socket layer and pays process wakeup + context switch on the receive
+//! path. Both cost patterns live here:
+//!
+//! * [`Scheduler::spawn`] — run a closure "in a new thread": charge the
+//!   spawner for thread creation, then run the body under its own CPU lease
+//!   after a context switch.
+//! * [`WaitQueue`] — continuation-passing blocking: a blocked activity
+//!   parks a continuation; `wakeup` charges wakeup + context-switch costs
+//!   and schedules the continuation.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use plexus_sim::engine::Engine;
+use plexus_sim::time::SimTime;
+use plexus_sim::{Cpu, CpuLease};
+
+/// Spawns simulated kernel threads on one machine's CPU.
+pub struct Scheduler {
+    cpu: Rc<Cpu>,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `cpu`.
+    pub fn new(cpu: Rc<Cpu>) -> Scheduler {
+        Scheduler { cpu }
+    }
+
+    /// The CPU this scheduler runs threads on.
+    pub fn cpu(&self) -> &Rc<Cpu> {
+        &self.cpu
+    }
+
+    /// Charges the caller for thread creation and schedules `body` to run
+    /// in its own context (after a context switch) at or after `ready_at`.
+    pub fn spawn<F>(&self, engine: &mut Engine, caller: &mut CpuLease, body: F)
+    where
+        F: FnOnce(&mut Engine, &mut CpuLease) + 'static,
+    {
+        let model = caller.model().clone();
+        caller.charge(model.thread_spawn);
+        let ready_at = caller.now();
+        let cpu = self.cpu.clone();
+        engine.schedule_at(ready_at, move |eng| {
+            let mut lease = cpu.begin(eng.now());
+            lease.charge(model.context_switch);
+            body(eng, &mut lease);
+        });
+    }
+
+    /// Schedules `body` to run at `at` under a fresh CPU lease, with no
+    /// spawn cost (for timer-driven activities like the video frame clock).
+    pub fn at<F>(&self, engine: &mut Engine, at: SimTime, body: F)
+    where
+        F: FnOnce(&mut Engine, &mut CpuLease) + 'static,
+    {
+        let cpu = self.cpu.clone();
+        engine.schedule_at(at, move |eng| {
+            let mut lease = cpu.begin(eng.now());
+            body(eng, &mut lease);
+        });
+    }
+}
+
+/// Continuation passed to [`WaitQueue::block`], resumed with a value.
+pub type Continuation<T> = Box<dyn FnOnce(&mut Engine, &mut CpuLease, T)>;
+
+/// A queue of blocked activities, FIFO.
+pub struct WaitQueue<T> {
+    cpu: Rc<Cpu>,
+    waiters: RefCell<VecDeque<Continuation<T>>>,
+}
+
+impl<T: 'static> WaitQueue<T> {
+    /// Creates an empty wait queue whose wakeups run on `cpu`.
+    pub fn new(cpu: Rc<Cpu>) -> Rc<WaitQueue<T>> {
+        Rc::new(WaitQueue {
+            cpu,
+            waiters: RefCell::new(VecDeque::new()),
+        })
+    }
+
+    /// Number of blocked waiters.
+    pub fn len(&self) -> usize {
+        self.waiters.borrow().len()
+    }
+
+    /// True if nothing is blocked here.
+    pub fn is_empty(&self) -> bool {
+        self.waiters.borrow().is_empty()
+    }
+
+    /// Parks `k` until a wakeup delivers a value to it.
+    pub fn block<F>(&self, k: F)
+    where
+        F: FnOnce(&mut Engine, &mut CpuLease, T) + 'static,
+    {
+        self.waiters.borrow_mut().push_back(Box::new(k));
+    }
+
+    /// Wakes the oldest waiter with `value`, charging the waker for the
+    /// wakeup and the woken activity for its context switch. Returns `false`
+    /// (and drops nothing) if no one is blocked — callers then typically
+    /// buffer the value instead.
+    pub fn wakeup(&self, engine: &mut Engine, waker: &mut CpuLease, value: T) -> bool {
+        let Some(k) = self.waiters.borrow_mut().pop_front() else {
+            return false;
+        };
+        let model = waker.model().clone();
+        waker.charge(model.process_wakeup);
+        let ready_at = waker.now();
+        let cpu = self.cpu.clone();
+        engine.schedule_at(ready_at, move |eng| {
+            let mut lease = cpu.begin(eng.now());
+            lease.charge(model.context_switch);
+            k(eng, &mut lease, value);
+        });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plexus_sim::cpu::CostModel;
+    use plexus_sim::time::SimDuration;
+    use std::cell::Cell;
+
+    #[test]
+    fn spawn_charges_creation_and_switch() {
+        let model = CostModel::alpha_3000_400();
+        let cpu = Cpu::new(model.clone());
+        let sched = Scheduler::new(cpu.clone());
+        let mut engine = Engine::new();
+        let ran_at = Rc::new(Cell::new(0u64));
+        let r = ran_at.clone();
+        {
+            let mut caller = cpu.begin(SimTime::ZERO);
+            sched.spawn(&mut engine, &mut caller, move |eng, lease| {
+                r.set(eng.now().as_nanos());
+                lease.charge(SimDuration::from_micros(1));
+            });
+        }
+        engine.run();
+        // The body starts after spawn cost, then charges a context switch.
+        assert_eq!(ran_at.get(), model.thread_spawn.as_nanos());
+        assert_eq!(
+            cpu.busy(),
+            model.thread_spawn + model.context_switch + SimDuration::from_micros(1)
+        );
+    }
+
+    #[test]
+    fn wait_queue_resumes_in_fifo_order() {
+        let cpu = Cpu::new(CostModel::alpha_3000_400());
+        let wq = WaitQueue::<u32>::new(cpu.clone());
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in [1u32, 2] {
+            let log = log.clone();
+            wq.block(move |_, _, v| log.borrow_mut().push((tag, v)));
+        }
+        assert_eq!(wq.len(), 2);
+        let mut engine = Engine::new();
+        {
+            let mut waker = cpu.begin(SimTime::ZERO);
+            assert!(wq.wakeup(&mut engine, &mut waker, 10));
+            assert!(wq.wakeup(&mut engine, &mut waker, 20));
+            assert!(!wq.wakeup(&mut engine, &mut waker, 30));
+        }
+        engine.run();
+        assert_eq!(*log.borrow(), vec![(1, 10), (2, 20)]);
+        assert!(wq.is_empty());
+    }
+
+    #[test]
+    fn wakeup_charges_both_sides() {
+        let model = CostModel::alpha_3000_400();
+        let cpu = Cpu::new(model.clone());
+        let wq = WaitQueue::<()>::new(cpu.clone());
+        wq.block(|_, _, ()| {});
+        let mut engine = Engine::new();
+        {
+            let mut waker = cpu.begin(SimTime::ZERO);
+            wq.wakeup(&mut engine, &mut waker, ());
+        }
+        engine.run();
+        assert_eq!(cpu.busy(), model.process_wakeup + model.context_switch);
+    }
+}
+
+#[cfg(test)]
+mod at_tests {
+    use super::*;
+    use plexus_sim::cpu::CostModel;
+    use plexus_sim::time::SimDuration;
+    use std::cell::Cell;
+
+    #[test]
+    fn at_runs_the_body_under_a_fresh_lease_without_spawn_cost() {
+        let model = CostModel::alpha_3000_400();
+        let cpu = Cpu::new(model.clone());
+        let sched = Scheduler::new(cpu.clone());
+        assert!(Rc::ptr_eq(sched.cpu(), &cpu));
+        let mut engine = Engine::new();
+        let ran = Rc::new(Cell::new(false));
+        let r = ran.clone();
+        sched.at(&mut engine, SimTime::from_micros(40), move |eng, lease| {
+            assert_eq!(eng.now().as_micros(), 40);
+            lease.charge(SimDuration::from_micros(2));
+            r.set(true);
+        });
+        engine.run();
+        assert!(ran.get());
+        // Only the body's own work is charged — no spawn, no switch.
+        assert_eq!(cpu.busy(), SimDuration::from_micros(2));
+    }
+}

@@ -1,0 +1,144 @@
+//! The `VIEW` operator (§3.2).
+//!
+//! Guards and handlers must cast a packet — an array of bytes — into more
+//! specific types ("an Ethernet header followed by an IP header…") without
+//! copying and without unsafe loopholes. The paper extends Modula-3 with
+//! `VIEW(a, T)`, which reinterprets a byte array's bit pattern as a
+//! restricted type `T` (scalars and aggregates of scalars).
+//!
+//! The Rust analogue: a [`WireView`] is a zero-copy wrapper over a borrowed
+//! byte slice with typed, endian-correct accessors. [`view`] performs the
+//! checked cast: it fails (returns `None`) when the slice is too short, and
+//! succeeds without touching the bytes otherwise. No `unsafe` anywhere —
+//! exactly the guarantee `VIEW` gives Modula-3 code.
+//!
+//! Header types in `plexus-net` implement `WireView`; the helpers here
+//! ([`be16`], [`be32`], [`put_be16`], …) keep those implementations free of
+//! index arithmetic mistakes by panicking loudly in tests.
+
+/// A zero-copy typed view over a byte slice.
+///
+/// Implementors wrap `&'a [u8]` and expose getters; `WIRE_SIZE` is the
+/// minimum number of bytes the view needs. Construction goes through
+/// [`view`], which enforces the length check, so getters may assume
+/// `WIRE_SIZE` bytes are present.
+pub trait WireView<'a>: Sized {
+    /// Minimum bytes this view requires.
+    const WIRE_SIZE: usize;
+
+    /// Wraps the slice. Called only with `bytes.len() >= WIRE_SIZE`.
+    fn from_prefix(bytes: &'a [u8]) -> Self;
+}
+
+/// `VIEW(bytes, T)`: reinterpret the front of `bytes` as a `T`, without
+/// copying. Returns `None` if the slice is shorter than `T::WIRE_SIZE`.
+///
+/// # Examples
+///
+/// ```
+/// use plexus_kernel::view::{view, WireView};
+///
+/// struct Pair<'a>(&'a [u8]);
+/// impl<'a> WireView<'a> for Pair<'a> {
+///     const WIRE_SIZE: usize = 2;
+///     fn from_prefix(bytes: &'a [u8]) -> Self { Pair(bytes) }
+/// }
+///
+/// let data = [7u8, 9, 99];
+/// let p: Pair = view(&data).unwrap();
+/// assert_eq!(p.0[0], 7);
+/// assert!(view::<Pair>(&data[..1]).is_none());
+/// ```
+pub fn view<'a, T: WireView<'a>>(bytes: &'a [u8]) -> Option<T> {
+    if bytes.len() >= T::WIRE_SIZE {
+        Some(T::from_prefix(bytes))
+    } else {
+        None
+    }
+}
+
+/// Views the slice starting at `offset` — `VIEW` after skipping an outer
+/// header.
+pub fn view_at<'a, T: WireView<'a>>(bytes: &'a [u8], offset: usize) -> Option<T> {
+    bytes.get(offset..).and_then(view)
+}
+
+/// Reads a network-order (big-endian) `u16` at `off`.
+pub fn be16(bytes: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([bytes[off], bytes[off + 1]])
+}
+
+/// Reads a network-order `u32` at `off`.
+pub fn be32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+}
+
+/// Writes a network-order `u16` at `off`.
+pub fn put_be16(bytes: &mut [u8], off: usize, val: u16) {
+    bytes[off..off + 2].copy_from_slice(&val.to_be_bytes());
+}
+
+/// Writes a network-order `u32` at `off`.
+pub fn put_be32(bytes: &mut [u8], off: usize, val: u32) {
+    bytes[off..off + 4].copy_from_slice(&val.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy header: 2-byte type, 4-byte id.
+    struct Toy<'a>(&'a [u8]);
+
+    impl<'a> WireView<'a> for Toy<'a> {
+        const WIRE_SIZE: usize = 6;
+        fn from_prefix(bytes: &'a [u8]) -> Self {
+            Toy(bytes)
+        }
+    }
+
+    impl Toy<'_> {
+        fn kind(&self) -> u16 {
+            be16(self.0, 0)
+        }
+        fn id(&self) -> u32 {
+            be32(self.0, 2)
+        }
+    }
+
+    #[test]
+    fn view_reads_network_order_without_copying() {
+        let wire = [0x08, 0x00, 0xDE, 0xAD, 0xBE, 0xEF, 0xFF];
+        let toy: Toy = view(&wire).expect("long enough");
+        assert_eq!(toy.kind(), 0x0800);
+        assert_eq!(toy.id(), 0xDEAD_BEEF);
+        // Zero-copy: the view borrows the original storage.
+        assert!(std::ptr::eq(toy.0.as_ptr(), wire.as_ptr()));
+    }
+
+    #[test]
+    fn short_slices_are_rejected_not_panicked() {
+        let wire = [1u8, 2, 3];
+        assert!(view::<Toy>(&wire).is_none());
+        assert!(view::<Toy>(&[]).is_none());
+    }
+
+    #[test]
+    fn view_at_skips_outer_headers() {
+        let mut wire = vec![0u8; 10];
+        wire[4..6].copy_from_slice(&0x1234u16.to_be_bytes());
+        let toy: Toy = view_at(&wire, 4).expect("6 bytes remain");
+        assert_eq!(toy.kind(), 0x1234);
+        assert!(view_at::<Toy>(&wire, 5).is_none());
+        assert!(view_at::<Toy>(&wire, 64).is_none(), "offset past end");
+    }
+
+    #[test]
+    fn put_and_get_round_trip() {
+        let mut buf = [0u8; 8];
+        put_be16(&mut buf, 1, 0xABCD);
+        put_be32(&mut buf, 3, 0x01020304);
+        assert_eq!(be16(&buf, 1), 0xABCD);
+        assert_eq!(be32(&buf, 3), 0x01020304);
+    }
+}

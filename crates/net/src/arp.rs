@@ -1,0 +1,253 @@
+//! ARP: IPv4-over-Ethernet address resolution.
+//!
+//! One of the first-level nodes in Figure 1's protocol graph (the guard
+//! `eth.type == ARP?` routes frames here). Provides packet build/parse and
+//! a cache with pending-queue semantics: datagrams sent to an unresolved
+//! address wait until the reply arrives.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use plexus_kernel::view::{be16, put_be16, WireView};
+
+use crate::ether::MacAddr;
+
+/// ARP packet length for IPv4 over Ethernet.
+pub const ARP_LEN: usize = 28;
+
+/// ARP operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has.
+    Request,
+    /// Is-at.
+    Reply,
+}
+
+/// A parsed ARP packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Builds a who-has request.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr([0; 6]),
+            target_ip,
+        }
+    }
+
+    /// Builds the reply answering `req` on behalf of `my_mac`/`my_ip`.
+    pub fn reply_to(req: &ArpPacket, my_mac: MacAddr, my_ip: Ipv4Addr) -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: my_mac,
+            sender_ip: my_ip,
+            target_mac: req.sender_mac,
+            target_ip: req.sender_ip,
+        }
+    }
+
+    /// Serializes to wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = vec![0u8; ARP_LEN];
+        put_be16(&mut b, 0, 1); // Hardware: Ethernet.
+        put_be16(&mut b, 2, 0x0800); // Protocol: IPv4.
+        b[4] = 6; // MAC length.
+        b[5] = 4; // IPv4 length.
+        put_be16(
+            &mut b,
+            6,
+            match self.op {
+                ArpOp::Request => 1,
+                ArpOp::Reply => 2,
+            },
+        );
+        b[8..14].copy_from_slice(&self.sender_mac.0);
+        b[14..18].copy_from_slice(&self.sender_ip.octets());
+        b[18..24].copy_from_slice(&self.target_mac.0);
+        b[24..28].copy_from_slice(&self.target_ip.octets());
+        b
+    }
+
+    /// Parses from wire format. Returns `None` for malformed or non
+    /// IPv4-over-Ethernet packets.
+    pub fn parse(bytes: &[u8]) -> Option<ArpPacket> {
+        let v: ArpRawView = plexus_kernel::view::view(bytes)?;
+        v.decode()
+    }
+}
+
+/// Raw zero-copy view used by [`ArpPacket::parse`].
+struct ArpRawView<'a>(&'a [u8]);
+
+impl<'a> WireView<'a> for ArpRawView<'a> {
+    const WIRE_SIZE: usize = ARP_LEN;
+    fn from_prefix(bytes: &'a [u8]) -> Self {
+        ArpRawView(bytes)
+    }
+}
+
+impl ArpRawView<'_> {
+    fn decode(&self) -> Option<ArpPacket> {
+        let b = self.0;
+        if be16(b, 0) != 1 || be16(b, 2) != 0x0800 || b[4] != 6 || b[5] != 4 {
+            return None;
+        }
+        let op = match be16(b, 6) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            _ => return None,
+        };
+        Some(ArpPacket {
+            op,
+            sender_mac: MacAddr(b[8..14].try_into().expect("fixed slice")),
+            sender_ip: Ipv4Addr::new(b[14], b[15], b[16], b[17]),
+            target_mac: MacAddr(b[18..24].try_into().expect("fixed slice")),
+            target_ip: Ipv4Addr::new(b[24], b[25], b[26], b[27]),
+        })
+    }
+}
+
+/// Result of asking the cache to resolve an address.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// The MAC is known.
+    Known(MacAddr),
+    /// Unknown; the caller should broadcast a request (only `true` the
+    /// first time per address while unresolved, to suppress request storms).
+    NeedsRequest(bool),
+}
+
+/// The ARP cache with entry expiry.
+pub struct ArpCache {
+    entries: HashMap<Ipv4Addr, (MacAddr, u64)>,
+    pending: HashMap<Ipv4Addr, u64>,
+    /// Entry lifetime in nanoseconds (default 20 minutes, as in BSD).
+    pub ttl_ns: u64,
+}
+
+impl Default for ArpCache {
+    fn default() -> Self {
+        ArpCache::new()
+    }
+}
+
+impl ArpCache {
+    /// Creates an empty cache.
+    pub fn new() -> ArpCache {
+        ArpCache {
+            entries: HashMap::new(),
+            pending: HashMap::new(),
+            ttl_ns: 20 * 60 * 1_000_000_000,
+        }
+    }
+
+    /// Looks up `ip`, or notes that a request is needed.
+    pub fn resolve(&mut self, ip: Ipv4Addr, now_ns: u64) -> Resolution {
+        if let Some((mac, stamped)) = self.entries.get(&ip) {
+            if now_ns.saturating_sub(*stamped) < self.ttl_ns {
+                return Resolution::Known(*mac);
+            }
+            self.entries.remove(&ip);
+        }
+        let first = !self.pending.contains_key(&ip);
+        self.pending.insert(ip, now_ns);
+        Resolution::NeedsRequest(first)
+    }
+
+    /// Learns a binding (from a reply, or opportunistically from a
+    /// request's sender fields). Returns `true` if it satisfied a pending
+    /// resolution.
+    pub fn learn(&mut self, ip: Ipv4Addr, mac: MacAddr, now_ns: u64) -> bool {
+        self.entries.insert(ip, (mac, now_ns));
+        self.pending.remove(&ip).is_some()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let req = ArpPacket::request(MacAddr::local(1), ip(1), ip(2));
+        let parsed = ArpPacket::parse(&req.to_bytes()).expect("well-formed");
+        assert_eq!(parsed, req);
+        let rep = ArpPacket::reply_to(&parsed, MacAddr::local(2), ip(2));
+        let parsed_rep = ArpPacket::parse(&rep.to_bytes()).expect("well-formed");
+        assert_eq!(parsed_rep.op, ArpOp::Reply);
+        assert_eq!(parsed_rep.sender_mac, MacAddr::local(2));
+        assert_eq!(parsed_rep.target_mac, MacAddr::local(1));
+        assert_eq!(parsed_rep.target_ip, ip(1));
+    }
+
+    #[test]
+    fn malformed_packets_are_rejected() {
+        assert!(ArpPacket::parse(&[0u8; 10]).is_none(), "too short");
+        let mut bad = ArpPacket::request(MacAddr::local(1), ip(1), ip(2)).to_bytes();
+        bad[1] = 99; // Wrong hardware type.
+        assert!(ArpPacket::parse(&bad).is_none());
+        let mut badop = ArpPacket::request(MacAddr::local(1), ip(1), ip(2)).to_bytes();
+        badop[7] = 9; // Unknown op.
+        assert!(ArpPacket::parse(&badop).is_none());
+    }
+
+    #[test]
+    fn cache_resolves_after_learning() {
+        let mut cache = ArpCache::new();
+        assert_eq!(cache.resolve(ip(9), 0), Resolution::NeedsRequest(true));
+        // Second ask while pending must not re-broadcast.
+        assert_eq!(cache.resolve(ip(9), 10), Resolution::NeedsRequest(false));
+        assert!(cache.learn(ip(9), MacAddr::local(9), 20));
+        assert_eq!(
+            cache.resolve(ip(9), 30),
+            Resolution::Known(MacAddr::local(9))
+        );
+        assert!(
+            !cache.learn(ip(9), MacAddr::local(9), 40),
+            "not pending now"
+        );
+    }
+
+    #[test]
+    fn entries_expire_after_ttl() {
+        let mut cache = ArpCache::new();
+        cache.ttl_ns = 1_000;
+        cache.learn(ip(1), MacAddr::local(1), 0);
+        assert_eq!(
+            cache.resolve(ip(1), 500),
+            Resolution::Known(MacAddr::local(1))
+        );
+        assert_eq!(cache.resolve(ip(1), 1_500), Resolution::NeedsRequest(true));
+        assert!(cache.is_empty());
+    }
+}

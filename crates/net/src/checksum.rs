@@ -1,0 +1,165 @@
+//! The Internet checksum (RFC 1071) and incremental updates (RFC 1624).
+//!
+//! Used by IP (header), ICMP (whole message), UDP and TCP (pseudo-header +
+//! payload; UDP's may be disabled, which is exactly the application-
+//! specific optimization §1.1 motivates for audio/video). The forwarding
+//! extension (§5.2) uses the incremental form to fix up checksums after
+//! rewriting addresses without rescanning the payload.
+
+use crate::mbuf::Mbuf;
+
+/// Accumulates the one's-complement sum incrementally.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Checksum {
+    sum: u32,
+    /// True if an odd byte is pending (affects alignment of the next chunk).
+    odd: bool,
+    pending: u8,
+}
+
+impl Checksum {
+    /// Starts an empty sum.
+    pub fn new() -> Checksum {
+        Checksum::default()
+    }
+
+    /// Feeds bytes into the sum, handling odd-length chunks across calls.
+    pub fn add(&mut self, bytes: &[u8]) -> &mut Self {
+        let mut i = 0;
+        if self.odd && !bytes.is_empty() {
+            self.sum += u16::from_be_bytes([self.pending, bytes[0]]) as u32;
+            self.odd = false;
+            i = 1;
+        }
+        while i + 1 < bytes.len() {
+            self.sum += u16::from_be_bytes([bytes[i], bytes[i + 1]]) as u32;
+            i += 2;
+        }
+        if i < bytes.len() {
+            self.pending = bytes[i];
+            self.odd = true;
+        }
+        self
+    }
+
+    /// Feeds a big-endian `u16`.
+    pub fn add_u16(&mut self, v: u16) -> &mut Self {
+        self.add(&v.to_be_bytes())
+    }
+
+    /// Feeds a big-endian `u32`.
+    pub fn add_u32(&mut self, v: u32) -> &mut Self {
+        self.add(&v.to_be_bytes())
+    }
+
+    /// Folds and complements, producing the wire checksum value.
+    pub fn finish(&self) -> u16 {
+        let mut sum = self.sum;
+        if self.odd {
+            sum += u16::from_be_bytes([self.pending, 0]) as u32;
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+/// One-shot checksum of a contiguous buffer.
+pub fn checksum(bytes: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add(bytes);
+    c.finish()
+}
+
+/// Checksum of an mbuf chain's payload (segment boundaries may fall on odd
+/// offsets; the accumulator handles that).
+pub fn checksum_mbuf(m: &Mbuf) -> u16 {
+    let mut c = Checksum::new();
+    for seg in m.segments() {
+        c.add(seg);
+    }
+    c.finish()
+}
+
+/// Verifies a buffer whose checksum field is *included*: the sum over
+/// everything must be zero.
+pub fn verify(bytes: &[u8]) -> bool {
+    checksum(bytes) == 0
+}
+
+/// RFC 1624 incremental update: given the old checksum and a 16-bit field
+/// change `old -> new`, returns the new checksum without rescanning.
+pub fn incremental_update(check: u16, old: u16, new: u16) -> u16 {
+    // HC' = ~(~HC + ~m + m') (RFC 1624 eqn. 3).
+    let mut sum = (!check as u32) + (!old as u32) + new as u32;
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // RFC 1071 §3 example data.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum = 0xddf2, checksum = ~0xddf2 = 0x220d.
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn checksum_of_message_including_its_checksum_is_zero() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0xab, 0xcd, 0x00, 0x00];
+        let c = checksum(&data);
+        data.extend_from_slice(&c.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 1;
+        assert!(!verify(&data), "corruption must be detected");
+    }
+
+    #[test]
+    fn odd_length_handled() {
+        let data = [1u8, 2, 3];
+        // 0x0102 + 0x0300 = 0x0402 -> ~ = 0xfbfd.
+        assert_eq!(checksum(&data), 0xfbfd);
+    }
+
+    #[test]
+    fn chunked_feeding_matches_one_shot() {
+        let data: Vec<u8> = (0..=254).collect();
+        for split in [1usize, 2, 7, 128, 253] {
+            let mut c = Checksum::new();
+            c.add(&data[..split]).add(&data[split..]);
+            assert_eq!(c.finish(), checksum(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn mbuf_chain_matches_linearized() {
+        let data: Vec<u8> = (0u16..5001).map(|x| (x * 7) as u8).collect();
+        let m = Mbuf::from_payload(13, &data);
+        assert!(m.segment_count() > 1);
+        assert_eq!(checksum_mbuf(&m), checksum(&data));
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        let mut data = vec![0u8; 20];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i * 31) as u8;
+        }
+        let old_field = u16::from_be_bytes([data[4], data[5]]);
+        let old_check = checksum(&data);
+        let new_field: u16 = 0xBEEF;
+        data[4..6].copy_from_slice(&new_field.to_be_bytes());
+        let recomputed = checksum(&data);
+        assert_eq!(
+            incremental_update(old_check, old_field, new_field),
+            recomputed
+        );
+    }
+}

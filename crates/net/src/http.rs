@@ -1,0 +1,156 @@
+//! Minimal HTTP/1.0, for the paper's HTTP demonstration (§7: "a
+//! demonstration of the protocol stack as it services HTTP requests").
+//!
+//! Request parsing tolerates incremental arrival (byte streams from TCP);
+//! responses are built with correct `Content-Length` framing.
+
+use std::collections::BTreeMap;
+
+/// An HTTP request line + headers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Method (`GET`, `HEAD`, …).
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Protocol version string (e.g. `HTTP/1.0`).
+    pub version: String,
+    /// Header fields, lower-cased names.
+    pub headers: BTreeMap<String, String>,
+}
+
+/// Result of feeding bytes to [`parse_request`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// Need more bytes; the head terminator has not arrived.
+    Incomplete,
+    /// Parsed; `consumed` bytes belonged to the head.
+    Complete {
+        /// The request.
+        request: Request,
+        /// Bytes consumed from the input.
+        consumed: usize,
+    },
+    /// The bytes do not form an HTTP request head.
+    Malformed,
+}
+
+/// Parses a request head from the front of `buf` (which may hold more).
+pub fn parse_request(buf: &[u8]) -> ParseOutcome {
+    let Some(end) = find_head_end(buf) else {
+        return ParseOutcome::Incomplete;
+    };
+    let head = match std::str::from_utf8(&buf[..end]) {
+        Ok(s) => s,
+        Err(_) => return ParseOutcome::Malformed,
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ParseOutcome::Malformed;
+    };
+    if !version.starts_with("HTTP/") {
+        return ParseOutcome::Malformed;
+    }
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ParseOutcome::Malformed;
+        };
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+    ParseOutcome::Complete {
+        request: Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            version: version.to_string(),
+            headers,
+        },
+        consumed: end + 4,
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Builds a response with status line, `Content-Length`, and body.
+pub fn build_response(status: u16, reason: &str, content_type: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.0 {status} {reason}\r\nServer: plexus\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Parses a response into `(status, body)` — enough for test clients.
+pub fn parse_response(bytes: &[u8]) -> Option<(u16, Vec<u8>)> {
+    let end = find_head_end(bytes)?;
+    let head = std::str::from_utf8(&bytes[..end]).ok()?;
+    let status_line = head.split("\r\n").next()?;
+    let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    Some((status, bytes[end + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let raw = b"GET /index.html HTTP/1.0\r\nHost: spin.cs.washington.edu\r\nAccept: */*\r\n\r\nTRAILING";
+        match parse_request(raw) {
+            ParseOutcome::Complete { request, consumed } => {
+                assert_eq!(request.method, "GET");
+                assert_eq!(request.path, "/index.html");
+                assert_eq!(request.version, "HTTP/1.0");
+                assert_eq!(
+                    request.headers.get("host").map(String::as_str),
+                    Some("spin.cs.washington.edu")
+                );
+                assert_eq!(&raw[consumed..], b"TRAILING");
+            }
+            other => panic!("expected complete parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_request_is_incomplete() {
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.0\r\nHost: x"),
+            ParseOutcome::Incomplete
+        );
+        assert_eq!(parse_request(b""), ParseOutcome::Incomplete);
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        assert_eq!(parse_request(b"NOT HTTP\r\n\r\n"), ParseOutcome::Malformed);
+        assert_eq!(
+            parse_request(b"GET /x BADPROTO/9\r\n\r\n"),
+            ParseOutcome::Malformed
+        );
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.0\r\nbad header line\r\n\r\n"),
+            ParseOutcome::Malformed
+        );
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let body = b"<html>SPIN</html>";
+        let resp = build_response(200, "OK", "text/html", body);
+        let (status, got) = parse_response(&resp).expect("parseable");
+        assert_eq!(status, 200);
+        assert_eq!(got, body);
+        let text = String::from_utf8(resp).unwrap();
+        assert!(text.contains("Content-Length: 17"));
+    }
+}

@@ -1,0 +1,551 @@
+//! IPv4: header handling, fragmentation/reassembly, and routing.
+//!
+//! The middle of Figure 1's protocol graph. Both the Plexus graph and the
+//! monolithic baseline call into this module, mirroring the paper's "same
+//! TCP/IP implementation" methodology.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use plexus_kernel::view::{be16, be32, put_be16, WireView};
+
+use crate::checksum::checksum;
+use crate::mbuf::Mbuf;
+
+/// IP protocol numbers.
+pub mod proto {
+    /// ICMP.
+    pub const ICMP: u8 = 1;
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+}
+
+/// Length of an IPv4 header without options.
+pub const IP_HDR_LEN: usize = 20;
+
+/// Default initial TTL.
+pub const DEFAULT_TTL: u8 = 64;
+
+/// Zero-copy view of an IPv4 header.
+pub struct IpView<'a>(&'a [u8]);
+
+impl<'a> WireView<'a> for IpView<'a> {
+    const WIRE_SIZE: usize = IP_HDR_LEN;
+    fn from_prefix(bytes: &'a [u8]) -> Self {
+        IpView(bytes)
+    }
+}
+
+impl IpView<'_> {
+    /// IP version (must be 4).
+    pub fn version(&self) -> u8 {
+        self.0[0] >> 4
+    }
+
+    /// Header length in bytes.
+    pub fn header_len(&self) -> usize {
+        ((self.0[0] & 0x0F) as usize) * 4
+    }
+
+    /// Total datagram length (header + payload).
+    pub fn total_len(&self) -> usize {
+        be16(self.0, 2) as usize
+    }
+
+    /// Identification field (fragment grouping).
+    pub fn ident(&self) -> u16 {
+        be16(self.0, 4)
+    }
+
+    /// True if the More Fragments flag is set.
+    pub fn more_fragments(&self) -> bool {
+        self.0[6] & 0x20 != 0
+    }
+
+    /// True if the Don't Fragment flag is set.
+    pub fn dont_fragment(&self) -> bool {
+        self.0[6] & 0x40 != 0
+    }
+
+    /// Fragment offset in bytes.
+    pub fn frag_offset(&self) -> usize {
+        ((be16(self.0, 6) & 0x1FFF) as usize) * 8
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.0[8]
+    }
+
+    /// Payload protocol number.
+    pub fn protocol(&self) -> u8 {
+        self.0[9]
+    }
+
+    /// Header checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        be16(self.0, 10)
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4Addr {
+        Ipv4Addr::from(be32(self.0, 12))
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        Ipv4Addr::from(be32(self.0, 16))
+    }
+
+    /// Verifies the header checksum.
+    pub fn checksum_ok(&self) -> bool {
+        checksum(&self.0[..IP_HDR_LEN]) == 0
+    }
+
+    /// True if this datagram is a fragment (not the whole).
+    pub fn is_fragment(&self) -> bool {
+        self.more_fragments() || self.frag_offset() != 0
+    }
+}
+
+/// The header fields a sender chooses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IpHeader {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol.
+    pub protocol: u8,
+    /// Identification (for fragment grouping).
+    pub ident: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// More-fragments flag.
+    pub more_fragments: bool,
+    /// Fragment offset in bytes (multiple of 8 unless last).
+    pub frag_offset: usize,
+}
+
+impl IpHeader {
+    /// A whole (unfragmented) datagram header.
+    pub fn simple(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, ident: u16) -> IpHeader {
+        IpHeader {
+            src,
+            dst,
+            protocol,
+            ident,
+            ttl: DEFAULT_TTL,
+            more_fragments: false,
+            frag_offset: 0,
+        }
+    }
+}
+
+/// Writes a 20-byte IPv4 header (with correct checksum) into `buf`.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than [`IP_HDR_LEN`] or the fragment offset is
+/// not a multiple of 8.
+pub fn write_header(buf: &mut [u8], hdr: &IpHeader, payload_len: usize) {
+    assert!(buf.len() >= IP_HDR_LEN);
+    assert_eq!(hdr.frag_offset % 8, 0, "fragment offset must be 8-aligned");
+    buf[0] = 0x45; // Version 4, IHL 5.
+    buf[1] = 0; // TOS.
+    put_be16(buf, 2, (IP_HDR_LEN + payload_len) as u16);
+    put_be16(buf, 4, hdr.ident);
+    let flags_frag = ((hdr.more_fragments as u16) << 13) | ((hdr.frag_offset / 8) as u16 & 0x1FFF);
+    put_be16(buf, 6, flags_frag);
+    buf[8] = hdr.ttl;
+    buf[9] = hdr.protocol;
+    put_be16(buf, 10, 0);
+    buf[12..16].copy_from_slice(&hdr.src.octets());
+    buf[16..20].copy_from_slice(&hdr.dst.octets());
+    let c = checksum(&buf[..IP_HDR_LEN]);
+    put_be16(buf, 10, c);
+}
+
+/// Prepends an IP header onto `payload`, producing the datagram.
+pub fn encapsulate(hdr: &IpHeader, mut payload: Mbuf) -> Mbuf {
+    let len = payload.total_len();
+    let space = payload.prepend(IP_HDR_LEN);
+    write_header(space, hdr, len);
+    payload.stamp_pkthdr();
+    payload
+}
+
+/// Splits a datagram's payload into IP fragments that fit in `mtu`-byte
+/// datagrams. Returns whole datagrams (header + piece). Payloads that fit
+/// yield a single unfragmented datagram.
+///
+/// # Panics
+///
+/// Panics if `mtu` cannot carry the header plus at least 8 payload bytes.
+pub fn fragment(hdr: &IpHeader, payload: &Mbuf, mtu: usize) -> Vec<Mbuf> {
+    let total = payload.total_len();
+    assert!(mtu >= IP_HDR_LEN + 8, "mtu too small to fragment into");
+    let max_piece = (mtu - IP_HDR_LEN) & !7; // Fragment data is 8-aligned.
+    if total + IP_HDR_LEN <= mtu {
+        return vec![encapsulate(hdr, payload.share())];
+    }
+    let mut out = Vec::new();
+    let mut off = 0;
+    while off < total {
+        let piece = max_piece.min(total - off);
+        let last = off + piece == total;
+        let fhdr = IpHeader {
+            more_fragments: !last,
+            frag_offset: hdr.frag_offset + off,
+            ..*hdr
+        };
+        out.push(encapsulate(&fhdr, payload.range(off, piece)));
+        off += piece;
+    }
+    out
+}
+
+/// Key identifying a fragment group.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct FragKey {
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    ident: u16,
+    protocol: u8,
+}
+
+struct FragGroup {
+    /// Received `(offset, bytes)` pieces.
+    pieces: Vec<(usize, Vec<u8>)>,
+    /// Total length, known once the last fragment arrives.
+    total: Option<usize>,
+    /// Arrival time of the first fragment, for expiry.
+    born_ns: u64,
+}
+
+/// Reassembles fragmented datagrams; incomplete groups expire.
+pub struct Reassembler {
+    groups: HashMap<FragKey, FragGroup>,
+    /// Lifetime of an incomplete group, in nanoseconds (default 30 s).
+    pub timeout_ns: u64,
+    expired: u64,
+}
+
+impl Default for Reassembler {
+    fn default() -> Self {
+        Reassembler::new()
+    }
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler with the default 30 s timeout.
+    pub fn new() -> Reassembler {
+        Reassembler {
+            groups: HashMap::new(),
+            timeout_ns: 30_000_000_000,
+            expired: 0,
+        }
+    }
+
+    /// Number of incomplete groups held.
+    pub fn pending(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Groups dropped by expiry so far.
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// Offers one datagram. Non-fragments pass straight through as
+    /// `(header, payload)`. Fragments are held until their group completes,
+    /// at which point the reassembled `(header, payload)` is returned.
+    pub fn offer(&mut self, dgram: &Mbuf, now_ns: u64) -> Option<(IpHeader, Mbuf)> {
+        let bytes = dgram.to_vec();
+        let v: IpView = plexus_kernel::view::view(&bytes)?;
+        if !v.checksum_ok() || v.version() != 4 {
+            return None;
+        }
+        let hlen = v.header_len();
+        let data_len = v.total_len().checked_sub(hlen)?;
+        if bytes.len() < hlen + data_len {
+            return None;
+        }
+        let hdr = IpHeader {
+            src: v.src(),
+            dst: v.dst(),
+            protocol: v.protocol(),
+            ident: v.ident(),
+            ttl: v.ttl(),
+            more_fragments: false,
+            frag_offset: 0,
+        };
+        if !v.is_fragment() {
+            return Some((hdr, dgram.range(hlen, data_len)));
+        }
+        let key = FragKey {
+            src: hdr.src,
+            dst: hdr.dst,
+            ident: hdr.ident,
+            protocol: hdr.protocol,
+        };
+        let group = self.groups.entry(key).or_insert_with(|| FragGroup {
+            pieces: Vec::new(),
+            total: None,
+            born_ns: now_ns,
+        });
+        let off = v.frag_offset();
+        group
+            .pieces
+            .push((off, bytes[hlen..hlen + data_len].to_vec()));
+        if !v.more_fragments() {
+            group.total = Some(off + data_len);
+        }
+        // Check completeness: contiguous coverage of [0, total).
+        let total = group.total?;
+        let mut pieces: Vec<&(usize, Vec<u8>)> = group.pieces.iter().collect();
+        pieces.sort_by_key(|(o, _)| *o);
+        let mut covered = 0;
+        for (o, d) in &pieces {
+            if *o > covered {
+                return None; // Hole remains.
+            }
+            covered = covered.max(o + d.len());
+        }
+        if covered < total {
+            return None;
+        }
+        // Complete: splice the payload together (overlaps take the later
+        // bytes, matching BSD behaviour closely enough for our traffic).
+        let mut data = vec![0u8; total];
+        for (o, d) in &pieces {
+            data[*o..*o + d.len()].copy_from_slice(d);
+        }
+        self.groups.remove(&key);
+        Some((hdr, Mbuf::from_payload(0, &data)))
+    }
+
+    /// Drops groups older than the timeout. Returns how many were dropped.
+    pub fn expire(&mut self, now_ns: u64) -> usize {
+        let timeout = self.timeout_ns;
+        let before = self.groups.len();
+        self.groups
+            .retain(|_, g| now_ns.saturating_sub(g.born_ns) < timeout);
+        let dropped = before - self.groups.len();
+        self.expired += dropped as u64;
+        dropped
+    }
+}
+
+/// A routing table entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Destination network.
+    pub prefix: Ipv4Addr,
+    /// Prefix length in bits (0 = default route).
+    pub prefix_len: u8,
+    /// Outgoing interface index.
+    pub iface: usize,
+    /// Next hop; `None` for directly attached networks.
+    pub gateway: Option<Ipv4Addr>,
+}
+
+/// Longest-prefix-match routing table.
+#[derive(Default)]
+pub struct RouteTable {
+    routes: Vec<Route>,
+}
+
+impl RouteTable {
+    /// Creates an empty table.
+    pub fn new() -> RouteTable {
+        RouteTable::default()
+    }
+
+    /// Adds a route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_len > 32`.
+    pub fn add(
+        &mut self,
+        prefix: Ipv4Addr,
+        prefix_len: u8,
+        iface: usize,
+        gateway: Option<Ipv4Addr>,
+    ) {
+        assert!(prefix_len <= 32);
+        self.routes.push(Route {
+            prefix,
+            prefix_len,
+            iface,
+            gateway,
+        });
+    }
+
+    /// Looks up the most specific route for `dst`.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<Route> {
+        let d = u32::from(dst);
+        self.routes
+            .iter()
+            .filter(|r| {
+                let mask = if r.prefix_len == 0 {
+                    0
+                } else {
+                    u32::MAX << (32 - r.prefix_len)
+                };
+                (d & mask) == (u32::from(r.prefix) & mask)
+            })
+            .max_by_key(|r| r.prefix_len)
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plexus_kernel::view::view;
+
+    fn addr(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    #[test]
+    fn header_round_trips_with_valid_checksum() {
+        let hdr = IpHeader::simple(addr(1), addr(2), proto::UDP, 0x1234);
+        let payload = Mbuf::from_payload(64, b"hello");
+        let dgram = encapsulate(&hdr, payload);
+        let bytes = dgram.to_vec();
+        let v: IpView = view(&bytes).expect("full header present");
+        assert_eq!(v.version(), 4);
+        assert_eq!(v.header_len(), IP_HDR_LEN);
+        assert_eq!(v.total_len(), IP_HDR_LEN + 5);
+        assert_eq!(v.src(), addr(1));
+        assert_eq!(v.dst(), addr(2));
+        assert_eq!(v.protocol(), proto::UDP);
+        assert_eq!(v.ident(), 0x1234);
+        assert!(v.checksum_ok());
+        assert!(!v.is_fragment());
+    }
+
+    #[test]
+    fn corrupted_header_fails_checksum() {
+        let hdr = IpHeader::simple(addr(1), addr(2), proto::UDP, 1);
+        let mut dgram = encapsulate(&hdr, Mbuf::from_payload(64, b"x"));
+        let mut b = [0u8; 1];
+        dgram.read_at(8, &mut b);
+        dgram.write_at(8, &[b[0] ^ 0xFF]); // Flip the TTL.
+        let bytes = dgram.to_vec();
+        let v: IpView = view(&bytes).unwrap();
+        assert!(!v.checksum_ok());
+    }
+
+    #[test]
+    fn small_payload_is_not_fragmented() {
+        let hdr = IpHeader::simple(addr(1), addr(2), proto::UDP, 7);
+        let payload = Mbuf::from_payload(64, &[9u8; 100]);
+        let frags = fragment(&hdr, &payload, 1500);
+        assert_eq!(frags.len(), 1);
+        let bytes = frags[0].to_vec();
+        let v: IpView = view(&bytes).unwrap();
+        assert!(!v.is_fragment());
+    }
+
+    #[test]
+    fn fragmentation_covers_payload_exactly() {
+        let data: Vec<u8> = (0u16..4000).map(|x| x as u8).collect();
+        let hdr = IpHeader::simple(addr(1), addr(2), proto::UDP, 42);
+        let frags = fragment(&hdr, &Mbuf::from_payload(0, &data), 1500);
+        assert_eq!(frags.len(), 3);
+        let mut covered = Vec::new();
+        for (i, f) in frags.iter().enumerate() {
+            let bytes = f.to_vec();
+            let v: IpView = view(&bytes).unwrap();
+            assert!(v.checksum_ok());
+            assert_eq!(v.ident(), 42);
+            assert_eq!(v.more_fragments(), i != frags.len() - 1);
+            assert_eq!(v.frag_offset(), covered.len());
+            covered.extend_from_slice(&bytes[IP_HDR_LEN..]);
+            assert!(bytes.len() <= 1500);
+        }
+        assert_eq!(covered, data);
+    }
+
+    #[test]
+    fn reassembly_restores_payload_even_out_of_order() {
+        let data: Vec<u8> = (0u16..5000).map(|x| (x * 3) as u8).collect();
+        let hdr = IpHeader::simple(addr(3), addr(4), proto::UDP, 77);
+        let mut frags = fragment(&hdr, &Mbuf::from_payload(0, &data), 1004);
+        assert!(frags.len() >= 5);
+        frags.reverse(); // Worst-case arrival order.
+        let mut r = Reassembler::new();
+        let mut result = None;
+        for (k, f) in frags.iter().enumerate() {
+            result = r.offer(f, 0);
+            if result.is_some() && k != frags.len() - 1 {
+                panic!("completed before all fragments arrived");
+            }
+        }
+        let (hdr2, payload) = result.expect("all fragments offered");
+        assert_eq!(hdr2.src, addr(3));
+        assert_eq!(hdr2.protocol, proto::UDP);
+        assert_eq!(payload.to_vec(), data);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn non_fragment_passes_straight_through() {
+        let hdr = IpHeader::simple(addr(1), addr(2), proto::ICMP, 9);
+        let dgram = encapsulate(&hdr, Mbuf::from_payload(64, b"ping"));
+        let mut r = Reassembler::new();
+        let (h, p) = r.offer(&dgram, 0).expect("whole datagram");
+        assert_eq!(h.protocol, proto::ICMP);
+        assert_eq!(p.to_vec(), b"ping");
+    }
+
+    #[test]
+    fn incomplete_groups_expire() {
+        let data = vec![1u8; 3000];
+        let hdr = IpHeader::simple(addr(1), addr(2), proto::UDP, 5);
+        let frags = fragment(&hdr, &Mbuf::from_payload(0, &data), 1500);
+        let mut r = Reassembler::new();
+        assert!(r.offer(&frags[0], 1_000).is_none());
+        assert_eq!(r.pending(), 1);
+        assert_eq!(r.expire(2_000), 0, "too early to expire");
+        assert_eq!(r.expire(40_000_000_000), 1);
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.expired(), 1);
+    }
+
+    #[test]
+    fn corrupt_fragments_are_ignored() {
+        let hdr = IpHeader::simple(addr(1), addr(2), proto::UDP, 5);
+        let mut dgram = encapsulate(&hdr, Mbuf::from_payload(64, b"data"));
+        dgram.write_at(12, &[0xFF]); // Break the source address (and checksum).
+        let mut r = Reassembler::new();
+        assert!(r.offer(&dgram, 0).is_none());
+    }
+
+    #[test]
+    fn route_table_prefers_longest_prefix() {
+        let mut rt = RouteTable::new();
+        rt.add(Ipv4Addr::new(0, 0, 0, 0), 0, 0, Some(addr(254))); // Default.
+        rt.add(Ipv4Addr::new(10, 0, 0, 0), 8, 1, None);
+        rt.add(Ipv4Addr::new(10, 0, 0, 0), 24, 2, None);
+        let r = rt.lookup(addr(5)).expect("matches");
+        assert_eq!(r.iface, 2);
+        let r = rt.lookup(Ipv4Addr::new(10, 9, 9, 9)).expect("matches /8");
+        assert_eq!(r.iface, 1);
+        let r = rt.lookup(Ipv4Addr::new(8, 8, 8, 8)).expect("default");
+        assert_eq!(r.iface, 0);
+        assert_eq!(r.gateway, Some(addr(254)));
+    }
+
+    #[test]
+    fn empty_route_table_has_no_match() {
+        let rt = RouteTable::new();
+        assert!(rt.lookup(addr(1)).is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! # plexus-net — the protocol suite
+//!
+//! The protocols of Figure 1's graph, shared (exactly as in the paper, §4)
+//! by both the Plexus graph (`plexus-core`) and the monolithic baseline
+//! (`plexus-baseline`):
+//!
+//! * [`mbuf`] — Berkeley memory buffers with zero-copy sharing and explicit
+//!   copy-on-write (§3.4).
+//! * [`checksum`] — the Internet checksum, incremental updates.
+//! * [`ether`] / [`arp`] / [`ip`] / [`icmp`] / [`udp`] / [`tcp`] — the
+//!   wire protocols; headers are accessed through the kernel's `VIEW`
+//!   framework (zero-copy typed views, §3.2).
+//! * [`http`] — a minimal HTTP/1.0 for the §7 demonstration.
+//!
+//! Everything here is pure protocol logic — no simulator dependencies —
+//! which is what lets the same code run under both OS structures.
+
+#![warn(missing_docs)]
+
+pub mod arp;
+pub mod checksum;
+pub mod ether;
+pub mod http;
+pub mod icmp;
+pub mod ip;
+pub mod mbuf;
+pub mod tcp;
+pub mod udp;
+
+pub use ether::{EtherType, MacAddr};
+pub use mbuf::Mbuf;

@@ -1,0 +1,589 @@
+//! Berkeley memory buffers (mbufs).
+//!
+//! Plexus passes packets through the protocol graph as mbufs — "the
+//! Berkeley memory buffer implementation … directly used by most UNIX
+//! device drivers" (§3.4, footnote 1). An [`Mbuf`] is a chain of segments;
+//! each segment references a cluster of storage with a window (`off`,
+//! `len`) into it, so headers can be *prepended* into leading space and
+//! *trimmed* off without moving payload bytes.
+//!
+//! Sharing and read-only semantics (§3.4): clusters are reference-counted
+//! (`Rc<Vec<u8>>`), so [`Mbuf::share`] is cheap and multiple graph nodes can
+//! view the same packet. Handlers receive `&Mbuf` and cannot mutate through
+//! it; a handler that wants to modify data must hold its own `Mbuf` and
+//! write through [`Mbuf::write_at`]/[`Mbuf::head_mut`], which perform an
+//! explicit copy-on-write when the cluster is shared — the Rust rendering
+//! of Figure 4's `GoodPacketRecv`.
+
+use std::rc::Rc;
+
+/// Bytes of storage in a small mbuf cluster.
+pub const MLEN: usize = 128;
+
+/// Bytes of storage in a large cluster.
+pub const MCLBYTES: usize = 2048;
+
+/// Default leading space reserved for link/network/transport headers when
+/// building a packet from payload (enough for Ethernet+IP+TCP with slack).
+pub const LEADING_SPACE: usize = 64;
+
+/// Packet-level metadata carried by the first mbuf of a packet (BSD
+/// `m_pkthdr`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PktHdr {
+    /// Total length of the packet when the header was stamped (advisory;
+    /// [`Mbuf::total_len`] is authoritative).
+    pub len: usize,
+    /// Index of the interface the packet arrived on, if any.
+    pub rcvif: Option<usize>,
+}
+
+#[derive(Clone)]
+struct Segment {
+    cluster: Rc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Segment {
+    fn bytes(&self) -> &[u8] {
+        &self.cluster[self.off..self.off + self.len]
+    }
+
+    /// Mutable access with copy-on-write if the cluster is shared.
+    fn bytes_mut(&mut self) -> &mut [u8] {
+        let cluster = Rc::make_mut(&mut self.cluster);
+        &mut cluster[self.off..self.off + self.len]
+    }
+
+    fn leading(&self) -> usize {
+        self.off
+    }
+}
+
+/// A packet: a chain of storage segments.
+pub struct Mbuf {
+    segments: Vec<Segment>,
+    pkthdr: Option<PktHdr>,
+}
+
+// Running count of cluster allocations, for the tests.
+#[cfg(test)]
+thread_local! {
+    static ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn new_cluster(size: usize) -> Rc<Vec<u8>> {
+    #[cfg(test)]
+    ALLOCS.with(|a| a.set(a.get() + 1));
+    Rc::new(vec![0u8; size])
+}
+
+impl Mbuf {
+    /// An empty packet with a packet header and `LEADING_SPACE` bytes of
+    /// room to prepend into.
+    pub fn empty() -> Mbuf {
+        let cluster = new_cluster(MLEN);
+        Mbuf {
+            segments: vec![Segment {
+                off: LEADING_SPACE,
+                len: 0,
+                cluster,
+            }],
+            pkthdr: Some(PktHdr::default()),
+        }
+    }
+
+    /// Builds a packet holding `payload`, with `leading` bytes of prepend
+    /// room before it. Large payloads span multiple clusters.
+    pub fn from_payload(leading: usize, payload: &[u8]) -> Mbuf {
+        let mut segments = Vec::new();
+        let first_capacity = MCLBYTES.max(leading + 1) - leading;
+        let first_len = payload.len().min(first_capacity);
+        let mut cluster = vec![0u8; (leading + first_len).max(MLEN)];
+        cluster[leading..leading + first_len].copy_from_slice(&payload[..first_len]);
+        #[cfg(test)]
+        ALLOCS.with(|a| a.set(a.get() + 1));
+        segments.push(Segment {
+            cluster: Rc::new(cluster),
+            off: leading,
+            len: first_len,
+        });
+        let mut rest = &payload[first_len..];
+        while !rest.is_empty() {
+            let n = rest.len().min(MCLBYTES);
+            let mut cluster = vec![0u8; n];
+            cluster.copy_from_slice(&rest[..n]);
+            #[cfg(test)]
+            ALLOCS.with(|a| a.set(a.get() + 1));
+            segments.push(Segment {
+                cluster: Rc::new(cluster),
+                off: 0,
+                len: n,
+            });
+            rest = &rest[n..];
+        }
+        let mut m = Mbuf {
+            segments,
+            pkthdr: Some(PktHdr::default()),
+        };
+        m.stamp_pkthdr();
+        m
+    }
+
+    /// Builds a packet from raw received bytes (driver receive path): no
+    /// leading space, single window over one cluster per `MCLBYTES`.
+    pub fn from_wire(bytes: &[u8]) -> Mbuf {
+        Mbuf::from_payload(0, bytes)
+    }
+
+    /// The packet header, if this mbuf leads a packet.
+    pub fn pkthdr(&self) -> Option<&PktHdr> {
+        self.pkthdr.as_ref()
+    }
+
+    /// Mutable packet header access, creating one if absent.
+    pub fn pkthdr_mut(&mut self) -> &mut PktHdr {
+        self.pkthdr.get_or_insert_with(PktHdr::default)
+    }
+
+    /// Re-stamps `pkthdr.len` from the chain. Returns the length.
+    pub fn stamp_pkthdr(&mut self) -> usize {
+        let len = self.total_len();
+        self.pkthdr_mut().len = len;
+        len
+    }
+
+    /// Total payload bytes across the chain.
+    pub fn total_len(&self) -> usize {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+
+    /// True if the packet holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.total_len() == 0
+    }
+
+    /// Number of segments in the chain.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The first segment's bytes (the contiguous head).
+    pub fn head(&self) -> &[u8] {
+        self.segments.first().map(Segment::bytes).unwrap_or(&[])
+    }
+
+    /// Mutable head bytes; copies the cluster first if shared.
+    pub fn head_mut(&mut self) -> &mut [u8] {
+        match self.segments.first_mut() {
+            Some(s) => s.bytes_mut(),
+            None => &mut [],
+        }
+    }
+
+    /// Iterates the chain's segments.
+    pub fn segments(&self) -> impl Iterator<Item = &[u8]> {
+        self.segments.iter().map(Segment::bytes)
+    }
+
+    /// Linearizes the packet into one `Vec` (copies).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.total_len());
+        for s in self.segments() {
+            v.extend_from_slice(s);
+        }
+        v
+    }
+
+    /// Shares the packet: a new chain referencing the same clusters
+    /// (no data copy; reference counts bump). The shared copy gets its own
+    /// packet header.
+    pub fn share(&self) -> Mbuf {
+        Mbuf {
+            segments: self.segments.clone(),
+            pkthdr: self.pkthdr.clone(),
+        }
+    }
+
+    /// True if any cluster in this chain is shared with another mbuf
+    /// (so an in-place write would need copy-on-write).
+    pub fn is_shared(&self) -> bool {
+        self.segments
+            .iter()
+            .any(|s| Rc::strong_count(&s.cluster) > 1)
+    }
+
+    /// Grows the front by `n` bytes and returns them for the caller to
+    /// fill — BSD `M_PREPEND`. Uses the head segment's leading space when
+    /// available (no copy); otherwise chains a new header mbuf in front.
+    pub fn prepend(&mut self, n: usize) -> &mut [u8] {
+        let use_leading = self
+            .segments
+            .first()
+            .map(|s| s.leading() >= n && Rc::strong_count(&s.cluster) == 1)
+            .unwrap_or(false);
+        if use_leading {
+            let s = &mut self.segments[0];
+            s.off -= n;
+            s.len += n;
+            return &mut s.bytes_mut()[..n];
+        }
+        let size = n.max(MLEN);
+        let cluster = new_cluster(size);
+        self.segments.insert(
+            0,
+            Segment {
+                off: size - n,
+                len: n,
+                cluster,
+            },
+        );
+        &mut self.segments[0].bytes_mut()[..n]
+    }
+
+    /// Removes `n` bytes from the front (BSD `m_adj(m, n)`), dropping
+    /// emptied segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the packet length.
+    pub fn trim_front(&mut self, mut n: usize) {
+        assert!(n <= self.total_len(), "trim_front past end of packet");
+        while n > 0 {
+            let s = &mut self.segments[0];
+            if s.len > n {
+                s.off += n;
+                s.len -= n;
+                n = 0;
+            } else {
+                n -= s.len;
+                self.segments.remove(0);
+            }
+        }
+        self.segments.retain(|s| s.len > 0);
+    }
+
+    /// Removes `n` bytes from the back (BSD `m_adj(m, -n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the packet length.
+    pub fn trim_back(&mut self, mut n: usize) {
+        assert!(n <= self.total_len(), "trim_back past end of packet");
+        while n > 0 {
+            let last = self.segments.last_mut().expect("length checked");
+            if last.len > n {
+                last.len -= n;
+                n = 0;
+            } else {
+                n -= last.len;
+                self.segments.pop();
+            }
+        }
+        self.segments.retain(|s| s.len > 0);
+    }
+
+    /// Ensures the first `n` bytes are contiguous in the head segment
+    /// (BSD `m_pullup`). Returns `false` if the packet is shorter than `n`.
+    pub fn pullup(&mut self, n: usize) -> bool {
+        if n > self.total_len() {
+            return false;
+        }
+        if self.segments.first().map(|s| s.len >= n).unwrap_or(false) {
+            return true;
+        }
+        // Gather the first n bytes into a fresh head cluster, keeping the
+        // remainder of the chain.
+        let mut gathered = Vec::with_capacity(n.max(MLEN));
+        gathered.resize(LEADING_SPACE, 0);
+        let mut need = n;
+        while need > 0 {
+            let s = &mut self.segments[0];
+            let take = s.len.min(need);
+            gathered.extend_from_slice(&s.bytes()[..take]);
+            if take == s.len {
+                self.segments.remove(0);
+            } else {
+                s.off += take;
+                s.len -= take;
+            }
+            need -= take;
+        }
+        #[cfg(test)]
+        ALLOCS.with(|a| a.set(a.get() + 1));
+        self.segments.insert(
+            0,
+            Segment {
+                off: LEADING_SPACE,
+                len: n,
+                cluster: Rc::new(gathered),
+            },
+        );
+        true
+    }
+
+    /// Appends another packet's chain to this one (BSD `m_cat`). The
+    /// appended packet's header is discarded.
+    pub fn append(&mut self, mut other: Mbuf) {
+        self.segments.append(&mut other.segments);
+    }
+
+    /// Copies `buf.len()` bytes starting at `off` into `buf`
+    /// (BSD `m_copydata`). Returns `false` if the range is out of bounds.
+    pub fn read_at(&self, mut off: usize, buf: &mut [u8]) -> bool {
+        if off + buf.len() > self.total_len() {
+            return false;
+        }
+        let mut filled = 0;
+        for s in self.segments() {
+            if off >= s.len() {
+                off -= s.len();
+                continue;
+            }
+            let take = (s.len() - off).min(buf.len() - filled);
+            buf[filled..filled + take].copy_from_slice(&s[off..off + take]);
+            filled += take;
+            off = 0;
+            if filled == buf.len() {
+                break;
+            }
+        }
+        true
+    }
+
+    /// Writes `data` at offset `off`, copy-on-write on shared clusters.
+    /// Returns `false` if the range is out of bounds.
+    pub fn write_at(&mut self, mut off: usize, data: &[u8]) -> bool {
+        if off + data.len() > self.total_len() {
+            return false;
+        }
+        let mut written = 0;
+        for s in &mut self.segments {
+            if off >= s.len {
+                off -= s.len;
+                continue;
+            }
+            let take = (s.len - off).min(data.len() - written);
+            s.bytes_mut()[off..off + take].copy_from_slice(&data[written..written + take]);
+            written += take;
+            off = 0;
+            if written == data.len() {
+                break;
+            }
+        }
+        true
+    }
+
+    /// Extracts `len` bytes from `off` as a new packet that *shares* the
+    /// underlying clusters where possible (BSD `m_copym` with `M_COPYALL`
+    /// semantics on a range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn range(&self, mut off: usize, mut len: usize) -> Mbuf {
+        assert!(off + len <= self.total_len(), "range out of bounds");
+        let mut segments = Vec::new();
+        for s in &self.segments {
+            if len == 0 {
+                break;
+            }
+            if off >= s.len {
+                off -= s.len;
+                continue;
+            }
+            let take = (s.len - off).min(len);
+            segments.push(Segment {
+                cluster: s.cluster.clone(),
+                off: s.off + off,
+                len: take,
+            });
+            len -= take;
+            off = 0;
+        }
+        let mut m = Mbuf {
+            segments,
+            pkthdr: Some(PktHdr::default()),
+        };
+        m.stamp_pkthdr();
+        m
+    }
+}
+
+impl Clone for Mbuf {
+    /// Cloning shares clusters (cheap); writes through either copy trigger
+    /// copy-on-write.
+    fn clone(&self) -> Self {
+        self.share()
+    }
+}
+
+impl std::fmt::Debug for Mbuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Mbuf({} bytes, {} segs)",
+            self.total_len(),
+            self.segment_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(test)]
+    fn allocs() -> u64 {
+        ALLOCS.with(|a| a.get())
+    }
+
+    #[test]
+    fn from_payload_round_trips() {
+        let data: Vec<u8> = (0..=255).collect();
+        let m = Mbuf::from_payload(LEADING_SPACE, &data);
+        assert_eq!(m.total_len(), 256);
+        assert_eq!(m.to_vec(), data);
+        assert_eq!(m.pkthdr().unwrap().len, 256);
+    }
+
+    #[test]
+    fn large_payloads_span_clusters() {
+        let data = vec![7u8; 5000];
+        let m = Mbuf::from_payload(LEADING_SPACE, &data);
+        assert!(m.segment_count() >= 3, "5000 B must span clusters");
+        assert_eq!(m.to_vec(), data);
+    }
+
+    #[test]
+    fn prepend_uses_leading_space_without_allocating() {
+        let m0 = Mbuf::from_payload(LEADING_SPACE, &[1, 2, 3]);
+        let before = allocs();
+        let mut m = m0;
+        let hdr = m.prepend(14);
+        hdr.copy_from_slice(&[9u8; 14]);
+        assert_eq!(
+            allocs(),
+            before,
+            "prepend into leading space must not allocate"
+        );
+        assert_eq!(m.total_len(), 17);
+        assert_eq!(&m.to_vec()[..14], &[9u8; 14]);
+        assert_eq!(&m.to_vec()[14..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn prepend_without_room_chains_a_header_mbuf() {
+        let mut m = Mbuf::from_payload(0, &[1, 2, 3]);
+        let before_segs = m.segment_count();
+        m.prepend(20).copy_from_slice(&[8u8; 20]);
+        assert_eq!(m.segment_count(), before_segs + 1);
+        assert_eq!(m.total_len(), 23);
+        assert_eq!(&m.to_vec()[..20], &[8u8; 20]);
+    }
+
+    #[test]
+    fn trim_front_walks_segments() {
+        let data: Vec<u8> = (0..100).collect();
+        let mut m = Mbuf::from_payload(0, &data);
+        m.prepend(10).fill(0xEE);
+        m.trim_front(10);
+        assert_eq!(m.to_vec(), data);
+        m.trim_front(60);
+        assert_eq!(m.to_vec(), (60..100).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn trim_back_shortens() {
+        let mut m = Mbuf::from_payload(0, &[1, 2, 3, 4, 5]);
+        m.trim_back(2);
+        assert_eq!(m.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim_front past end")]
+    fn trim_front_past_end_panics() {
+        let mut m = Mbuf::from_payload(0, &[1]);
+        m.trim_front(2);
+    }
+
+    #[test]
+    fn pullup_makes_headers_contiguous() {
+        // Build a packet whose first segment holds only 2 bytes.
+        let mut m = Mbuf::from_payload(0, &[3, 4, 5, 6, 7]);
+        m.prepend(2).copy_from_slice(&[1, 2]);
+        assert!(m.head().len() < 7);
+        assert!(m.pullup(7));
+        assert!(m.head().len() >= 7);
+        assert_eq!(&m.head()[..7], &[1, 2, 3, 4, 5, 6, 7]);
+        assert!(!m.pullup(100), "pullup past end must fail");
+    }
+
+    #[test]
+    fn share_is_zero_copy_and_write_is_cow() {
+        let m = Mbuf::from_payload(LEADING_SPACE, &[1, 2, 3, 4]);
+        let mut shared = m.share();
+        assert!(m.is_shared());
+        assert!(shared.is_shared());
+        // Writing through the share must not disturb the original.
+        assert!(shared.write_at(0, &[9, 9]));
+        assert_eq!(shared.to_vec(), vec![9, 9, 3, 4]);
+        assert_eq!(m.to_vec(), vec![1, 2, 3, 4]);
+        // After CoW the share owns its cluster.
+        assert!(!shared.is_shared());
+    }
+
+    #[test]
+    fn read_and_write_at_cross_segments() {
+        let data: Vec<u8> = (0..=255).cycle().take(4096).map(|x| x as u8).collect();
+        let mut m = Mbuf::from_payload(0, &data);
+        assert!(m.segment_count() >= 2);
+        let mut buf = [0u8; 100];
+        assert!(m.read_at(2000, &mut buf));
+        assert_eq!(&buf[..], &data[2000..2100]);
+        assert!(m.write_at(2040, &[0xAB; 8]));
+        let mut check = [0u8; 8];
+        m.read_at(2040, &mut check);
+        assert_eq!(check, [0xAB; 8]);
+        assert!(!m.read_at(4090, &mut buf), "read past end must fail");
+        assert!(!m.write_at(4090, &[0u8; 100]), "write past end must fail");
+    }
+
+    #[test]
+    fn range_shares_clusters() {
+        let data: Vec<u8> = (0u16..3000).map(|x| x as u8).collect();
+        let m = Mbuf::from_payload(0, &data);
+        let before = allocs();
+        let part = m.range(100, 2500);
+        assert_eq!(allocs(), before, "range must not copy");
+        assert_eq!(part.to_vec(), &data[100..2600]);
+        assert_eq!(part.pkthdr().unwrap().len, 2500);
+    }
+
+    #[test]
+    fn append_concatenates_chains() {
+        let mut a = Mbuf::from_payload(0, &[1, 2]);
+        let b = Mbuf::from_payload(0, &[3, 4, 5]);
+        a.append(b);
+        assert_eq!(a.to_vec(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(a.stamp_pkthdr(), 5);
+    }
+
+    #[test]
+    fn empty_packet_accepts_prepends() {
+        let mut m = Mbuf::empty();
+        assert!(m.is_empty());
+        m.prepend(8).copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(m.total_len(), 8);
+        assert_eq!(m.to_vec(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn rcvif_survives_sharing() {
+        let mut m = Mbuf::from_wire(&[1, 2, 3]);
+        m.pkthdr_mut().rcvif = Some(2);
+        let s = m.share();
+        assert_eq!(s.pkthdr().unwrap().rcvif, Some(2));
+    }
+}

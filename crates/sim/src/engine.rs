@@ -1,0 +1,330 @@
+//! The discrete-event execution engine.
+//!
+//! An [`Engine`] owns a priority queue of scheduled actions. Running the
+//! engine repeatedly pops the earliest action, advances the clock to its
+//! timestamp, and invokes it. Actions are arbitrary `FnOnce(&mut Engine)`
+//! closures, so they can schedule further actions; shared simulation state
+//! (machines, devices, protocol stacks) lives outside the engine behind
+//! `Rc<RefCell<_>>` handles that the closures capture.
+//!
+//! Determinism: ties at the same instant are broken by insertion order
+//! (a monotonically increasing sequence number), so a given workload always
+//! replays the exact same timeline.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled closure. It receives the engine so it can schedule follow-ups.
+pub type Action = Box<dyn FnOnce(&mut Engine)>;
+
+/// Cancellation handle for a scheduled action (e.g. a retransmit timer).
+///
+/// Dropping the handle does *not* cancel the action; call
+/// [`TimerHandle::cancel`]. A cancelled action is skipped when its time
+/// comes (the closure is dropped without running).
+#[derive(Clone)]
+pub struct TimerHandle {
+    cancelled: Rc<Cell<bool>>,
+    at: SimTime,
+}
+
+impl TimerHandle {
+    /// Cancels the scheduled action. Idempotent.
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// True if [`TimerHandle::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+
+    /// The instant the action was scheduled for.
+    pub fn deadline(&self) -> SimTime {
+        self.at
+    }
+}
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    cancelled: Option<Rc<Cell<bool>>>,
+    action: Action,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    // `BinaryHeap` is a max-heap; invert so the earliest (and, within an
+    // instant, the first-scheduled) entry surfaces first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Discrete-event executor with a deterministic timeline.
+///
+/// # Examples
+///
+/// ```
+/// use plexus_sim::engine::Engine;
+/// use plexus_sim::time::SimDuration;
+///
+/// let mut engine = Engine::new();
+/// engine.schedule_in(SimDuration::from_micros(5), |eng| {
+///     assert_eq!(eng.now().as_micros(), 5);
+/// });
+/// engine.run();
+/// assert_eq!(engine.now().as_micros(), 5);
+/// ```
+#[derive(Default)]
+pub struct Engine {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry>,
+    stopped: bool,
+    executed: u64,
+}
+
+impl Engine {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of actions executed so far (skipped cancelled actions do not
+    /// count).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of actions still pending (including cancelled ones that have
+    /// not yet been reaped).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut Engine) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            at,
+            seq,
+            cancelled: None,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedules `action` to run `delay` from now.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, action: F)
+    where
+        F: FnOnce(&mut Engine) + 'static,
+    {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Schedules `action` at `delay` from now and returns a handle that can
+    /// cancel it before it fires.
+    pub fn schedule_cancelable<F>(&mut self, delay: SimDuration, action: F) -> TimerHandle
+    where
+        F: FnOnce(&mut Engine) + 'static,
+    {
+        let at = self.now + delay;
+        let cancelled = Rc::new(Cell::new(false));
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            at,
+            seq,
+            cancelled: Some(cancelled.clone()),
+            action: Box::new(action),
+        });
+        TimerHandle { cancelled, at }
+    }
+
+    /// Requests that the current `run*` call return after the in-flight
+    /// action completes.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Runs until the queue drains (or [`Engine::stop`] is called).
+    pub fn run(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    /// Runs actions with timestamps `<= deadline`, then sets the clock to
+    /// `deadline` (if the queue drained early and `deadline` is finite).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.stopped = false;
+        while !self.stopped {
+            match self.queue.peek() {
+                Some(entry) if entry.at <= deadline => {}
+                _ => break,
+            }
+            let entry = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(entry.at >= self.now, "event queue out of order");
+            self.now = entry.at;
+            if let Some(flag) = &entry.cancelled {
+                if flag.get() {
+                    continue;
+                }
+            }
+            self.executed += 1;
+            (entry.action)(self);
+        }
+        if deadline != SimTime::MAX && self.now < deadline && !self.stopped {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `span` of simulated time from now.
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.run_until(self.now + span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn actions_run_in_time_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut engine = Engine::new();
+        for &us in &[30u64, 10, 20] {
+            let log = log.clone();
+            engine.schedule_in(SimDuration::from_micros(us), move |eng| {
+                log.borrow_mut().push(eng.now().as_micros());
+            });
+        }
+        engine.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(engine.executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut engine = Engine::new();
+        for label in 0..5 {
+            let log = log.clone();
+            engine.schedule_in(SimDuration::from_micros(7), move |_| {
+                log.borrow_mut().push(label);
+            });
+        }
+        engine.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn actions_can_schedule_actions() {
+        let hits = Rc::new(Cell::new(0u32));
+        let mut engine = Engine::new();
+        let h = hits.clone();
+        engine.schedule_in(SimDuration::from_micros(1), move |eng| {
+            h.set(h.get() + 1);
+            let h2 = h.clone();
+            eng.schedule_in(SimDuration::from_micros(1), move |_| {
+                h2.set(h2.get() + 1);
+            });
+        });
+        engine.run();
+        assert_eq!(hits.get(), 2);
+        assert_eq!(engine.now().as_micros(), 2);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let fired = Rc::new(Cell::new(false));
+        let mut engine = Engine::new();
+        let f = fired.clone();
+        let handle = engine.schedule_cancelable(SimDuration::from_micros(5), move |_| {
+            f.set(true);
+        });
+        handle.cancel();
+        assert!(handle.is_cancelled());
+        engine.run();
+        assert!(!fired.get());
+        assert_eq!(engine.executed(), 0);
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut engine = Engine::new();
+        engine.schedule_in(SimDuration::from_micros(3), |_| {});
+        engine.run_until(SimTime::from_micros(10));
+        assert_eq!(engine.now().as_micros(), 10);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_pending() {
+        let fired = Rc::new(Cell::new(false));
+        let mut engine = Engine::new();
+        let f = fired.clone();
+        engine.schedule_in(SimDuration::from_micros(50), move |_| f.set(true));
+        engine.run_for(SimDuration::from_micros(10));
+        assert!(!fired.get());
+        assert_eq!(engine.pending(), 1);
+        engine.run();
+        assert!(fired.get());
+    }
+
+    #[test]
+    fn stop_halts_the_run() {
+        let count = Rc::new(Cell::new(0u32));
+        let mut engine = Engine::new();
+        for _ in 0..10 {
+            let c = count.clone();
+            engine.schedule_in(SimDuration::from_micros(1), move |eng| {
+                c.set(c.get() + 1);
+                if c.get() == 3 {
+                    eng.stop();
+                }
+            });
+        }
+        engine.run();
+        assert_eq!(count.get(), 3);
+        assert_eq!(engine.pending(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut engine = Engine::new();
+        engine.schedule_in(SimDuration::from_micros(5), |eng| {
+            eng.schedule_at(SimTime::ZERO, |_| {});
+        });
+        engine.run();
+    }
+}

@@ -1,0 +1,182 @@
+//! §5.2's protocol forwarding: load-balancing TCP connections through a
+//! middle host, comparing the Plexus in-kernel redirector with the
+//! DIGITAL UNIX user-level socket splice.
+//!
+//! The in-kernel redirector forwards *control* packets too, so the TCP
+//! connection runs end-to-end between client and backend; the splice
+//! terminates the client's connection at the forwarder and opens a second
+//! one, copying every byte through user space twice.
+//!
+//! Run with `cargo run --example forwarder`.
+
+use std::cell::Cell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use plexus::apps::forward::{forwarder_extension_spec, InKernelForwarder};
+use plexus::baseline::{MonolithicStack, SocketCallbacks, UserSplice};
+use plexus::core::{PlexusStack, StackConfig, TcpCallbacks};
+use plexus::kernel::vm::AddressSpace;
+use plexus::net::ether::MacAddr;
+use plexus::sim::nic::NicProfile;
+use plexus::sim::time::SimDuration;
+use plexus::sim::World;
+
+const PORT: u16 = 8080;
+
+fn ip(last: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 2, last)
+}
+
+fn main() {
+    println!("TCP forwarding through a middle host (client -> forwarder -> backend)");
+    println!();
+    let plexus_us = plexus_redirect();
+    let splice_us = user_splice();
+    println!();
+    println!("request/response through Plexus in-kernel redirect: {plexus_us:.0} us");
+    println!("request/response through user-level socket splice:  {splice_us:.0} us");
+    println!();
+    println!("Paper (Figure 7): the user-level forwarder pays two stack traversals");
+    println!("and four boundary crossings per direction — and cannot maintain TCP's");
+    println!("end-to-end semantics, because it terminates the client's connection.");
+}
+
+/// Plexus: DSR-style in-kernel redirection; one TCP connection end-to-end.
+fn plexus_redirect() -> f64 {
+    let mut world = World::new();
+    let mc = world.add_machine("client");
+    let mf = world.add_machine("forwarder");
+    let mb = world.add_machine("backend");
+    let (_m, nics) = world.connect(
+        &[&mc, &mf, &mb],
+        NicProfile::ethernet_lance(),
+        SimDuration::from_micros(1),
+        true,
+    );
+    let client = PlexusStack::attach(
+        &mc,
+        &nics[0],
+        StackConfig::interrupt(ip(1), MacAddr::local(1)),
+    );
+    let fwd = PlexusStack::attach(
+        &mf,
+        &nics[1],
+        StackConfig::interrupt(ip(2), MacAddr::local(2)),
+    );
+    let backend = PlexusStack::attach(
+        &mb,
+        &nics[2],
+        StackConfig::interrupt(ip(3), MacAddr::local(3)),
+    );
+    for (a, b) in [(&client, &fwd), (&client, &backend), (&fwd, &backend)] {
+        a.seed_arp(b.ip(), b.mac());
+        b.seed_arp(a.ip(), a.mac());
+    }
+
+    let fext = fwd.link_extension(&forwarder_extension_spec("lb")).unwrap();
+    InKernelForwarder::tcp(&fwd, &fext, PORT, backend.ip()).unwrap();
+    backend.add_ip_alias(fwd.ip()); // The backend answers on the VIP.
+
+    let bext = backend
+        .link_extension(&forwarder_extension_spec("svc"))
+        .unwrap();
+    backend
+        .tcp()
+        .listen(&bext, PORT, |_, conn| {
+            conn.set_callbacks(TcpCallbacks {
+                on_data: Some(Rc::new(|ctx, conn, data| conn.send_in(ctx, data))),
+                on_peer_close: Some(Rc::new(|ctx, conn| conn.close_in(ctx))),
+                ..Default::default()
+            });
+        })
+        .unwrap();
+
+    let cext = client
+        .link_extension(&forwarder_extension_spec("cli"))
+        .unwrap();
+    let sent_at = Rc::new(Cell::new(0u64));
+    let rtt_ns = Rc::new(Cell::new(0u64));
+    // The client connects to the FORWARDER's address; the backend answers.
+    let conn = client
+        .tcp()
+        .connect(&cext, world.engine_mut(), (ip(2), PORT))
+        .unwrap();
+    let (s2, r2) = (sent_at.clone(), rtt_ns.clone());
+    conn.set_callbacks(TcpCallbacks {
+        on_connected: Some(Rc::new(move |ctx, conn| {
+            s2.set(ctx.lease.now().as_nanos());
+            conn.send_in(ctx, b"GET /balance");
+        })),
+        on_data: Some(Rc::new(move |ctx, _, _| {
+            r2.set(ctx.lease.now().as_nanos() - sent_at.get());
+        })),
+        ..Default::default()
+    });
+    world.run_for(SimDuration::from_secs(10));
+    assert!(rtt_ns.get() > 0, "response arrived");
+    println!(
+        "plexus: connection is end-to-end (client's TCP peer port {}, one connection)",
+        conn.remote().1
+    );
+    rtt_ns.get() as f64 / 1000.0
+}
+
+/// DIGITAL UNIX: the user-level splice — two connections, double copies.
+fn user_splice() -> f64 {
+    let mut world = World::new();
+    let mc = world.add_machine("client");
+    let mf = world.add_machine("forwarder");
+    let mb = world.add_machine("backend");
+    let (_m, nics) = world.connect(
+        &[&mc, &mf, &mb],
+        NicProfile::ethernet_lance(),
+        SimDuration::from_micros(1),
+        true,
+    );
+    let client = MonolithicStack::attach(&mc, &nics[0], ip(1), MacAddr::local(1));
+    let fwd = MonolithicStack::attach(&mf, &nics[1], ip(2), MacAddr::local(2));
+    let backend = MonolithicStack::attach(&mb, &nics[2], ip(3), MacAddr::local(3));
+    for (a, b) in [(&client, &fwd), (&client, &backend), (&fwd, &backend)] {
+        a.seed_arp(b.ip(), b.mac());
+        b.seed_arp(a.ip(), a.mac());
+    }
+
+    let bproc = AddressSpace::new("svc");
+    backend.tcp().listen(&bproc, PORT, |_, _, sock| {
+        sock.set_callbacks(SocketCallbacks {
+            on_data: Some(Rc::new(|eng, user, sock, data| {
+                sock.send_in(eng, user, data)
+            })),
+            on_peer_close: Some(Rc::new(|eng, user, sock| sock.close_in(eng, user))),
+            ..Default::default()
+        });
+    });
+
+    let splice = UserSplice::start(&fwd, world.engine_mut(), PORT, (ip(3), PORT));
+
+    let cproc = AddressSpace::new("cli");
+    let sent_at = Rc::new(Cell::new(0u64));
+    let rtt_ns = Rc::new(Cell::new(0u64));
+    let conn = client
+        .tcp()
+        .connect(world.engine_mut(), &cproc, (ip(2), PORT));
+    let (s2, r2) = (sent_at.clone(), rtt_ns.clone());
+    conn.set_callbacks(SocketCallbacks {
+        on_connected: Some(Rc::new(move |eng, user, sock| {
+            s2.set(user.now().as_nanos());
+            sock.send_in(eng, user, b"GET /balance");
+        })),
+        on_data: Some(Rc::new(move |_, user, _, _| {
+            r2.set(user.now().as_nanos() - sent_at.get());
+        })),
+        ..Default::default()
+    });
+    world.run_for(SimDuration::from_secs(10));
+    assert!(rtt_ns.get() > 0, "response arrived");
+    println!(
+        "splice: {} spliced pair(s) — the client's connection terminates at the forwarder",
+        splice.pair_count()
+    );
+    rtt_ns.get() as f64 / 1000.0
+}

@@ -1,0 +1,117 @@
+//! Quickstart: two simulated Alphas on an Ethernet, a Plexus stack on
+//! each, and an application-specific UDP echo protocol installed into the
+//! server's kernel at runtime.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::cell::Cell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use plexus::core::{AppHandler, PlexusStack, StackConfig, UdpRecv};
+use plexus::kernel::domain::ExtensionSpec;
+use plexus::net::ether::MacAddr;
+use plexus::net::udp::UdpConfig;
+use plexus::sim::nic::NicProfile;
+use plexus::sim::time::SimDuration;
+use plexus::sim::World;
+
+fn main() {
+    // 1. Build the world: two machines on a private Ethernet segment.
+    let mut world = World::new();
+    let alpha_a = world.add_machine("alpha-a");
+    let alpha_b = world.add_machine("alpha-b");
+    let (_segment, nics) = world.connect(
+        &[&alpha_a, &alpha_b],
+        NicProfile::ethernet_lance(),
+        SimDuration::from_micros(1),
+        true, // Shared (half-duplex) segment, as in the paper's testbed.
+    );
+
+    // 2. Attach a Plexus protocol graph to each machine.
+    let client_ip = Ipv4Addr::new(10, 0, 0, 1);
+    let server_ip = Ipv4Addr::new(10, 0, 0, 2);
+    let client = PlexusStack::attach(
+        &alpha_a,
+        &nics[0],
+        StackConfig::interrupt(client_ip, MacAddr::local(1)),
+    );
+    let server = PlexusStack::attach(
+        &alpha_b,
+        &nics[1],
+        StackConfig::interrupt(server_ip, MacAddr::local(2)),
+    );
+
+    // 3. Dynamically link an application extension into each kernel. The
+    //    linker rejects any extension importing symbols outside the public
+    //    extension domain.
+    let spec = ExtensionSpec::typesafe("EchoProtocol", &["UDP.Bind", "UDP.Send"]);
+    let client_ext = client
+        .link_extension(&spec)
+        .expect("client extension links");
+    let server_ext = server
+        .link_extension(&spec)
+        .expect("server extension links");
+
+    // 4. Server: an interrupt-level (EPHEMERAL) handler that echoes each
+    //    datagram straight back — no user/kernel crossings anywhere.
+    let echo_slot: Rc<std::cell::RefCell<Option<Rc<plexus::core::UdpEndpoint>>>> =
+        Rc::new(std::cell::RefCell::new(None));
+    let slot = echo_slot.clone();
+    let echo_ep = server
+        .udp()
+        .bind(
+            &server_ext,
+            7,
+            UdpConfig::default(),
+            AppHandler::interrupt(move |ctx, ev: &UdpRecv| {
+                let ep = slot.borrow().clone().expect("endpoint ready");
+                ep.send_in(ctx, ev.src, ev.src_port, &ev.payload.to_vec())
+                    .expect("echo");
+            }),
+        )
+        .expect("bind port 7");
+    *echo_slot.borrow_mut() = Some(echo_ep);
+
+    // 5. Client: send a ping and measure the simulated round-trip time.
+    let reply_at: Rc<Cell<Option<u64>>> = Rc::new(Cell::new(None));
+    let ra = reply_at.clone();
+    let client_ep = client
+        .udp()
+        .bind(
+            &client_ext,
+            2000,
+            UdpConfig::default(),
+            AppHandler::interrupt(move |ctx, ev: &UdpRecv| {
+                println!(
+                    "reply from {}:{} ({} bytes)",
+                    ev.src,
+                    ev.src_port,
+                    ev.payload.total_len()
+                );
+                ra.set(Some(ctx.lease.now().as_nanos()));
+            }),
+        )
+        .expect("bind port 2000");
+
+    client.seed_arp(server_ip, MacAddr::local(2));
+    server.seed_arp(client_ip, MacAddr::local(1));
+
+    let t0 = world.engine().now().as_nanos();
+    client_ep
+        .send(world.engine_mut(), server_ip, 7, b"12345678")
+        .expect("send ping");
+    world.run();
+
+    let rtt_ns = reply_at.get().expect("the echo came back") - t0;
+    println!(
+        "UDP round trip: {:.0} us of simulated time",
+        rtt_ns as f64 / 1000.0
+    );
+    println!("(paper, Figure 5: under 600 us on Ethernet for Plexus at interrupt level)");
+    println!();
+    println!("server stack stats: {:?}", server.stats());
+    println!("server dispatcher:  {:?}", server.dispatcher().stats());
+    println!();
+    print!("{}", server.graph_description());
+}

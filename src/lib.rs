@@ -1,0 +1,7 @@
+//! Facade crate: one `use plexus::...` for the whole workspace.
+pub use plexus_apps as apps;
+pub use plexus_baseline as baseline;
+pub use plexus_core as core;
+pub use plexus_kernel as kernel;
+pub use plexus_net as net;
+pub use plexus_sim as sim;

@@ -1,0 +1,251 @@
+//! Cross-system interoperability: a Plexus machine and a DIGITAL UNIX
+//! machine speak the same wire protocols (they share `plexus-net`), so
+//! they must interoperate over a common segment — exactly the situation in
+//! the paper's testbed, where SPIN and DIGITAL UNIX hosts exchanged
+//! packets using the same drivers and protocol definitions.
+
+use std::cell::{Cell, RefCell};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use plexus::baseline::{MonolithicStack, SocketCallbacks};
+use plexus::core::{AppHandler, PlexusStack, StackConfig, TcpCallbacks, UdpRecv};
+use plexus::kernel::domain::ExtensionSpec;
+use plexus::kernel::vm::AddressSpace;
+use plexus::net::ether::MacAddr;
+use plexus::net::udp::UdpConfig;
+use plexus::sim::nic::NicProfile;
+use plexus::sim::time::SimDuration;
+use plexus::sim::World;
+
+fn ip(last: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 7, 0, last)
+}
+
+fn mixed_pair() -> (World, Rc<PlexusStack>, Rc<MonolithicStack>) {
+    let mut world = World::new();
+    let a = world.add_machine("spin-host");
+    let b = world.add_machine("dunix-host");
+    let (_m, nics) = world.connect(
+        &[&a, &b],
+        NicProfile::ethernet_lance(),
+        SimDuration::from_micros(1),
+        true,
+    );
+    let plexus = PlexusStack::attach(
+        &a,
+        &nics[0],
+        StackConfig::interrupt(ip(1), MacAddr::local(1)),
+    );
+    let dunix = MonolithicStack::attach(&b, &nics[1], ip(2), MacAddr::local(2));
+    (world, plexus, dunix)
+}
+
+#[test]
+fn udp_flows_both_ways_between_the_systems() {
+    let (mut world, plexus, dunix) = mixed_pair();
+    let ext = plexus
+        .link_extension(&ExtensionSpec::typesafe(
+            "interop",
+            &["UDP.Bind", "UDP.Send"],
+        ))
+        .unwrap();
+
+    // DUNIX process echoes; Plexus extension initiates and verifies.
+    let dproc = AddressSpace::new("echo");
+    let dsock = Rc::new(dunix.udp_socket(&dproc, 7, true).unwrap());
+    let d2 = dsock.clone();
+    dsock.recv_loop(world.engine_mut(), move |eng, user, msg| {
+        let mut reply = msg.data.clone();
+        reply.reverse();
+        d2.sendto_in(eng, user, msg.src, msg.src_port, &reply);
+    });
+
+    let got: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+    let g = got.clone();
+    let pep = plexus
+        .udp()
+        .bind(
+            &ext,
+            2000,
+            UdpConfig::default(),
+            AppHandler::interrupt(move |_, ev: &UdpRecv| {
+                *g.borrow_mut() = ev.payload.to_vec();
+            }),
+        )
+        .unwrap();
+
+    // ARP between the two implementations must also interoperate: no
+    // seeding here on purpose.
+    pep.send(world.engine_mut(), ip(2), 7, b"abcdef").unwrap();
+    world.run();
+    assert_eq!(*got.borrow(), b"fedcba", "reply crossed OS structures");
+}
+
+#[test]
+fn plexus_client_talks_tcp_to_dunix_server() {
+    let (mut world, plexus, dunix) = mixed_pair();
+    plexus.seed_arp(ip(2), MacAddr::local(2));
+    dunix.seed_arp(ip(1), MacAddr::local(1));
+    let ext = plexus
+        .link_extension(&ExtensionSpec::typesafe(
+            "interop",
+            &["TCP.Connect", "TCP.Send"],
+        ))
+        .unwrap();
+
+    let dproc = AddressSpace::new("server");
+    dunix.tcp().listen(&dproc, 80, |_, _, sock| {
+        sock.set_callbacks(SocketCallbacks {
+            on_data: Some(Rc::new(|eng, user, sock, data| {
+                let mut out = b"dunix:".to_vec();
+                out.extend_from_slice(data);
+                sock.send_in(eng, user, &out);
+            })),
+            on_peer_close: Some(Rc::new(|eng, user, sock| sock.close_in(eng, user))),
+            ..Default::default()
+        });
+    });
+
+    let got: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+    let conn = plexus
+        .tcp()
+        .connect(&ext, world.engine_mut(), (ip(2), 80))
+        .unwrap();
+    let g = got.clone();
+    conn.set_callbacks(TcpCallbacks {
+        on_connected: Some(Rc::new(|ctx, conn| conn.send_in(ctx, b"mixed stack"))),
+        on_data: Some(Rc::new(move |_, _, data| {
+            g.borrow_mut().extend_from_slice(data);
+        })),
+        ..Default::default()
+    });
+    world.run_for(SimDuration::from_secs(5));
+    assert_eq!(*got.borrow(), b"dunix:mixed stack");
+}
+
+#[test]
+fn dunix_client_talks_tcp_to_plexus_httpd() {
+    let (mut world, plexus, dunix) = mixed_pair();
+    plexus.seed_arp(ip(2), MacAddr::local(2));
+    dunix.seed_arp(ip(1), MacAddr::local(1));
+    let ext = plexus
+        .link_extension(&ExtensionSpec::typesafe(
+            "httpd",
+            &["TCP.Listen", "TCP.Send"],
+        ))
+        .unwrap();
+    let mut docs = std::collections::HashMap::new();
+    docs.insert("/".to_string(), b"hello from the kernel".to_vec());
+    let _httpd = plexus::apps::httpd::Httpd::serve(&plexus, &ext, 80, docs).unwrap();
+
+    let dproc = AddressSpace::new("browser");
+    let got: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+    let done = Rc::new(Cell::new(false));
+    let conn = dunix.tcp().connect(world.engine_mut(), &dproc, (ip(1), 80));
+    let (g, d) = (got.clone(), done.clone());
+    conn.set_callbacks(SocketCallbacks {
+        on_connected: Some(Rc::new(|eng, user, sock| {
+            sock.send_in(eng, user, b"GET / HTTP/1.0\r\n\r\n");
+        })),
+        on_data: Some(Rc::new(move |_, _, _, data| {
+            g.borrow_mut().extend_from_slice(data);
+        })),
+        on_peer_close: Some(Rc::new(move |eng, user, sock| {
+            d.set(true);
+            sock.close_in(eng, user);
+        })),
+        ..Default::default()
+    });
+    world.run_for(SimDuration::from_secs(10));
+    assert!(done.get(), "HTTP/1.0 server closed after responding");
+    let (status, body) =
+        plexus::net::http::parse_response(&got.borrow()).expect("valid HTTP response");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"hello from the kernel");
+}
+
+#[test]
+fn icmp_ping_crosses_system_boundaries() {
+    let (mut world, plexus, dunix) = mixed_pair();
+    plexus.seed_arp(ip(2), MacAddr::local(2));
+    dunix.seed_arp(ip(1), MacAddr::local(1));
+    plexus.ping(world.engine_mut(), ip(2), 1, 1, b"x");
+    dunix.ping(world.engine_mut(), ip(1), 2, 1, b"y");
+    world.run();
+    assert_eq!(dunix.stats().icmp_echoes, 1, "DUNIX answered SPIN's ping");
+    assert_eq!(plexus.stats().icmp_echoes, 1, "SPIN answered DUNIX's ping");
+}
+
+#[test]
+fn dunix_host_routes_through_the_plexus_router() {
+    // Mixed world: a DIGITAL UNIX host on subnet 1 reaches a Plexus host
+    // on subnet 2 through the in-kernel IP router.
+    use plexus::core::IpRouter;
+    use plexus::sim::nic::{Medium, Nic};
+
+    fn net1(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 8, 1, last)
+    }
+    fn net2(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 8, 2, last)
+    }
+
+    let mut world = World::new();
+    let ma = world.add_machine("dunix-host");
+    let mr = world.add_machine("router");
+    let mb = world.add_machine("plexus-host");
+    let seg1 = Medium::new(SimDuration::from_micros(1), true);
+    let seg2 = Medium::new(SimDuration::from_micros(1), true);
+    let nic_a = Nic::new(NicProfile::ethernet_lance(), &seg1);
+    let nic_r1 = Nic::new(NicProfile::ethernet_lance(), &seg1);
+    let nic_r2 = Nic::new(NicProfile::ethernet_lance(), &seg2);
+    let nic_b = Nic::new(NicProfile::ethernet_lance(), &seg2);
+
+    let dunix = MonolithicStack::attach(&ma, &nic_a, net1(2), MacAddr::local(1));
+    dunix.set_gateway(net1(1), 24);
+    let plexus = PlexusStack::attach(
+        &mb,
+        &nic_b,
+        StackConfig::interrupt(net2(2), MacAddr::local(2)).with_gateway(net2(1)),
+    );
+    let router = IpRouter::attach(
+        &mr,
+        &[
+            (nic_r1, net1(1), MacAddr::local(101)),
+            (nic_r2, net2(1), MacAddr::local(102)),
+        ],
+    );
+
+    let ext = plexus
+        .link_extension(&ExtensionSpec::typesafe("echo", &["UDP.Bind", "UDP.Send"]))
+        .unwrap();
+    let echo_slot: Rc<RefCell<Option<Rc<plexus::core::UdpEndpoint>>>> = Rc::new(RefCell::new(None));
+    let es = echo_slot.clone();
+    let pep = plexus
+        .udp()
+        .bind(
+            &ext,
+            7,
+            UdpConfig::default(),
+            AppHandler::interrupt(move |ctx, ev: &UdpRecv| {
+                let ep = es.borrow().clone().unwrap();
+                ep.send_in(ctx, ev.src, ev.src_port, &ev.payload.to_vec())
+                    .unwrap();
+            }),
+        )
+        .unwrap();
+    *echo_slot.borrow_mut() = Some(pep);
+
+    let proc_ = AddressSpace::new("client");
+    let sock = Rc::new(dunix.udp_socket(&proc_, 2000, true).unwrap());
+    let got: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+    let g = got.clone();
+    sock.recv_loop(world.engine_mut(), move |_, _, msg| {
+        *g.borrow_mut() = msg.data;
+    });
+    sock.sendto(world.engine_mut(), net2(2), 7, b"mixed routed");
+    world.run();
+    assert_eq!(*got.borrow(), b"mixed routed");
+    assert_eq!(router.stats().forwarded, 2);
+}
