@@ -16,6 +16,7 @@
 //!   minimizes connection lifetime (§1.1), claiming ports away from
 //!   TCP-standard.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod active_messages;

@@ -14,6 +14,7 @@
 //! * [`splice`] — the user-level TCP forwarder of §5.2 (two spliced
 //!   sockets; breaks end-to-end semantics, doubles the protocol work).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod splice;

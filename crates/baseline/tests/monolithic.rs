@@ -361,7 +361,9 @@ fn splice_handles_multiple_concurrent_clients() {
     let cproc = AddressSpace::new("cli");
     let results: Rc<RefCell<Vec<Option<Vec<u8>>>>> = Rc::new(RefCell::new(vec![None; N]));
     for i in 0..N {
-        let conn = client.tcp().connect(world.engine_mut(), &cproc, (ip(2), 8080));
+        let conn = client
+            .tcp()
+            .connect(world.engine_mut(), &cproc, (ip(2), 8080));
         let res = results.clone();
         let body = vec![i as u8 + 1; 24];
         let b2 = body.clone();

@@ -5,6 +5,8 @@
 //! Groups:
 //! * `dispatch` — event raise/guard costs, including packet-filter scaling
 //!   with the number of installed guarded handlers (MRA87's concern).
+//! * `guard_eval` — one predicate two ways: a native closure vs. the same
+//!   test compiled to verified filter IR and interpreted.
 //! * `view` — zero-copy `VIEW` casting vs. parse-by-copy.
 //! * `mbuf` — allocation, prepend, share, pullup, range.
 //! * `checksum` — Internet checksum at packet sizes.
@@ -13,9 +15,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::rc::Rc;
 
-use plexus_kernel::dispatcher::{Dispatcher, RaiseCtx};
+use plexus_kernel::dispatcher::{Dispatcher, Guard, RaiseCtx};
 use plexus_kernel::ephemeral::Ephemeral;
+use plexus_kernel::filter::{
+    conjunction, verify, EventKind, Field, Operand, Packet, Test, VerifiedProgram,
+};
 use plexus_kernel::view::view;
 use plexus_net::checksum::checksum;
 use plexus_net::ether::{EtherView, MacAddr};
@@ -27,6 +33,38 @@ use plexus_sim::time::SimTime;
 use plexus_sim::Engine;
 
 use plexus_bench::udp_rtt::{udp_rtt_us, Link, System};
+
+/// A minimal `UdpRecv`-shaped event, enough to exercise verified guards
+/// without building a whole stack.
+struct Dgram {
+    dst_port: u16,
+}
+
+impl Packet for Dgram {
+    fn kind(&self) -> EventKind {
+        EventKind::UdpRecv
+    }
+
+    fn field(&self, field: Field) -> Option<u64> {
+        match field {
+            Field::UdpDstPort => Some(u64::from(self.dst_port)),
+            _ => None,
+        }
+    }
+
+    fn head(&self) -> &[u8] {
+        &[]
+    }
+}
+
+fn port_program(port: u16) -> Rc<VerifiedProgram> {
+    let prog = conjunction(
+        EventKind::UdpRecv,
+        &[Test::eq(Operand::Field(Field::UdpDstPort), u64::from(port))],
+        vec![],
+    );
+    Rc::new(verify(&prog).expect("a one-test port guard verifies"))
+}
 
 fn bench_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch");
@@ -56,20 +94,25 @@ fn bench_dispatch(c: &mut Criterion) {
     }
 
     // Packet-filter scaling: N guarded handlers, exactly one matches.
+    // Interrupt-level installs require verified guard programs, so this is
+    // the verified-IR dispatch path end to end.
     for n in [1usize, 4, 16, 64] {
         let d = Dispatcher::new();
-        let ev = d.define_event::<u32>("filters");
-        for port in 0..n as u32 {
+        let ev = d.define_event::<Dgram>("filters");
+        for port in 0..n as u16 {
             d.install_interrupt(
                 ev,
-                Some(Box::new(move |arg: &u32| *arg == port)),
-                Ephemeral::certify(|_: &mut RaiseCtx, _: &u32| {}),
+                Some(Guard::verified(port_program(port))),
+                Ephemeral::certify(|_: &mut RaiseCtx, _: &Dgram| {}),
                 None,
             );
         }
         let cpu = Cpu::new(CostModel::alpha_3000_400());
         let mut engine = Engine::new();
-        let target = (n - 1) as u32; // Worst case: the last guard matches.
+        // Worst case: the last guard matches.
+        let target = Dgram {
+            dst_port: (n - 1) as u16,
+        };
         group.bench_with_input(BenchmarkId::new("guard_scaling", n), &n, |b, _| {
             b.iter(|| {
                 let mut lease = cpu.begin(SimTime::ZERO);
@@ -81,6 +124,29 @@ fn bench_dispatch(c: &mut Criterion) {
             });
         });
     }
+    group.finish();
+}
+
+/// The same one-port predicate as an opaque closure and as verified IR:
+/// what statically checkable guards cost over native code.
+fn bench_guard_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guard_eval");
+    let closure: Box<dyn Fn(&Dgram) -> bool> = Box::new(|ev: &Dgram| ev.dst_port == 4000);
+    let program = port_program(4000);
+    let hit = Dgram { dst_port: 4000 };
+    let miss = Dgram { dst_port: 4001 };
+    group.bench_function("closure_hit", |b| {
+        b.iter(|| closure(black_box(&hit)));
+    });
+    group.bench_function("closure_miss", |b| {
+        b.iter(|| closure(black_box(&miss)));
+    });
+    group.bench_function("verified_ir_hit", |b| {
+        b.iter(|| plexus_kernel::filter::eval(black_box(&program), black_box(&hit)));
+    });
+    group.bench_function("verified_ir_miss", |b| {
+        b.iter(|| plexus_kernel::filter::eval(black_box(&program), black_box(&miss)));
+    });
     group.finish();
 }
 
@@ -213,6 +279,7 @@ fn bench_sim(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_dispatch,
+    bench_guard_eval,
     bench_view,
     bench_mbuf,
     bench_checksum,

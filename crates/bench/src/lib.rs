@@ -4,6 +4,7 @@
 //! and figures, and `benches/` holds Criterion microbenchmarks of the
 //! mechanisms themselves.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client_video;

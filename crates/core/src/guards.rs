@@ -1,0 +1,95 @@
+//! Manager-side guard construction.
+//!
+//! Every guard the stack and its protocol managers install is compiled to
+//! the declarative filter IR and **statically verified** before it reaches
+//! the dispatcher — the paper's "guards are packet filters" (§3.1) made
+//! checkable. The helpers here capture the two shapes the managers share:
+//! an EtherType demultiplexer on `Ethernet.PacketRecv` and a transport
+//! node on `Ip.PacketRecv` (protocol number + optional local-destination
+//! check + a destination-port test), which is the common skeleton of the
+//! standard UDP node, special UDP bindings, UDP/TCP redirectors, and
+//! special TCP claims.
+
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use plexus_filter::{
+    conjunction, verify_with_policy, EventKind, Field, FilterProgram, Operand, Packet, Policy,
+    PortSet, Test, Width,
+};
+use plexus_kernel::dispatcher::Guard;
+use plexus_net::ether::{EtherType, MacAddr};
+
+use crate::types::mac_to_u64;
+
+/// The destination port of a transport header at the head of an IP
+/// payload: bytes 2..4 of both the UDP and the TCP header.
+pub(crate) const TRANSPORT_DST_PORT: Operand = Operand::Pay {
+    off: 2,
+    width: Width::W16,
+};
+
+/// The [`plexus_filter::FieldKey`] for [`TRANSPORT_DST_PORT`], used when a
+/// policy must pin the port a transport guard may accept.
+pub(crate) const TRANSPORT_DST_PORT_KEY: plexus_filter::FieldKey =
+    plexus_filter::FieldKey::Pay(2, Width::W16);
+
+/// `IpDst ∈ {my_ip, broadcast}` — the locality test transport bindings use.
+pub(crate) fn local_dst_test(my_ip: Ipv4Addr) -> Test {
+    Test::one_of(Operand::Field(Field::IpDst), local_dst_values(my_ip))
+}
+
+/// The value set `{my_ip, broadcast}` (for building the matching policy).
+pub(crate) fn local_dst_values(my_ip: Ipv4Addr) -> [u64; 2] {
+    [
+        u64::from(u32::from(my_ip)),
+        u64::from(u32::from(Ipv4Addr::BROADCAST)),
+    ]
+}
+
+/// The guard shape shared by every transport node on `Ip.PacketRecv`:
+/// `IpProto == proto`, optionally `IpDst ∈ {my_ip, broadcast}`, then the
+/// caller's destination-port test (if any).
+pub(crate) fn transport_over_ip(
+    proto: u8,
+    local_dst: Option<Ipv4Addr>,
+    port_test: Option<Test>,
+    sets: Vec<PortSet>,
+) -> FilterProgram {
+    let mut tests = vec![Test::eq(Operand::Field(Field::IpProto), u64::from(proto))];
+    if let Some(ip) = local_dst {
+        tests.push(local_dst_test(ip));
+    }
+    tests.extend(port_test);
+    conjunction(EventKind::IpRecv, &tests, sets)
+}
+
+/// An EtherType demultiplexer on `Ethernet.PacketRecv`, optionally
+/// restricted to frames addressed to `local_dst` (or broadcast).
+pub(crate) fn ether_type_program(
+    ethertype: EtherType,
+    local_dst: Option<MacAddr>,
+) -> FilterProgram {
+    let mut tests = vec![Test::eq(
+        Operand::Field(Field::EthType),
+        u64::from(ethertype.0),
+    )];
+    if let Some(mac) = local_dst {
+        tests.push(Test::one_of(
+            Operand::Field(Field::EthDst),
+            [mac_to_u64(mac), mac_to_u64(MacAddr::BROADCAST)],
+        ));
+    }
+    conjunction(EventKind::EthRecv, &tests, vec![])
+}
+
+/// Verifies a manager-built program against `policy` and wraps it as a
+/// dispatcher guard. The managers are trusted code building guards from
+/// their own bindings, so a verification failure here is a manager bug,
+/// not a packet-time condition — it panics with the full report.
+pub(crate) fn verified<T: Packet + 'static>(program: FilterProgram, policy: &Policy) -> Guard<T> {
+    match verify_with_policy(&program, policy) {
+        Ok(vp) => Guard::verified(Rc::new(vp)),
+        Err(report) => panic!("manager-built guard failed verification:\n{report}"),
+    }
+}

@@ -22,8 +22,10 @@
 //! see `examples/quickstart.rs` at the workspace root for a complete
 //! two-machine ping-pong.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod guards;
 pub mod router;
 pub mod stack;
 pub mod tcp_manager;

@@ -33,7 +33,8 @@ use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
-use plexus_kernel::dispatcher::{Dispatcher, Event, GuardFn, HandlerId, RaiseCtx};
+use plexus_filter::{Field, FieldKey, Policy};
+use plexus_kernel::dispatcher::{Dispatcher, Event, Guard, HandlerId, RaiseCtx};
 use plexus_kernel::domain::{Domain, ExtensionSpec, Interface, LinkedExtension};
 use plexus_kernel::ephemeral::Ephemeral;
 use plexus_kernel::view::view;
@@ -47,9 +48,11 @@ use plexus_net::icmp::{IcmpMessage, IcmpType};
 use plexus_net::ip::{self, IpHeader, Reassembler};
 use plexus_net::mbuf::Mbuf;
 
+use crate::guards;
 use crate::tcp_manager::TcpManager;
 use crate::types::{
-    AppHandler, DispatchMode, EthRecv, EthSendReq, IpRecv, IpSendReq, PlexusError, TcpRecv, UdpRecv,
+    mac_to_u64, AppHandler, DispatchMode, EthRecv, EthSendReq, IpRecv, IpSendReq, PlexusError,
+    TcpRecv, UdpRecv,
 };
 use crate::udp_manager::UdpManager;
 
@@ -138,6 +141,9 @@ pub(crate) struct StackEvents {
     pub(crate) tcp_recv: Event<TcpRecv>,
 }
 
+/// Teardown actions queued for one extension, run when it unloads.
+type CleanupActions = Vec<Box<dyn Fn()>>;
+
 /// Shared stack state, reachable from every installed handler.
 pub(crate) struct StackShared {
     pub(crate) cpu: Rc<Cpu>,
@@ -162,7 +168,7 @@ pub(crate) struct StackShared {
     /// Per-extension teardown actions, run when the extension unloads
     /// (runtime adaptation: extensions "come and go with their
     /// corresponding applications").
-    ext_cleanup: RefCell<HashMap<String, Vec<Box<dyn Fn()>>>>,
+    ext_cleanup: RefCell<HashMap<String, CleanupActions>>,
     /// True while the NIC rx glue should deliver (promiscuous snooping is
     /// structurally impossible: the filter runs before any extension code).
     promiscuous: Cell<bool>,
@@ -179,7 +185,7 @@ impl StackShared {
     pub(crate) fn install_layer<T, F>(
         &self,
         event: Event<T>,
-        guard: Option<GuardFn<T>>,
+        guard: Option<Guard<T>>,
         handler: F,
     ) -> HandlerId
     where
@@ -213,7 +219,7 @@ impl StackShared {
     pub(crate) fn install_app<T: 'static>(
         &self,
         event: Event<T>,
-        guard: Option<GuardFn<T>>,
+        guard: Option<Guard<T>>,
         handler: AppHandler<T>,
     ) -> HandlerId {
         match handler {
@@ -537,11 +543,10 @@ impl PlexusStack {
 
     fn install_arp(shared: &Rc<StackShared>) {
         let s = shared.clone();
-        let guard: GuardFn<EthRecv> = Box::new(|ev: &EthRecv| {
-            view::<EtherView>(ev.mbuf.head())
-                .map(|v| v.ethertype() == EtherType::ARP)
-                .unwrap_or(false)
-        });
+        let guard = guards::verified(
+            guards::ether_type_program(EtherType::ARP, None),
+            &Policy::new(),
+        );
         shared.install_layer(
             shared.events.eth_recv,
             Some(guard),
@@ -575,11 +580,10 @@ impl PlexusStack {
     /// `Ip.PacketRecv`; plus the `Ip.PacketSend` output handler.
     fn install_ip(shared: &Rc<StackShared>) {
         let s = shared.clone();
-        let guard: GuardFn<EthRecv> = Box::new(|ev: &EthRecv| {
-            view::<EtherView>(ev.mbuf.head())
-                .map(|v| v.ethertype() == EtherType::IPV4)
-                .unwrap_or(false)
-        });
+        let guard = guards::verified(
+            guards::ether_type_program(EtherType::IPV4, None),
+            &Policy::new(),
+        );
         shared.install_layer(
             shared.events.eth_recv,
             Some(guard),
@@ -620,7 +624,10 @@ impl PlexusStack {
 
     fn install_icmp(shared: &Rc<StackShared>) {
         let s = shared.clone();
-        let guard: GuardFn<IpRecv> = Box::new(|ev: &IpRecv| ev.protocol == ip::proto::ICMP);
+        let guard = guards::verified(
+            guards::transport_over_ip(ip::proto::ICMP, None, None, vec![]),
+            &Policy::new(),
+        );
         shared.install_layer(
             shared.events.ip_recv,
             Some(guard),
@@ -743,13 +750,16 @@ impl PlexusStack {
             ));
         }
         let my_mac = self.shared.mac;
-        let guard: GuardFn<EthRecv> = Box::new(move |ev: &EthRecv| {
-            view::<EtherView>(ev.mbuf.head())
-                .map(|v| {
-                    v.ethertype() == ethertype && (v.dst() == my_mac || v.dst().is_broadcast())
-                })
-                .unwrap_or(false)
-        });
+        // The guard is manager-built *and* policy-checked: the verifier
+        // proves it only accepts the claimed EtherType addressed to this
+        // host, so the extension provably cannot snoop (§3.1).
+        let policy = Policy::new()
+            .require_eq(FieldKey::Field(Field::EthType), u64::from(ethertype.0))
+            .require_in(
+                FieldKey::Field(Field::EthDst),
+                [mac_to_u64(my_mac), mac_to_u64(MacAddr::BROADCAST)],
+            );
+        let guard = guards::verified(guards::ether_type_program(ethertype, Some(my_mac)), &policy);
         let id = self
             .shared
             .install_app(self.shared.events.eth_recv, Some(guard), handler);

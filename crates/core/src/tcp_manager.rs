@@ -12,11 +12,12 @@
 //! simulation engine.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
-use plexus_kernel::dispatcher::{GuardFn, HandlerId, RaiseCtx};
+use plexus_filter::{conjunction, EventKind, Field, FieldKey, Operand, Policy, PortSet, Test};
+use plexus_kernel::dispatcher::{HandlerId, RaiseCtx};
 use plexus_kernel::domain::LinkedExtension;
 use plexus_net::ether::EtherType;
 use plexus_net::ip::{encapsulate as ip_encapsulate, proto, IpHeader};
@@ -26,6 +27,7 @@ use plexus_sim::engine::TimerHandle;
 use plexus_sim::time::SimDuration;
 use plexus_sim::Engine;
 
+use crate::guards;
 use crate::stack::StackShared;
 use crate::types::{IpRecv, IpSendReq, PlexusError, TcpRecv};
 
@@ -62,7 +64,9 @@ pub struct TcpManager {
     shared: Rc<StackShared>,
     conns: Rc<RefCell<HashMap<ConnKey, Rc<TcpConn>>>>,
     listeners: RefCell<HashMap<u16, Rc<ListenerState>>>,
-    special_ports: Rc<RefCell<HashSet<u16>>>,
+    /// Ports claimed by special implementations or redirects; shared with
+    /// the standard node's guard program, so claims apply immediately.
+    special_ports: PortSet,
     iss: Cell<u32>,
     next_ephemeral: Cell<u16>,
     segments_in: Cell<u64>,
@@ -70,7 +74,7 @@ pub struct TcpManager {
 
 impl TcpManager {
     pub(crate) fn install(shared: &Rc<StackShared>) -> Rc<TcpManager> {
-        let special_ports: Rc<RefCell<HashSet<u16>>> = Rc::new(RefCell::new(HashSet::new()));
+        let special_ports = PortSet::new();
         let mgr = Rc::new(TcpManager {
             shared: shared.clone(),
             conns: Rc::new(RefCell::new(HashMap::new())),
@@ -83,19 +87,19 @@ impl TcpManager {
 
         // The standard TCP implementation node: all TCP except ports owned
         // by special implementations (§3.1's two-implementations example).
-        let sp = special_ports.clone();
-        let guard: GuardFn<IpRecv> = Box::new(move |ev: &IpRecv| {
-            if ev.protocol != proto::TCP {
-                return false;
-            }
-            // Destination port is bytes 2..4 of the TCP header.
-            let head = ev.payload.head();
-            if head.len() < 4 {
-                return false;
-            }
-            let dport = u16::from_be_bytes([head[2], head[3]]);
-            !sp.borrow().contains(&dport)
-        });
+        // The destination port is bytes 2..4 of the TCP header.
+        let guard = guards::verified(
+            guards::transport_over_ip(
+                proto::TCP,
+                None,
+                Some(Test::NotInSet {
+                    op: guards::TRANSPORT_DST_PORT,
+                    set: 0,
+                }),
+                vec![special_ports],
+            ),
+            &Policy::new(),
+        );
         let s = shared.clone();
         let m = mgr.clone();
         shared.install_layer(
@@ -137,7 +141,7 @@ impl TcpManager {
             let p = self.next_ephemeral.get();
             self.next_ephemeral.set(p.wrapping_add(1).max(40_000));
             let taken = self.listeners.borrow().contains_key(&p)
-                || self.special_ports.borrow().contains(&p)
+                || self.special_ports.contains(p)
                 || self.conns.borrow().keys().any(|(lp, _, _)| *lp == p);
             if !taken {
                 return p;
@@ -146,7 +150,7 @@ impl TcpManager {
     }
 
     fn port_in_use(&self, port: u16) -> bool {
-        self.listeners.borrow().contains_key(&port) || self.special_ports.borrow().contains(&port)
+        self.listeners.borrow().contains_key(&port) || self.special_ports.contains(port)
     }
 
     /// Passive open: accept connections on `port`. `on_accept` runs for
@@ -163,18 +167,25 @@ impl TcpManager {
         if self.port_in_use(port) {
             return Err(PlexusError::PortInUse(port));
         }
-        let conns = self.conns.clone();
-        // Listener guard: SYNs for our port that do not belong to an
-        // existing connection. Locality of `dst` was already enforced by
-        // the IP layer (host address, broadcast, or configured alias).
-        let guard: GuardFn<TcpRecv> = Box::new(move |ev: &TcpRecv| {
-            ev.segment.dst_port == port
-                && ev.segment.flags.syn
-                && !ev.segment.flags.ack
-                && !conns
-                    .borrow()
-                    .contains_key(&(port, ev.src, ev.segment.src_port))
-        });
+        // Listener guard: initial SYNs for our port. Locality of `dst` was
+        // already enforced by the IP layer (host address, broadcast, or
+        // configured alias). Whether the segment belongs to an existing
+        // connection is dynamic state the static program cannot consult,
+        // so that check moved into the handler below; the policy proves
+        // the listener only ever sees its own port (§3.1).
+        let policy = Policy::new().require_eq(FieldKey::Field(Field::TcpDstPort), u64::from(port));
+        let guard = guards::verified(
+            conjunction(
+                EventKind::TcpRecv,
+                &[
+                    Test::eq(Operand::Field(Field::TcpDstPort), u64::from(port)),
+                    Test::eq(Operand::Field(Field::TcpFlagSyn), 1),
+                    Test::eq(Operand::Field(Field::TcpFlagAck), 0),
+                ],
+                vec![],
+            ),
+            &policy,
+        );
         let on_accept: ConnCallback = Rc::new(on_accept);
         let mgr2 = self.clone();
         let accept_cb = on_accept.clone();
@@ -183,6 +194,11 @@ impl TcpManager {
             Some(guard),
             move |ctx, ev: &TcpRecv| {
                 let key = (port, ev.src, ev.segment.src_port);
+                if mgr2.conns.borrow().contains_key(&key) {
+                    // A retransmitted SYN for a live connection: that
+                    // connection's own node handles it.
+                    return;
+                }
                 let tcb = Tcb::listen((ev.dst, port), mgr2.next_iss());
                 let conn = TcpConn::register(&mgr2, key, ev.dst, tcb);
                 // Let the application attach callbacks before the handshake
@@ -254,27 +270,32 @@ impl TcpManager {
     where
         F: Fn(&mut RaiseCtx<'_>, &IpRecv) + 'static,
     {
+        if ports.is_empty() {
+            return Err(PlexusError::SnoopDenied(
+                "a special TCP implementation must claim at least one port",
+            ));
+        }
         for p in ports {
             if self.port_in_use(*p) {
                 return Err(PlexusError::PortInUse(*p));
             }
         }
-        let mut sp = self.special_ports.borrow_mut();
         for p in ports {
-            sp.insert(*p);
+            self.special_ports.insert(*p);
         }
-        drop(sp);
-        let claimed: HashSet<u16> = ports.iter().copied().collect();
-        let guard: GuardFn<IpRecv> = Box::new(move |ev: &IpRecv| {
-            if ev.protocol != proto::TCP {
-                return false;
-            }
-            let head = ev.payload.head();
-            if head.len() < 4 {
-                return false;
-            }
-            claimed.contains(&u16::from_be_bytes([head[2], head[3]]))
-        });
+        let claimed: Vec<u64> = ports.iter().map(|p| u64::from(*p)).collect();
+        let policy = Policy::new()
+            .require_eq(FieldKey::Field(Field::IpProto), u64::from(proto::TCP))
+            .require_in(guards::TRANSPORT_DST_PORT_KEY, claimed.iter().copied());
+        let guard = guards::verified(
+            guards::transport_over_ip(
+                proto::TCP,
+                None,
+                Some(Test::one_of(guards::TRANSPORT_DST_PORT, claimed)),
+                vec![],
+            ),
+            &policy,
+        );
         Ok(self
             .shared
             .install_layer(self.shared.events.ip_recv, Some(guard), handler))
@@ -297,15 +318,20 @@ impl TcpManager {
         if self.port_in_use(port) {
             return Err(PlexusError::PortInUse(port));
         }
-        self.special_ports.borrow_mut().insert(port);
+        self.special_ports.insert(port);
         let shared = self.shared.clone();
-        let guard: GuardFn<IpRecv> = Box::new(move |ev: &IpRecv| {
-            if ev.protocol != proto::TCP {
-                return false;
-            }
-            let head = ev.payload.head();
-            head.len() >= 4 && u16::from_be_bytes([head[2], head[3]]) == port
-        });
+        let policy = Policy::new()
+            .require_eq(FieldKey::Field(Field::IpProto), u64::from(proto::TCP))
+            .require_eq(guards::TRANSPORT_DST_PORT_KEY, u64::from(port));
+        let guard = guards::verified(
+            guards::transport_over_ip(
+                proto::TCP,
+                None,
+                Some(Test::eq(guards::TRANSPORT_DST_PORT, u64::from(port))),
+                vec![],
+            ),
+            &policy,
+        );
         Ok(self.shared.install_layer(
             self.shared.events.ip_recv,
             Some(guard),
@@ -370,14 +396,22 @@ impl TcpConn {
         });
         mgr.conns.borrow_mut().insert(key, conn.clone());
 
-        // The connection's own guarded handler: exact 4-tuple match.
+        // The connection's own guarded handler: exact 4-tuple match, with
+        // the policy proving the program cannot see any other flow.
         let (lport, rip, rport) = key;
-        let guard: GuardFn<TcpRecv> = Box::new(move |ev: &TcpRecv| {
-            ev.dst == local_ip
-                && ev.segment.dst_port == lport
-                && ev.src == rip
-                && ev.segment.src_port == rport
-        });
+        let tuple = [
+            (Field::TcpDstAddr, u64::from(u32::from(local_ip))),
+            (Field::TcpDstPort, u64::from(lport)),
+            (Field::TcpSrcAddr, u64::from(u32::from(rip))),
+            (Field::TcpSrcPort, u64::from(rport)),
+        ];
+        let mut policy = Policy::new();
+        let mut tests = Vec::new();
+        for (field, value) in tuple {
+            policy = policy.require_eq(FieldKey::Field(field), value);
+            tests.push(Test::eq(Operand::Field(field), value));
+        }
+        let guard = guards::verified(conjunction(EventKind::TcpRecv, &tests, vec![]), &policy);
         let c = conn.clone();
         let id = mgr.shared.install_layer(
             mgr.shared.events.tcp_recv,

@@ -3,10 +3,12 @@
 use std::fmt;
 use std::net::Ipv4Addr;
 
+use plexus_filter::{EventKind, Field, Packet};
 use plexus_kernel::dispatcher::RaiseCtx;
 use plexus_kernel::domain::LinkError;
 use plexus_kernel::ephemeral::Ephemeral;
-use plexus_net::ether::{EtherType, MacAddr};
+use plexus_kernel::view::view;
+use plexus_net::ether::{EtherType, EtherView, MacAddr};
 use plexus_net::mbuf::Mbuf;
 
 /// Argument of `Ethernet.PacketRecv`: a whole received frame. Guards use
@@ -85,6 +87,103 @@ pub struct TcpRecv {
     pub dst: Ipv4Addr,
     /// The parsed segment.
     pub segment: plexus_net::tcp::TcpSegment,
+}
+
+/// A MAC address as the 48-bit integer the guard IR compares (big-endian
+/// byte order, matching [`Field::EthDst`]/[`Field::EthSrc`]).
+pub(crate) fn mac_to_u64(mac: MacAddr) -> u64 {
+    mac.0.iter().fold(0u64, |acc, b| (acc << 8) | u64::from(*b))
+}
+
+// How each event exposes itself to verified guard programs: the typed
+// fields mirror exactly what the old closure guards could observe, and
+// `head()` is the same contiguous byte window the closures reached through
+// `view`. A field of the wrong kind answers `None`, which the checked
+// interpreter turns into a rejection.
+
+impl Packet for EthRecv {
+    fn kind(&self) -> EventKind {
+        EventKind::EthRecv
+    }
+
+    fn field(&self, field: Field) -> Option<u64> {
+        let v = view::<EtherView>(self.mbuf.head());
+        match field {
+            Field::EthDst => v.map(|v| mac_to_u64(v.dst())),
+            Field::EthSrc => v.map(|v| mac_to_u64(v.src())),
+            Field::EthType => v.map(|v| u64::from(v.ethertype().0)),
+            Field::FrameLen => Some(self.mbuf.total_len() as u64),
+            _ => None,
+        }
+    }
+
+    fn head(&self) -> &[u8] {
+        self.mbuf.head()
+    }
+}
+
+impl Packet for IpRecv {
+    fn kind(&self) -> EventKind {
+        EventKind::IpRecv
+    }
+
+    fn field(&self, field: Field) -> Option<u64> {
+        match field {
+            Field::IpSrc => Some(u64::from(u32::from(self.src))),
+            Field::IpDst => Some(u64::from(u32::from(self.dst))),
+            Field::IpProto => Some(u64::from(self.protocol)),
+            Field::IpPayloadLen => Some(self.payload.total_len() as u64),
+            _ => None,
+        }
+    }
+
+    fn head(&self) -> &[u8] {
+        self.payload.head()
+    }
+}
+
+impl Packet for UdpRecv {
+    fn kind(&self) -> EventKind {
+        EventKind::UdpRecv
+    }
+
+    fn field(&self, field: Field) -> Option<u64> {
+        match field {
+            Field::UdpSrcAddr => Some(u64::from(u32::from(self.src))),
+            Field::UdpDstAddr => Some(u64::from(u32::from(self.dst))),
+            Field::UdpSrcPort => Some(u64::from(self.src_port)),
+            Field::UdpDstPort => Some(u64::from(self.dst_port)),
+            Field::UdpPayloadLen => Some(self.payload.total_len() as u64),
+            _ => None,
+        }
+    }
+
+    fn head(&self) -> &[u8] {
+        self.payload.head()
+    }
+}
+
+impl Packet for TcpRecv {
+    fn kind(&self) -> EventKind {
+        EventKind::TcpRecv
+    }
+
+    fn field(&self, field: Field) -> Option<u64> {
+        match field {
+            Field::TcpSrcAddr => Some(u64::from(u32::from(self.src))),
+            Field::TcpDstAddr => Some(u64::from(u32::from(self.dst))),
+            Field::TcpSrcPort => Some(u64::from(self.segment.src_port)),
+            Field::TcpDstPort => Some(u64::from(self.segment.dst_port)),
+            Field::TcpFlagSyn => Some(u64::from(self.segment.flags.syn)),
+            Field::TcpFlagAck => Some(u64::from(self.segment.flags.ack)),
+            Field::TcpPayloadLen => Some(self.segment.payload.len() as u64),
+            _ => None,
+        }
+    }
+
+    fn head(&self) -> &[u8] {
+        &self.segment.payload
+    }
 }
 
 /// How an application wants its handler delivered (§3.3).

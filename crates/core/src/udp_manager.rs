@@ -20,19 +20,20 @@
 //!   incrementally.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
-use plexus_kernel::dispatcher::{GuardFn, HandlerId, RaiseCtx};
+use plexus_filter::{conjunction, EventKind, Field, FieldKey, Operand, Policy, PortSet, Test};
+use plexus_kernel::dispatcher::{HandlerId, RaiseCtx};
 use plexus_kernel::domain::LinkedExtension;
-use plexus_kernel::view::view;
 use plexus_net::checksum::incremental_update;
 use plexus_net::ip::proto;
 use plexus_net::mbuf::Mbuf;
-use plexus_net::udp::{self, UdpConfig, UdpView, UDP_HDR_LEN};
+use plexus_net::udp::{self, UdpConfig, UDP_HDR_LEN};
 use plexus_sim::Engine;
 
+use crate::guards;
 use crate::stack::StackShared;
 use crate::types::{AppHandler, IpRecv, IpSendReq, PlexusError, SourcePolicy, UdpRecv};
 
@@ -49,8 +50,10 @@ pub struct UdpManager {
     shared: Rc<StackShared>,
     ports: RefCell<HashMap<u16, PortUse>>,
     /// Ports claimed by special implementations or redirects; the standard
-    /// UDP node's guard excludes them.
-    special_ports: Rc<RefCell<HashSet<u16>>>,
+    /// UDP node's guard excludes them. The set is shared with the installed
+    /// guard *program* (via `JInSet`), so claims take effect without
+    /// reinstalling the node.
+    special_ports: PortSet,
     delivered: Cell<u64>,
     spoofs_blocked: Cell<u64>,
     unreachable: Cell<u64>,
@@ -60,7 +63,7 @@ impl UdpManager {
     /// Installs the standard UDP implementation node and returns the
     /// manager.
     pub(crate) fn install(shared: &Rc<StackShared>) -> Rc<UdpManager> {
-        let special_ports: Rc<RefCell<HashSet<u16>>> = Rc::new(RefCell::new(HashSet::new()));
+        let special_ports = PortSet::new();
         let mgr = Rc::new(UdpManager {
             shared: shared.clone(),
             ports: RefCell::new(HashMap::new()),
@@ -72,16 +75,18 @@ impl UdpManager {
 
         // Standard UDP node: IP payloads whose protocol is UDP and whose
         // destination port is not claimed by a special implementation.
-        let sp = special_ports.clone();
-        let guard: GuardFn<IpRecv> = Box::new(move |ev: &IpRecv| {
-            if ev.protocol != proto::UDP {
-                return false;
-            }
-            match view::<UdpView>(ev.payload.head()) {
-                Some(v) => !sp.borrow().contains(&v.dst_port()),
-                None => false,
-            }
-        });
+        let guard = guards::verified(
+            guards::transport_over_ip(
+                proto::UDP,
+                None,
+                Some(Test::NotInSet {
+                    op: guards::TRANSPORT_DST_PORT,
+                    set: 0,
+                }),
+                vec![special_ports],
+            ),
+            &Policy::new(),
+        );
         let s = shared.clone();
         let m = mgr.clone();
         shared.install_layer(
@@ -180,23 +185,53 @@ impl UdpManager {
 
         let my_ip = self.shared.ip;
         let handler_id = if standard {
-            // Endpoint node on Udp.PacketRecv.
-            let guard: GuardFn<UdpRecv> = Box::new(move |ev: &UdpRecv| {
-                ev.dst_port == port && (ev.dst == my_ip || ev.dst == Ipv4Addr::BROADCAST)
-            });
+            // Endpoint node on Udp.PacketRecv. The policy makes the §3.1
+            // anti-snooping argument a machine-checked theorem: the program
+            // provably accepts only this binding's port at this host.
+            let policy = Policy::new()
+                .require_eq(FieldKey::Field(Field::UdpDstPort), u64::from(port))
+                .require_in(
+                    FieldKey::Field(Field::UdpDstAddr),
+                    guards::local_dst_values(my_ip),
+                );
+            let guard = guards::verified(
+                conjunction(
+                    EventKind::UdpRecv,
+                    &[
+                        Test::eq(Operand::Field(Field::UdpDstPort), u64::from(port)),
+                        Test::one_of(
+                            Operand::Field(Field::UdpDstAddr),
+                            guards::local_dst_values(my_ip),
+                        ),
+                    ],
+                    vec![],
+                ),
+                &policy,
+            );
             self.shared
                 .install_app(self.shared.events.udp_recv, Some(guard), handler)
         } else {
             // Special implementation: its own node on Ip.PacketRecv, doing
-            // its own (cheaper) datagram processing.
-            self.special_ports.borrow_mut().insert(port);
-            let guard: GuardFn<IpRecv> = Box::new(move |ev: &IpRecv| {
-                ev.protocol == proto::UDP
-                    && (ev.dst == my_ip || ev.dst == Ipv4Addr::BROADCAST)
-                    && view::<UdpView>(ev.payload.head())
-                        .map(|v| v.dst_port() == port)
-                        .unwrap_or(false)
-            });
+            // its own (cheaper) datagram processing. Its guard reads the
+            // port straight out of the raw UDP header, and the policy pins
+            // that load to the claimed port.
+            self.special_ports.insert(port);
+            let policy = Policy::new()
+                .require_eq(FieldKey::Field(Field::IpProto), u64::from(proto::UDP))
+                .require_eq(guards::TRANSPORT_DST_PORT_KEY, u64::from(port))
+                .require_in(
+                    FieldKey::Field(Field::IpDst),
+                    guards::local_dst_values(my_ip),
+                );
+            let guard = guards::verified(
+                guards::transport_over_ip(
+                    proto::UDP,
+                    Some(my_ip),
+                    Some(Test::eq(guards::TRANSPORT_DST_PORT, u64::from(port))),
+                    vec![],
+                ),
+                &policy,
+            );
             let wrapped = wrap_special_udp(config, handler);
             self.shared
                 .install_app(self.shared.events.ip_recv, Some(guard), wrapped)
@@ -230,14 +265,20 @@ impl UdpManager {
         new_dst: Ipv4Addr,
     ) -> Result<HandlerId, PlexusError> {
         self.claim_port(port, PortUse::Redirect)?;
-        self.special_ports.borrow_mut().insert(port);
+        self.special_ports.insert(port);
         let shared = self.shared.clone();
-        let guard: GuardFn<IpRecv> = Box::new(move |ev: &IpRecv| {
-            ev.protocol == proto::UDP
-                && view::<UdpView>(ev.payload.head())
-                    .map(|v| v.dst_port() == port)
-                    .unwrap_or(false)
-        });
+        let policy = Policy::new()
+            .require_eq(FieldKey::Field(Field::IpProto), u64::from(proto::UDP))
+            .require_eq(guards::TRANSPORT_DST_PORT_KEY, u64::from(port));
+        let guard = guards::verified(
+            guards::transport_over_ip(
+                proto::UDP,
+                None,
+                Some(Test::eq(guards::TRANSPORT_DST_PORT, u64::from(port))),
+                vec![],
+            ),
+            &policy,
+        );
         let old_dst = self.shared.ip;
         Ok(self.shared.install_layer(
             self.shared.events.ip_recv,
@@ -264,7 +305,7 @@ impl UdpManager {
 
     fn release(&self, port: u16) {
         self.ports.borrow_mut().remove(&port);
-        self.special_ports.borrow_mut().remove(&port);
+        self.special_ports.remove(port);
     }
 }
 

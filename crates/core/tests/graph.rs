@@ -597,7 +597,8 @@ fn udp_redirect_forwards_to_secondary_host() {
     let cext = client.link_extension(&ext_spec("C")).unwrap();
 
     fwd.udp().redirect(&fext, 7777, ip(3)).unwrap();
-    let got: Rc<RefCell<Vec<(Ipv4Addr, Vec<u8>)>>> = Rc::new(RefCell::new(Vec::new()));
+    type Received = Vec<(Ipv4Addr, Vec<u8>)>;
+    let got: Rc<RefCell<Received>> = Rc::new(RefCell::new(Vec::new()));
     let g = got.clone();
     server
         .udp()

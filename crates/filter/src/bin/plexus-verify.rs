@@ -1,0 +1,256 @@
+//! `plexus-verify` — command-line linter for extension specs and guards.
+//!
+//! Reads one or more `.spec` files, checks the declared imports/refs/
+//! exports against the interfaces the file declares, and — when the file
+//! describes a guard — compiles it and runs the static verifier with the
+//! declared policy. All violations are reported; the exit code is nonzero
+//! if any file fails.
+//!
+//! File format (line-based, `#` comments):
+//!
+//! ```text
+//! name        Video
+//! signature   typesafe | trusted | unsigned
+//! interface   UDP: PacketRecv Send        # a known interface + symbols
+//! import      UDP.PacketRecv
+//! ref         UDP.PacketRecv              # a symbol the body references
+//! export      Frame
+//! guard-kind  UdpRecv
+//! guard-test  field UdpDstPort == 7000
+//! guard-test  field UdpDstAddr in 167772162 4294967295
+//! guard-test  pay 2 w16 == 7000
+//! policy      field UdpDstPort in 7000    # must be provable at accept
+//! ```
+
+use std::process::ExitCode;
+
+use plexus_filter::spec::{analyze, InterfaceTable, SpecInfo, SpecSignature};
+use plexus_filter::{
+    conjunction, verify_with_policy, EventKind, Field, FieldKey, Operand, Policy, Test, Width,
+};
+
+#[derive(Default)]
+struct ParsedSpec {
+    info: SpecInfo,
+    table: InterfaceTable,
+    guard_kind: Option<EventKind>,
+    guard_tests: Vec<Test>,
+    policy: Policy,
+    has_policy: bool,
+}
+
+fn parse_field(name: &str) -> Result<Field, String> {
+    use Field::*;
+    Ok(match name {
+        "EthDst" => EthDst,
+        "EthSrc" => EthSrc,
+        "EthType" => EthType,
+        "FrameLen" => FrameLen,
+        "IpSrc" => IpSrc,
+        "IpDst" => IpDst,
+        "IpProto" => IpProto,
+        "IpPayloadLen" => IpPayloadLen,
+        "UdpSrcAddr" => UdpSrcAddr,
+        "UdpDstAddr" => UdpDstAddr,
+        "UdpSrcPort" => UdpSrcPort,
+        "UdpDstPort" => UdpDstPort,
+        "UdpPayloadLen" => UdpPayloadLen,
+        "TcpSrcAddr" => TcpSrcAddr,
+        "TcpDstAddr" => TcpDstAddr,
+        "TcpSrcPort" => TcpSrcPort,
+        "TcpDstPort" => TcpDstPort,
+        "TcpFlagSyn" => TcpFlagSyn,
+        "TcpFlagAck" => TcpFlagAck,
+        "TcpPayloadLen" => TcpPayloadLen,
+        other => return Err(format!("unknown field {other}")),
+    })
+}
+
+fn parse_kind(name: &str) -> Result<EventKind, String> {
+    Ok(match name {
+        "EthRecv" => EventKind::EthRecv,
+        "IpRecv" => EventKind::IpRecv,
+        "UdpRecv" => EventKind::UdpRecv,
+        "TcpRecv" => EventKind::TcpRecv,
+        other => return Err(format!("unknown event kind {other}")),
+    })
+}
+
+fn parse_width(name: &str) -> Result<Width, String> {
+    Ok(match name {
+        "w8" => Width::W8,
+        "w16" => Width::W16,
+        "w32" => Width::W32,
+        other => return Err(format!("unknown width {other}")),
+    })
+}
+
+/// Parses `field <Name>` or `pay <off> <width>` from the front of `words`,
+/// returning the operand and the remaining words.
+fn parse_operand<'a>(words: &'a [&'a str]) -> Result<(Operand, &'a [&'a str]), String> {
+    match words {
+        ["field", name, rest @ ..] => Ok((Operand::Field(parse_field(name)?), rest)),
+        ["pay", off, width, rest @ ..] => {
+            let off: u16 = off.parse().map_err(|_| format!("bad offset {off}"))?;
+            Ok((
+                Operand::Pay {
+                    off,
+                    width: parse_width(width)?,
+                },
+                rest,
+            ))
+        }
+        _ => Err("expected `field <Name>` or `pay <off> <width>`".to_string()),
+    }
+}
+
+fn parse_values(words: &[&str]) -> Result<Vec<u64>, String> {
+    if words.is_empty() {
+        return Err("expected at least one value".to_string());
+    }
+    words
+        .iter()
+        .map(|w| w.parse::<u64>().map_err(|_| format!("bad value {w}")))
+        .collect()
+}
+
+fn operand_key(op: Operand) -> FieldKey {
+    match op {
+        Operand::Field(f) => FieldKey::Field(f),
+        Operand::Pay { off, width } => FieldKey::Pay(off, width),
+    }
+}
+
+fn parse_spec(text: &str) -> Result<ParsedSpec, String> {
+    let mut spec = ParsedSpec::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        let words: Vec<&str> = rest.split_whitespace().collect();
+        match keyword {
+            "name" => spec.info.name = rest.to_string(),
+            "signature" => {
+                spec.info.signature = match rest {
+                    "typesafe" => SpecSignature::TypesafeCompiler,
+                    "trusted" => SpecSignature::TrustedVendor,
+                    "unsigned" => SpecSignature::Unsigned,
+                    other => return Err(err(format!("unknown signature {other}"))),
+                }
+            }
+            "interface" => {
+                let (iface, syms) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("expected `interface Name: Sym ...`".into()))?;
+                let iface = iface.trim().to_string();
+                let symbols: Vec<String> = syms
+                    .split_whitespace()
+                    .map(|s| format!("{iface}.{s}"))
+                    .collect();
+                spec.table.insert(iface, symbols);
+            }
+            "import" => spec.info.imports.push(rest.to_string()),
+            "ref" => spec.info.refs.push(rest.to_string()),
+            "export" => spec.info.exports.push(rest.to_string()),
+            "guard-kind" => spec.guard_kind = Some(parse_kind(rest).map_err(err)?),
+            "guard-test" => {
+                let (op, tail) = parse_operand(&words).map_err(err)?;
+                let test = match tail {
+                    ["==", value] => Test::eq(
+                        op,
+                        value
+                            .parse()
+                            .map_err(|_| err(format!("bad value {value}")))?,
+                    ),
+                    ["in", values @ ..] => Test::one_of(op, parse_values(values).map_err(err)?),
+                    _ => return Err(err("expected `== <v>` or `in <v>...`".into())),
+                };
+                spec.guard_tests.push(test);
+            }
+            "policy" => {
+                let (op, tail) = parse_operand(&words).map_err(err)?;
+                let values = match tail {
+                    ["==", value] => vec![value
+                        .parse()
+                        .map_err(|_| err(format!("bad value {value}")))?],
+                    ["in", values @ ..] => parse_values(values).map_err(err)?,
+                    _ => return Err(err("expected `== <v>` or `in <v>...`".into())),
+                };
+                spec.policy = std::mem::take(&mut spec.policy).require_in(operand_key(op), values);
+                spec.has_policy = true;
+            }
+            other => return Err(err(format!("unknown keyword {other}"))),
+        }
+    }
+    if spec.info.name.is_empty() {
+        return Err("spec is missing a `name` line".to_string());
+    }
+    Ok(spec)
+}
+
+fn check_file(path: &str) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let spec = parse_spec(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    let mut clean = true;
+    println!("== {path} ({}) ==", spec.info.name);
+
+    let report = analyze(&spec.table, &spec.info);
+    if report.is_clean() {
+        println!("spec: clean ({} import(s))", spec.info.imports.len());
+    } else {
+        clean = false;
+        print!("spec: {report}");
+    }
+
+    if !spec.guard_tests.is_empty() || spec.guard_kind.is_some() {
+        let kind = spec
+            .guard_kind
+            .ok_or_else(|| format!("{path}: guard-test without guard-kind"))?;
+        let program = conjunction(kind, &spec.guard_tests, Vec::new());
+        match verify_with_policy(&program, &spec.policy) {
+            Ok(vp) => println!(
+                "guard: verified ({} insn(s), worst-case cost {}{})",
+                vp.program().insns.len(),
+                vp.cost(),
+                if spec.has_policy {
+                    ", policy proven"
+                } else {
+                    ""
+                }
+            ),
+            Err(report) => {
+                clean = false;
+                print!("guard: {report}");
+            }
+        }
+    }
+    Ok(clean)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: plexus-verify <spec-file>...");
+        return ExitCode::from(2);
+    }
+    let mut all_clean = true;
+    for path in &args {
+        match check_file(path) {
+            Ok(clean) => all_clean &= clean,
+            Err(e) => {
+                eprintln!("error: {e}");
+                all_clean = false;
+            }
+        }
+    }
+    if all_clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,179 @@
+//! Declarative guard construction.
+//!
+//! Protocol managers describe a guard as a conjunction of [`Test`]s and
+//! [`conjunction`] compiles it to IR: each test either falls through to
+//! the next or jumps to a shared failure label; the final fall-through is
+//! `Accept`. All emitted control flow is forward, so the result always
+//! verifies for termination, and the `Jeq`/`Jne` shapes it emits are
+//! exactly what the verifier's value-range analysis understands — a guard
+//! built with `conjunction` proves its own policy compliance.
+
+use crate::ir::{EventKind, Field, FilterProgram, Insn, PortSet, Reg, SetId, Src, Width};
+
+/// What a test examines: a typed field or raw payload bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// A typed event field.
+    Field(Field),
+    /// A big-endian payload load at `(offset, width)`.
+    Pay {
+        /// Byte offset into the payload head.
+        off: u16,
+        /// Load width.
+        width: Width,
+    },
+}
+
+/// One conjunct of a guard predicate.
+#[derive(Clone, Debug)]
+pub enum Test {
+    /// The operand must equal one of `values`.
+    In {
+        /// What to load.
+        op: Operand,
+        /// Accepted values (must be non-empty).
+        values: Vec<u64>,
+    },
+    /// The operand must be a member of the shared port set.
+    InSet {
+        /// What to load.
+        op: Operand,
+        /// Which of the program's sets to probe.
+        set: SetId,
+    },
+    /// The operand must **not** be a member of the shared port set.
+    NotInSet {
+        /// What to load.
+        op: Operand,
+        /// Which of the program's sets to probe.
+        set: SetId,
+    },
+}
+
+impl Test {
+    /// `op == value`.
+    pub fn eq(op: Operand, value: u64) -> Test {
+        Test::In {
+            op,
+            values: vec![value],
+        }
+    }
+
+    /// `op ∈ values`.
+    pub fn one_of(op: Operand, values: impl IntoIterator<Item = u64>) -> Test {
+        Test::In {
+            op,
+            values: values.into_iter().collect(),
+        }
+    }
+}
+
+enum Fixup {
+    /// Patch the jump at this index to target the failure label.
+    ToFail(usize),
+    /// Patch the jump at this index to target an absolute pc.
+    To(usize, usize),
+}
+
+fn set_off(insn: &mut Insn, at: usize, target: usize) {
+    let delta = u16::try_from(target - at - 1).expect("builder emitted an over-long jump");
+    match insn {
+        Insn::Jeq { off, .. }
+        | Insn::Jne { off, .. }
+        | Insn::Jlt { off, .. }
+        | Insn::Jgt { off, .. }
+        | Insn::JInSet { off, .. }
+        | Insn::Ja { off } => *off = delta,
+        _ => unreachable!("fixup on a non-jump instruction"),
+    }
+}
+
+/// Compiles the conjunction of `tests` over `kind` events into a
+/// [`FilterProgram`] carrying `sets`.
+///
+/// Panics on malformed input (an `In` test with no values, or a `set` id
+/// with no backing entry) — these are builder-usage bugs, not packet-time
+/// conditions.
+pub fn conjunction(kind: EventKind, tests: &[Test], sets: Vec<PortSet>) -> FilterProgram {
+    let r0 = Reg(0);
+    let mut insns: Vec<Insn> = Vec::new();
+    let mut fixups: Vec<Fixup> = Vec::new();
+
+    let load = |op: Operand, insns: &mut Vec<Insn>| match op {
+        Operand::Field(field) => insns.push(Insn::Ld { dst: r0, field }),
+        Operand::Pay { off, width } => insns.push(Insn::LdPay {
+            dst: r0,
+            off,
+            width,
+        }),
+    };
+
+    for test in tests {
+        match test {
+            Test::In { op, values } => {
+                assert!(!values.is_empty(), "Test::In with no values");
+                load(*op, &mut insns);
+                let (last, rest) = values.split_last().expect("non-empty");
+                let mut to_next: Vec<usize> = Vec::new();
+                for v in rest {
+                    to_next.push(insns.len());
+                    insns.push(Insn::Jeq {
+                        a: r0,
+                        b: Src::Imm(*v),
+                        off: 0,
+                    });
+                }
+                fixups.push(Fixup::ToFail(insns.len()));
+                insns.push(Insn::Jne {
+                    a: r0,
+                    b: Src::Imm(*last),
+                    off: 0,
+                });
+                let next = insns.len();
+                for at in to_next {
+                    fixups.push(Fixup::To(at, next));
+                }
+            }
+            Test::InSet { op, set } => {
+                assert!((*set as usize) < sets.len(), "Test::InSet names no set");
+                load(*op, &mut insns);
+                let jin = insns.len();
+                insns.push(Insn::JInSet {
+                    a: r0,
+                    set: *set,
+                    off: 0,
+                });
+                fixups.push(Fixup::ToFail(insns.len()));
+                insns.push(Insn::Ja { off: 0 });
+                fixups.push(Fixup::To(jin, insns.len()));
+            }
+            Test::NotInSet { op, set } => {
+                assert!((*set as usize) < sets.len(), "Test::NotInSet names no set");
+                load(*op, &mut insns);
+                fixups.push(Fixup::ToFail(insns.len()));
+                insns.push(Insn::JInSet {
+                    a: r0,
+                    set: *set,
+                    off: 0,
+                });
+            }
+        }
+    }
+
+    insns.push(Insn::Accept);
+    if !fixups.is_empty() {
+        let fail = insns.len();
+        insns.push(Insn::Reject);
+        for fixup in fixups {
+            let (at, target) = match fixup {
+                Fixup::ToFail(at) => (at, fail),
+                Fixup::To(at, target) => (at, target),
+            };
+            let mut insn = insns[at].clone();
+            set_off(&mut insn, at, target);
+            insns[at] = insn;
+        }
+    }
+
+    FilterProgram { kind, insns, sets }
+}

@@ -1,0 +1,217 @@
+//! Guard program interpreters.
+//!
+//! [`eval`] is the production interpreter: it only runs
+//! [`VerifiedProgram`]s, and even then is fully defensive — any anomaly
+//! (missing field, short payload, exhausted fuel) rejects the packet
+//! instead of faulting. [`eval_unchecked`] interprets a *raw*
+//! [`FilterProgram`] with no safety net; it exists to demonstrate (in
+//! tests) that programs the verifier rejects really would fault.
+
+use crate::ir::{EventKind, Field, FilterProgram, Insn, Src, Width, MAX_COST};
+use crate::verify::VerifiedProgram;
+
+/// How an event exposes its typed fields and contiguous head bytes to a
+/// guard program.
+pub trait Packet {
+    /// The event kind this packet is.
+    fn kind(&self) -> EventKind;
+
+    /// Reads a typed field; `None` if the field does not belong to this
+    /// packet's kind.
+    fn field(&self, field: Field) -> Option<u64>;
+
+    /// The contiguous head of the payload, addressed by `LdPay`.
+    fn head(&self) -> &[u8];
+}
+
+fn load_be(bytes: &[u8], width: Width) -> u64 {
+    bytes.iter().fold(0u64, |acc, b| (acc << 8) | *b as u64)
+        & match width {
+            Width::W8 => 0xFF,
+            Width::W16 => 0xFFFF,
+            Width::W32 => 0xFFFF_FFFF,
+        }
+}
+
+/// Evaluates a verified guard against a packet. Total and fault-free: any
+/// runtime anomaly (kind mismatch, short payload, missing field) rejects.
+pub fn eval<P: Packet + ?Sized>(vp: &VerifiedProgram, pkt: &P) -> bool {
+    let program = vp.program();
+    if pkt.kind() != program.kind {
+        return false;
+    }
+
+    let mut regs = [0u64; crate::ir::NUM_REGS];
+    let mut pc = 0usize;
+    // Defense in depth: verification already bounds cost, but the
+    // interpreter carries its own fuel so even a bug in the verifier
+    // cannot produce an unbounded evaluation.
+    let mut fuel = MAX_COST;
+
+    while pc < program.insns.len() {
+        let insn = &program.insns[pc];
+        match fuel.checked_sub(insn.cost()) {
+            Some(rest) => fuel = rest,
+            None => return false,
+        }
+
+        let src = |s: &Src, regs: &[u64]| match s {
+            Src::Imm(v) => Some(*v),
+            Src::Reg(r) => regs.get(r.0 as usize).copied(),
+        };
+
+        match insn {
+            Insn::Ld { dst, field } => {
+                let Some(slot) = regs.get_mut(dst.0 as usize) else {
+                    return false;
+                };
+                match pkt.field(*field) {
+                    Some(v) => *slot = v,
+                    None => return false,
+                }
+            }
+            Insn::LdImm { dst, imm } => {
+                let Some(slot) = regs.get_mut(dst.0 as usize) else {
+                    return false;
+                };
+                *slot = *imm;
+            }
+            Insn::LdPay { dst, off, width } => {
+                let start = *off as usize;
+                let end = start + width.bytes() as usize;
+                let Some(bytes) = pkt.head().get(start..end) else {
+                    return false;
+                };
+                let v = load_be(bytes, *width);
+                let Some(slot) = regs.get_mut(dst.0 as usize) else {
+                    return false;
+                };
+                *slot = v;
+            }
+            Insn::And { dst, src: s } | Insn::Or { dst, src: s } => {
+                let Some(b) = src(s, &regs) else { return false };
+                let Some(slot) = regs.get_mut(dst.0 as usize) else {
+                    return false;
+                };
+                *slot = if matches!(insn, Insn::And { .. }) {
+                    *slot & b
+                } else {
+                    *slot | b
+                };
+            }
+            Insn::Jeq { a, b, off }
+            | Insn::Jne { a, b, off }
+            | Insn::Jlt { a, b, off }
+            | Insn::Jgt { a, b, off } => {
+                let Some(av) = regs.get(a.0 as usize).copied() else {
+                    return false;
+                };
+                let Some(bv) = src(b, &regs) else {
+                    return false;
+                };
+                let taken = match insn {
+                    Insn::Jeq { .. } => av == bv,
+                    Insn::Jne { .. } => av != bv,
+                    Insn::Jlt { .. } => av < bv,
+                    _ => av > bv,
+                };
+                if taken {
+                    pc += *off as usize;
+                }
+            }
+            Insn::JInSet { a, set, off } => {
+                let Some(av) = regs.get(a.0 as usize).copied() else {
+                    return false;
+                };
+                let Some(ports) = program.sets.get(*set as usize) else {
+                    return false;
+                };
+                let member = u16::try_from(av)
+                    .map(|p| ports.contains(p))
+                    .unwrap_or(false);
+                if member {
+                    pc += *off as usize;
+                }
+            }
+            Insn::Ja { off } => pc += *off as usize,
+            Insn::Accept => return true,
+            Insn::Reject => return false,
+        }
+        pc += 1;
+    }
+    // Fell off the end: verified programs never do, reject defensively.
+    false
+}
+
+/// Interprets a **raw, unverified** program with no safety checks: field
+/// type mismatches, short payloads, bad registers, unknown sets, and
+/// out-of-range jumps all panic, and falling off the end panics too.
+///
+/// This is deliberately the interpreter a kernel must never run — it
+/// exists so tests can demonstrate that programs rejected by the verifier
+/// actually fault without it.
+pub fn eval_unchecked<P: Packet + ?Sized>(program: &FilterProgram, pkt: &P) -> bool {
+    let mut regs = [0u64; crate::ir::NUM_REGS];
+    let mut pc = 0usize;
+
+    loop {
+        let insn = program
+            .insns
+            .get(pc)
+            .unwrap_or_else(|| panic!("fell off the end of the program at pc {pc}"));
+
+        let src = |s: &Src, regs: &[u64]| match s {
+            Src::Imm(v) => *v,
+            Src::Reg(r) => regs[r.0 as usize],
+        };
+
+        match insn {
+            Insn::Ld { dst, field } => {
+                regs[dst.0 as usize] = pkt
+                    .field(*field)
+                    .unwrap_or_else(|| panic!("field {field} absent on {} packet", pkt.kind()));
+            }
+            Insn::LdImm { dst, imm } => regs[dst.0 as usize] = *imm,
+            Insn::LdPay { dst, off, width } => {
+                let start = *off as usize;
+                let bytes = &pkt.head()[start..start + width.bytes() as usize];
+                regs[dst.0 as usize] = load_be(bytes, *width);
+            }
+            Insn::And { dst, src: s } => {
+                let b = src(s, &regs);
+                regs[dst.0 as usize] &= b;
+            }
+            Insn::Or { dst, src: s } => {
+                let b = src(s, &regs);
+                regs[dst.0 as usize] |= b;
+            }
+            Insn::Jeq { a, b, off }
+            | Insn::Jne { a, b, off }
+            | Insn::Jlt { a, b, off }
+            | Insn::Jgt { a, b, off } => {
+                let av = regs[a.0 as usize];
+                let bv = src(b, &regs);
+                let taken = match insn {
+                    Insn::Jeq { .. } => av == bv,
+                    Insn::Jne { .. } => av != bv,
+                    Insn::Jlt { .. } => av < bv,
+                    _ => av > bv,
+                };
+                if taken {
+                    pc += *off as usize;
+                }
+            }
+            Insn::JInSet { a, set, off } => {
+                let av = regs[a.0 as usize];
+                let ports = &program.sets[*set as usize];
+                if ports.contains(av as u16) {
+                    pc += *off as usize;
+                }
+            }
+            Insn::Ja { off } => pc += *off as usize,
+            Insn::Accept => return true,
+            Insn::Reject => return false,
+        }
+        pc += 1;
+    }
+}

@@ -1,0 +1,253 @@
+//! Static analysis of extension specs.
+//!
+//! The dynamic linker (`kernel::domain`) resolves imports at link time and
+//! reports what is missing. This module is the install-time *lint* pass
+//! over the same data: it computes the import closure of an extension spec
+//! against a table of known interfaces and reports **every** violation —
+//! unresolved imports, imports the body never references (unused), body
+//! references that were never imported (undeclared), duplicates,
+//! self-imports, export collisions, and missing signatures. The same pass
+//! powers `Domain::check_spec` in the kernel and the `plexus-verify`
+//! command-line linter.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How a spec claims to have been produced (mirrors
+/// `kernel::domain::Signature` without depending on the kernel crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SpecSignature {
+    /// Digitally signed by the type-safe compiler.
+    TypesafeCompiler,
+    /// Signed by a trusted vendor.
+    TrustedVendor,
+    /// No signature at all.
+    #[default]
+    Unsigned,
+}
+
+/// The linter's view of an extension spec.
+#[derive(Clone, Debug, Default)]
+pub struct SpecInfo {
+    /// Extension name (also the interface name its exports would create).
+    pub name: String,
+    /// Claimed provenance.
+    pub signature: SpecSignature,
+    /// Fully-qualified imported symbols (`"Interface.Symbol"`).
+    pub imports: Vec<String>,
+    /// Fully-qualified symbols the extension body references.
+    pub refs: Vec<String>,
+    /// Symbols the extension exports.
+    pub exports: Vec<String>,
+}
+
+/// The set of interfaces a spec may import from: interface name to its
+/// fully-qualified symbols.
+#[derive(Clone, Debug, Default)]
+pub struct InterfaceTable {
+    interfaces: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl InterfaceTable {
+    /// An empty table.
+    pub fn new() -> InterfaceTable {
+        InterfaceTable::default()
+    }
+
+    /// Registers an interface and its fully-qualified symbols.
+    pub fn insert(&mut self, name: impl Into<String>, symbols: impl IntoIterator<Item = String>) {
+        self.interfaces
+            .entry(name.into())
+            .or_default()
+            .extend(symbols);
+    }
+
+    /// Whether an interface with this name exists.
+    pub fn has_interface(&self, name: &str) -> bool {
+        self.interfaces.contains_key(name)
+    }
+
+    /// Whether the fully-qualified symbol resolves.
+    pub fn resolves(&self, qualified: &str) -> bool {
+        let Some((iface, _)) = qualified.split_once('.') else {
+            return false;
+        };
+        self.interfaces
+            .get(iface)
+            .is_some_and(|syms| syms.contains(qualified))
+    }
+}
+
+/// One spec lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecIssue {
+    /// The spec is not signed by the type-safe compiler or a trusted
+    /// vendor.
+    BadSignature,
+    /// An import that no known interface provides.
+    UnresolvedImport {
+        /// The unresolvable symbol.
+        symbol: String,
+    },
+    /// The same symbol imported more than once.
+    DuplicateImport {
+        /// The repeated symbol.
+        symbol: String,
+    },
+    /// An import the extension body never references (dead capability: it
+    /// widens the extension's authority for no reason).
+    UnusedImport {
+        /// The unused symbol.
+        symbol: String,
+    },
+    /// A body reference outside the import closure.
+    UndeclaredReference {
+        /// The referenced-but-not-imported symbol.
+        symbol: String,
+    },
+    /// An import from the extension's own (future) interface.
+    SelfImport {
+        /// The self-referential symbol.
+        symbol: String,
+    },
+    /// Linking would export an interface name that already exists.
+    ExportCollision {
+        /// The colliding interface name.
+        interface: String,
+    },
+    /// The same symbol exported more than once.
+    DuplicateExport {
+        /// The repeated symbol.
+        symbol: String,
+    },
+}
+
+impl fmt::Display for SpecIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecIssue::BadSignature => {
+                write!(
+                    f,
+                    "spec is unsigned (needs typesafe-compiler or trusted-vendor)"
+                )
+            }
+            SpecIssue::UnresolvedImport { symbol } => {
+                write!(f, "unresolved import: {symbol}")
+            }
+            SpecIssue::DuplicateImport { symbol } => {
+                write!(f, "duplicate import: {symbol}")
+            }
+            SpecIssue::UnusedImport { symbol } => {
+                write!(f, "unused import (dead capability): {symbol}")
+            }
+            SpecIssue::UndeclaredReference { symbol } => {
+                write!(f, "body references {symbol} without importing it")
+            }
+            SpecIssue::SelfImport { symbol } => {
+                write!(f, "self-import: {symbol}")
+            }
+            SpecIssue::ExportCollision { interface } => {
+                write!(
+                    f,
+                    "exporting would collide with existing interface {interface}"
+                )
+            }
+            SpecIssue::DuplicateExport { symbol } => {
+                write!(f, "duplicate export: {symbol}")
+            }
+        }
+    }
+}
+
+/// Every issue found in one spec, in discovery order.
+#[derive(Clone, Debug, Default)]
+pub struct SpecReport {
+    /// All findings.
+    pub issues: Vec<SpecIssue>,
+}
+
+impl SpecReport {
+    /// Whether the spec is clean.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+impl fmt::Display for SpecReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "spec is clean");
+        }
+        writeln!(f, "spec check failed ({} issue(s)):", self.issues.len())?;
+        for issue in &self.issues {
+            writeln!(f, "  - {issue}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Lints `spec` against `table`, reporting every violation (never just the
+/// first).
+pub fn analyze(table: &InterfaceTable, spec: &SpecInfo) -> SpecReport {
+    let mut report = SpecReport::default();
+
+    if spec.signature == SpecSignature::Unsigned {
+        report.issues.push(SpecIssue::BadSignature);
+    }
+
+    let mut seen_imports: BTreeSet<&str> = BTreeSet::new();
+    for import in &spec.imports {
+        if !seen_imports.insert(import) {
+            report.issues.push(SpecIssue::DuplicateImport {
+                symbol: import.clone(),
+            });
+            continue;
+        }
+        if import
+            .split_once('.')
+            .is_some_and(|(iface, _)| iface == spec.name)
+        {
+            report.issues.push(SpecIssue::SelfImport {
+                symbol: import.clone(),
+            });
+            continue;
+        }
+        if !table.resolves(import) {
+            report.issues.push(SpecIssue::UnresolvedImport {
+                symbol: import.clone(),
+            });
+        }
+    }
+
+    let refs: BTreeSet<&str> = spec.refs.iter().map(String::as_str).collect();
+    for import in &seen_imports {
+        if !refs.contains(import) {
+            report.issues.push(SpecIssue::UnusedImport {
+                symbol: (*import).to_string(),
+            });
+        }
+    }
+    for reference in &refs {
+        if !seen_imports.contains(reference) {
+            report.issues.push(SpecIssue::UndeclaredReference {
+                symbol: (*reference).to_string(),
+            });
+        }
+    }
+
+    if !spec.exports.is_empty() && table.has_interface(&spec.name) {
+        report.issues.push(SpecIssue::ExportCollision {
+            interface: spec.name.clone(),
+        });
+    }
+    let mut seen_exports: BTreeSet<&str> = BTreeSet::new();
+    for export in &spec.exports {
+        if !seen_exports.insert(export) {
+            report.issues.push(SpecIssue::DuplicateExport {
+                symbol: export.clone(),
+            });
+        }
+    }
+
+    report
+}

@@ -1,0 +1,740 @@
+//! The static verifier.
+//!
+//! `verify` proves, before a guard is installed, that the program:
+//!
+//! * loads only fields of its own event kind, and payload bytes only
+//!   within the static window (`PAY_WINDOW`);
+//! * reads only registers that are written on **every** path reaching the
+//!   read;
+//! * jumps only to in-range (forward) targets, reaches every instruction,
+//!   and terminates every path with `Accept`/`Reject`;
+//! * stays within the instruction-count and cost budgets (cost is a sound
+//!   per-evaluation bound because control flow is forward-only);
+//! * and, under a [`Policy`], can only accept packets whose constrained
+//!   fields provably lie inside the allowed value sets — the "cannot
+//!   snoop" guarantee of §3.1: a guard installed on behalf of an
+//!   application must constrain the destination port/address to that
+//!   application's own binding.
+//!
+//! All violations are collected into one [`FilterReport`]; verification
+//! never stops at the first error.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::ir::{
+    EventKind, Field, FilterProgram, Insn, Reg, Src, Width, MAX_COST, MAX_INSNS, NUM_REGS,
+    PAY_WINDOW,
+};
+
+/// What a value-range constraint or abstract field refers to: a typed
+/// field, or a raw payload load (offset + width).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FieldKey {
+    /// A typed event field.
+    Field(Field),
+    /// A raw payload load at `(offset, width)`.
+    Pay(u16, Width),
+}
+
+impl fmt::Display for FieldKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldKey::Field(field) => write!(f, "{field}"),
+            FieldKey::Pay(off, width) => write!(f, "payload[{off}..+{}]", width.bytes()),
+        }
+    }
+}
+
+/// An install-time policy: at every reachable `Accept`, each constrained
+/// field must provably lie within its allowed set.
+#[derive(Clone, Debug, Default)]
+pub struct Policy {
+    constraints: Vec<(FieldKey, BTreeSet<u64>)>,
+}
+
+impl Policy {
+    /// A policy with no constraints (verification only).
+    pub fn new() -> Policy {
+        Policy::default()
+    }
+
+    /// Requires `key` to be provably within `allowed` at every accept.
+    pub fn require_in(mut self, key: FieldKey, allowed: impl IntoIterator<Item = u64>) -> Policy {
+        self.constraints.push((key, allowed.into_iter().collect()));
+        self
+    }
+
+    /// Requires `key` to be provably equal to `value` at every accept.
+    pub fn require_eq(self, key: FieldKey, value: u64) -> Policy {
+        self.require_in(key, [value])
+    }
+
+    /// Whether the policy constrains anything.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+/// One verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The program has no instructions.
+    EmptyProgram,
+    /// The program exceeds [`MAX_INSNS`].
+    TooLong {
+        /// Actual length.
+        len: usize,
+        /// The limit.
+        max: usize,
+    },
+    /// Total static cost exceeds [`MAX_COST`].
+    CostOverBudget {
+        /// Total program cost.
+        cost: u32,
+        /// The budget.
+        max: u32,
+    },
+    /// A `Ld` of a field belonging to a different event kind.
+    FieldKindMismatch {
+        /// Instruction index.
+        at: usize,
+        /// The mistyped field.
+        field: Field,
+        /// The program's declared kind.
+        program_kind: EventKind,
+    },
+    /// A `LdPay` extending beyond the static payload window.
+    OutOfBoundsLoad {
+        /// Instruction index.
+        at: usize,
+        /// Load offset.
+        off: u16,
+        /// Load width.
+        width: Width,
+        /// The window size.
+        window: u16,
+    },
+    /// A register index `>= NUM_REGS`.
+    BadRegister {
+        /// Instruction index.
+        at: usize,
+        /// The offending register index.
+        reg: u8,
+    },
+    /// A jump whose target lies at or beyond the end of the program.
+    JumpOutOfRange {
+        /// Instruction index.
+        at: usize,
+        /// Computed target.
+        target: usize,
+        /// Program length.
+        len: usize,
+    },
+    /// A `JInSet` naming a set the program does not carry.
+    UnknownPortSet {
+        /// Instruction index.
+        at: usize,
+        /// The missing set id.
+        set: u16,
+    },
+    /// A register read on some path before any write.
+    UndefinedRegister {
+        /// Instruction index.
+        at: usize,
+        /// The register read.
+        reg: u8,
+    },
+    /// An instruction no path can reach.
+    Unreachable {
+        /// Instruction index.
+        at: usize,
+    },
+    /// A reachable path falls off the end without `Accept`/`Reject`.
+    MissingTerminator {
+        /// Index of the final instruction the path falls through.
+        at: usize,
+    },
+    /// A reachable `Accept` where a policy-constrained field is not
+    /// provably within its allowed set.
+    PolicyViolation {
+        /// Index of the offending `Accept`.
+        at: usize,
+        /// The constrained field.
+        key: FieldKey,
+        /// Values the policy allows.
+        allowed: BTreeSet<u64>,
+        /// Values the field may hold at this accept (`None` = unbounded).
+        proven: Option<BTreeSet<u64>>,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::EmptyProgram => write!(f, "program is empty"),
+            VerifyError::TooLong { len, max } => {
+                write!(f, "program has {len} instructions (limit {max})")
+            }
+            VerifyError::CostOverBudget { cost, max } => {
+                write!(f, "program cost {cost} exceeds budget {max}")
+            }
+            VerifyError::FieldKindMismatch {
+                at,
+                field,
+                program_kind,
+            } => write!(
+                f,
+                "insn {at}: field {field} belongs to {} events, program filters {program_kind}",
+                field.kind()
+            ),
+            VerifyError::OutOfBoundsLoad {
+                at,
+                off,
+                width,
+                window,
+            } => write!(
+                f,
+                "insn {at}: payload load [{off}..+{}] exceeds {window}-byte window",
+                width.bytes()
+            ),
+            VerifyError::BadRegister { at, reg } => {
+                write!(f, "insn {at}: register r{reg} out of range (0..{NUM_REGS})")
+            }
+            VerifyError::JumpOutOfRange { at, target, len } => {
+                write!(
+                    f,
+                    "insn {at}: jump target {target} outside program (len {len})"
+                )
+            }
+            VerifyError::UnknownPortSet { at, set } => {
+                write!(f, "insn {at}: references unknown port set #{set}")
+            }
+            VerifyError::UndefinedRegister { at, reg } => {
+                write!(f, "insn {at}: register r{reg} read before any write")
+            }
+            VerifyError::Unreachable { at } => write!(f, "insn {at}: unreachable"),
+            VerifyError::MissingTerminator { at } => {
+                write!(
+                    f,
+                    "insn {at}: execution can fall off the end of the program"
+                )
+            }
+            VerifyError::PolicyViolation {
+                at,
+                key,
+                allowed,
+                proven,
+            } => {
+                write!(
+                    f,
+                    "insn {at}: policy violation: {key} must be within {allowed:?}, "
+                )?;
+                match proven {
+                    Some(vals) => write!(f, "but may hold {vals:?}"),
+                    None => write!(f, "but is unconstrained"),
+                }
+            }
+        }
+    }
+}
+
+/// The complete result of a failed verification: every violation found.
+#[derive(Clone, Debug, Default)]
+pub struct FilterReport {
+    /// All violations, in discovery order.
+    pub errors: Vec<VerifyError>,
+}
+
+impl FilterReport {
+    /// Whether verification found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Whether any error is a [`VerifyError::PolicyViolation`].
+    pub fn has_policy_violation(&self) -> bool {
+        self.errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::PolicyViolation { .. }))
+    }
+}
+
+impl fmt::Display for FilterReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "guard verification failed ({} error(s)):",
+            self.errors.len()
+        )?;
+        for e in &self.errors {
+            writeln!(f, "  - {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FilterReport {}
+
+/// A program that passed verification. Unforgeable: the only way to obtain
+/// one is through [`verify`] / [`verify_with_policy`], so holding a
+/// `VerifiedProgram` is proof of the verifier's guarantees.
+#[derive(Clone, Debug)]
+pub struct VerifiedProgram {
+    program: FilterProgram,
+    cost: u32,
+}
+
+impl VerifiedProgram {
+    /// The underlying program (read-only).
+    pub fn program(&self) -> &FilterProgram {
+        &self.program
+    }
+
+    /// The event kind this guard filters.
+    pub fn kind(&self) -> EventKind {
+        self.program.kind
+    }
+
+    /// The proven worst-case evaluation cost.
+    pub fn cost(&self) -> u32 {
+        self.cost
+    }
+}
+
+/// Verifies `program` with no policy constraints.
+pub fn verify(program: &FilterProgram) -> Result<VerifiedProgram, FilterReport> {
+    verify_with_policy(program, &Policy::new())
+}
+
+/// Verifies `program`, additionally proving `policy` at every accept.
+pub fn verify_with_policy(
+    program: &FilterProgram,
+    policy: &Policy,
+) -> Result<VerifiedProgram, FilterReport> {
+    let mut report = FilterReport::default();
+    let len = program.insns.len();
+
+    if len == 0 {
+        report.errors.push(VerifyError::EmptyProgram);
+        return Err(report);
+    }
+    if len > MAX_INSNS {
+        report.errors.push(VerifyError::TooLong {
+            len,
+            max: MAX_INSNS,
+        });
+    }
+    let cost = program.total_cost();
+    if cost > MAX_COST {
+        report.errors.push(VerifyError::CostOverBudget {
+            cost,
+            max: MAX_COST,
+        });
+    }
+
+    let structural_ok = check_structure(program, &mut report);
+    if structural_ok {
+        analyze(program, policy, &mut report);
+    }
+
+    if report.is_clean() {
+        Ok(VerifiedProgram {
+            program: program.clone(),
+            cost,
+        })
+    } else {
+        Err(report)
+    }
+}
+
+/// Per-instruction well-formedness: register indices, field kinds, payload
+/// bounds, jump ranges, set ids. Returns whether the program is
+/// structurally sound enough for dataflow analysis.
+fn check_structure(program: &FilterProgram, report: &mut FilterReport) -> bool {
+    let len = program.insns.len();
+    let before = report.errors.len();
+
+    let check_reg = |at: usize, r: Reg, report: &mut FilterReport| {
+        if (r.0 as usize) >= NUM_REGS {
+            report
+                .errors
+                .push(VerifyError::BadRegister { at, reg: r.0 });
+        }
+    };
+    let check_src = |at: usize, s: Src, report: &mut FilterReport| {
+        if let Src::Reg(r) = s {
+            if (r.0 as usize) >= NUM_REGS {
+                report
+                    .errors
+                    .push(VerifyError::BadRegister { at, reg: r.0 });
+            }
+        }
+    };
+    let check_jump = |at: usize, off: u16, report: &mut FilterReport| {
+        let target = at + 1 + off as usize;
+        if target >= len {
+            report
+                .errors
+                .push(VerifyError::JumpOutOfRange { at, target, len });
+        }
+    };
+
+    for (at, insn) in program.insns.iter().enumerate() {
+        match insn {
+            Insn::Ld { dst, field } => {
+                check_reg(at, *dst, report);
+                if field.kind() != program.kind {
+                    report.errors.push(VerifyError::FieldKindMismatch {
+                        at,
+                        field: *field,
+                        program_kind: program.kind,
+                    });
+                }
+            }
+            Insn::LdImm { dst, .. } => check_reg(at, *dst, report),
+            Insn::LdPay { dst, off, width } => {
+                check_reg(at, *dst, report);
+                if off
+                    .checked_add(width.bytes())
+                    .is_none_or(|end| end > PAY_WINDOW)
+                {
+                    report.errors.push(VerifyError::OutOfBoundsLoad {
+                        at,
+                        off: *off,
+                        width: *width,
+                        window: PAY_WINDOW,
+                    });
+                }
+            }
+            Insn::And { dst, src } | Insn::Or { dst, src } => {
+                check_reg(at, *dst, report);
+                check_src(at, *src, report);
+            }
+            Insn::Jeq { a, b, off }
+            | Insn::Jne { a, b, off }
+            | Insn::Jlt { a, b, off }
+            | Insn::Jgt { a, b, off } => {
+                check_reg(at, *a, report);
+                check_src(at, *b, report);
+                check_jump(at, *off, report);
+            }
+            Insn::JInSet { a, set, off } => {
+                check_reg(at, *a, report);
+                if (*set as usize) >= program.sets.len() {
+                    report
+                        .errors
+                        .push(VerifyError::UnknownPortSet { at, set: *set });
+                }
+                check_jump(at, *off, report);
+            }
+            Insn::Ja { off } => check_jump(at, *off, report),
+            Insn::Accept | Insn::Reject => {}
+        }
+    }
+
+    report.errors.len() == before
+}
+
+/// Abstract value of a register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RegVal {
+    /// Never written on some path.
+    Undef,
+    /// A known constant.
+    Const(u64),
+    /// Holds the current value of a packet field.
+    Field(FieldKey),
+    /// Anything.
+    Unknown,
+}
+
+/// What a field's value may be along a path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ValSet {
+    /// Unconstrained.
+    Top,
+    /// Provably one of these values.
+    In(BTreeSet<u64>),
+}
+
+/// Abstract state at one program point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct State {
+    regs: [RegVal; NUM_REGS],
+    fields: BTreeMap<FieldKey, ValSet>,
+}
+
+impl State {
+    fn entry() -> State {
+        State {
+            regs: [RegVal::Undef; NUM_REGS],
+            fields: BTreeMap::new(),
+        }
+    }
+
+    fn field_set(&self, key: FieldKey) -> ValSet {
+        self.fields.get(&key).cloned().unwrap_or(ValSet::Top)
+    }
+
+    /// Pointwise join with another state (set union / loss of precision).
+    fn join(&mut self, other: &State) {
+        for (mine, theirs) in self.regs.iter_mut().zip(other.regs.iter()) {
+            *mine = join_reg(*mine, *theirs);
+        }
+        let keys: Vec<FieldKey> = self.fields.keys().copied().collect();
+        for key in keys {
+            let joined = match (self.field_set(key), other.field_set(key)) {
+                (ValSet::In(a), ValSet::In(b)) => ValSet::In(a.union(&b).copied().collect()),
+                _ => ValSet::Top,
+            };
+            match joined {
+                ValSet::Top => {
+                    self.fields.remove(&key);
+                }
+                s => {
+                    self.fields.insert(key, s);
+                }
+            }
+        }
+    }
+}
+
+fn join_reg(a: RegVal, b: RegVal) -> RegVal {
+    match (a, b) {
+        (a, b) if a == b => a,
+        (RegVal::Undef, _) | (_, RegVal::Undef) => RegVal::Undef,
+        _ => RegVal::Unknown,
+    }
+}
+
+/// Refines `state` with the knowledge `key ∈ keep` ∩ current set. Returns
+/// `false` if the refined set is empty (the edge is infeasible).
+fn refine_in(state: &mut State, key: FieldKey, keep: &BTreeSet<u64>) -> bool {
+    let refined = match state.field_set(key) {
+        ValSet::Top => keep.clone(),
+        ValSet::In(cur) => cur.intersection(keep).copied().collect(),
+    };
+    if refined.is_empty() {
+        return false;
+    }
+    state.fields.insert(key, ValSet::In(refined));
+    true
+}
+
+/// Refines `state` with the knowledge `key != val`. Returns `false` if the
+/// refined set is empty.
+fn refine_not_eq(state: &mut State, key: FieldKey, val: u64) -> bool {
+    if let ValSet::In(mut cur) = state.field_set(key) {
+        cur.remove(&val);
+        if cur.is_empty() {
+            return false;
+        }
+        state.fields.insert(key, ValSet::In(cur));
+    }
+    true
+}
+
+/// Refines with `pred(value)` over an `In` set. `Top` stays `Top`.
+fn refine_filter(state: &mut State, key: FieldKey, pred: impl Fn(u64) -> bool) -> bool {
+    if let ValSet::In(cur) = state.field_set(key) {
+        let kept: BTreeSet<u64> = cur.into_iter().filter(|v| pred(*v)).collect();
+        if kept.is_empty() {
+            return false;
+        }
+        state.fields.insert(key, ValSet::In(kept));
+    }
+    true
+}
+
+/// Single forward dataflow pass (sound because all edges go forward: by the
+/// time `pc` is visited, every predecessor has already contributed its
+/// state). Detects undefined reads, unreachable instructions, missing
+/// terminators, and policy violations.
+fn analyze(program: &FilterProgram, policy: &Policy, report: &mut FilterReport) {
+    let len = program.insns.len();
+    let mut states: Vec<Option<State>> = vec![None; len];
+    states[0] = Some(State::entry());
+
+    let merge = |slot: &mut Option<State>, incoming: State| match slot {
+        None => *slot = Some(incoming),
+        Some(existing) => existing.join(&incoming),
+    };
+
+    // Flows `incoming` into the fall-through successor of `at`; falling
+    // off the end of the program is a missing terminator.
+    macro_rules! fall_through {
+        ($at:expr, $incoming:expr) => {
+            if $at + 1 < len {
+                merge(&mut states[$at + 1], $incoming);
+            } else {
+                report
+                    .errors
+                    .push(VerifyError::MissingTerminator { at: $at });
+            }
+        };
+    }
+
+    for at in 0..len {
+        let Some(state) = states[at].clone() else {
+            report.errors.push(VerifyError::Unreachable { at });
+            continue;
+        };
+
+        let read_reg = |r: Reg, state: &State, report: &mut FilterReport| -> RegVal {
+            let v = state.regs[r.0 as usize];
+            if v == RegVal::Undef {
+                report
+                    .errors
+                    .push(VerifyError::UndefinedRegister { at, reg: r.0 });
+                return RegVal::Unknown;
+            }
+            v
+        };
+        let read_src = |s: Src, state: &State, report: &mut FilterReport| -> RegVal {
+            match s {
+                Src::Imm(v) => RegVal::Const(v),
+                Src::Reg(r) => read_reg(r, state, report),
+            }
+        };
+
+        match &program.insns[at] {
+            Insn::Ld { dst, field } => {
+                let mut next = state;
+                next.regs[dst.0 as usize] = RegVal::Field(FieldKey::Field(*field));
+                fall_through!(at, next);
+            }
+            Insn::LdImm { dst, imm } => {
+                let mut next = state;
+                next.regs[dst.0 as usize] = RegVal::Const(*imm);
+                fall_through!(at, next);
+            }
+            Insn::LdPay { dst, off, width } => {
+                let mut next = state;
+                next.regs[dst.0 as usize] = RegVal::Field(FieldKey::Pay(*off, *width));
+                fall_through!(at, next);
+            }
+            Insn::And { dst, src } | Insn::Or { dst, src } => {
+                let a = read_reg(*dst, &state, report);
+                let b = read_src(*src, &state, report);
+                let is_and = matches!(&program.insns[at], Insn::And { .. });
+                let mut next = state;
+                next.regs[dst.0 as usize] = match (a, b) {
+                    (RegVal::Const(x), RegVal::Const(y)) => {
+                        RegVal::Const(if is_and { x & y } else { x | y })
+                    }
+                    _ => RegVal::Unknown,
+                };
+                fall_through!(at, next);
+            }
+            Insn::Jeq { a, b, off } | Insn::Jne { a, b, off } => {
+                let av = read_reg(*a, &state, report);
+                let bv = read_src(*b, &state, report);
+                let eq_jumps = matches!(&program.insns[at], Insn::Jeq { .. });
+                let target = at + 1 + *off as usize;
+
+                // When comparing a field against a constant, refine the
+                // field's value set along each edge.
+                let (field, konst) = match (av, bv) {
+                    (RegVal::Field(k), RegVal::Const(c)) | (RegVal::Const(c), RegVal::Field(k)) => {
+                        (Some(k), c)
+                    }
+                    _ => (None, 0),
+                };
+
+                let mut taken = state.clone();
+                let mut fall = state;
+                let (taken_ok, fall_ok) = match field {
+                    Some(key) => {
+                        let eq_set = BTreeSet::from([konst]);
+                        if eq_jumps {
+                            (
+                                refine_in(&mut taken, key, &eq_set),
+                                refine_not_eq(&mut fall, key, konst),
+                            )
+                        } else {
+                            (
+                                refine_not_eq(&mut taken, key, konst),
+                                refine_in(&mut fall, key, &eq_set),
+                            )
+                        }
+                    }
+                    None => (true, true),
+                };
+                if taken_ok {
+                    merge(&mut states[target], taken);
+                }
+                if fall_ok {
+                    fall_through!(at, fall);
+                }
+            }
+            Insn::Jlt { a, b, off } | Insn::Jgt { a, b, off } => {
+                let av = read_reg(*a, &state, report);
+                let bv = read_src(*b, &state, report);
+                let lt_jumps = matches!(&program.insns[at], Insn::Jlt { .. });
+                let target = at + 1 + *off as usize;
+
+                let (field, konst) = match (av, bv) {
+                    (RegVal::Field(k), RegVal::Const(c)) => (Some(k), c),
+                    _ => (None, 0),
+                };
+                let mut taken = state.clone();
+                let mut fall = state;
+                let (taken_ok, fall_ok) = match field {
+                    Some(key) => {
+                        if lt_jumps {
+                            (
+                                refine_filter(&mut taken, key, |v| v < konst),
+                                refine_filter(&mut fall, key, |v| v >= konst),
+                            )
+                        } else {
+                            (
+                                refine_filter(&mut taken, key, |v| v > konst),
+                                refine_filter(&mut fall, key, |v| v <= konst),
+                            )
+                        }
+                    }
+                    None => (true, true),
+                };
+                if taken_ok {
+                    merge(&mut states[target], taken);
+                }
+                if fall_ok {
+                    fall_through!(at, fall);
+                }
+            }
+            Insn::JInSet { a, off, .. } => {
+                read_reg(*a, &state, report);
+                let target = at + 1 + *off as usize;
+                // Set contents are dynamic: no static refinement on either
+                // edge.
+                merge(&mut states[target], state.clone());
+                fall_through!(at, state);
+            }
+            Insn::Ja { off } => {
+                let target = at + 1 + *off as usize;
+                merge(&mut states[target], state);
+            }
+            Insn::Accept => {
+                for (key, allowed) in &policy.constraints {
+                    let ok = match state.field_set(*key) {
+                        ValSet::In(vals) => vals.is_subset(allowed),
+                        ValSet::Top => false,
+                    };
+                    if !ok {
+                        report.errors.push(VerifyError::PolicyViolation {
+                            at,
+                            key: *key,
+                            allowed: allowed.clone(),
+                            proven: match state.field_set(*key) {
+                                ValSet::In(vals) => Some(vals),
+                                ValSet::Top => None,
+                            },
+                        });
+                    }
+                }
+            }
+            Insn::Reject => {}
+        }
+    }
+}

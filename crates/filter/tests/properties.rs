@@ -1,0 +1,284 @@
+//! Property tests for the guard verifier (§3.1, §3.3):
+//!
+//! * programs built by [`conjunction`] always verify, stay within the
+//!   static cost budget, and never fault on arbitrary packets;
+//! * on well-formed packets the defensive interpreter agrees with the
+//!   unchecked one (verification costs no expressive power);
+//! * arbitrary raw programs either verify (and are then safe to run) or
+//!   produce a non-empty error report;
+//! * programs the verifier rejects for out-of-bounds loads or field type
+//!   mismatches really do fault under an unchecked interpreter — the
+//!   verifier is load-bearing, not ceremonial.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use plexus_filter::{
+    conjunction, eval, eval_unchecked, verify, EventKind, Field, FilterProgram, Insn, Operand,
+    Packet, Reg, Src, Test, VerifyError, Width,
+};
+use proptest::prelude::*;
+
+const KINDS: [EventKind; 4] = [
+    EventKind::EthRecv,
+    EventKind::IpRecv,
+    EventKind::UdpRecv,
+    EventKind::TcpRecv,
+];
+
+const ALL_FIELDS: [Field; 20] = [
+    Field::EthDst,
+    Field::EthSrc,
+    Field::EthType,
+    Field::FrameLen,
+    Field::IpSrc,
+    Field::IpDst,
+    Field::IpProto,
+    Field::IpPayloadLen,
+    Field::UdpSrcAddr,
+    Field::UdpDstAddr,
+    Field::UdpSrcPort,
+    Field::UdpDstPort,
+    Field::UdpPayloadLen,
+    Field::TcpSrcAddr,
+    Field::TcpDstAddr,
+    Field::TcpSrcPort,
+    Field::TcpDstPort,
+    Field::TcpFlagSyn,
+    Field::TcpFlagAck,
+    Field::TcpPayloadLen,
+];
+
+fn fields_of(kind: EventKind) -> Vec<Field> {
+    ALL_FIELDS
+        .iter()
+        .copied()
+        .filter(|f| f.kind() == kind)
+        .collect()
+}
+
+fn field_index(field: Field) -> u64 {
+    ALL_FIELDS.iter().position(|f| *f == field).unwrap() as u64
+}
+
+/// A packet whose typed fields are small deterministic values (so random
+/// tests hit and miss both branches) over an arbitrary head.
+#[derive(Debug)]
+struct TestPacket {
+    kind: EventKind,
+    base: u64,
+    head: Vec<u8>,
+}
+
+impl Packet for TestPacket {
+    fn kind(&self) -> EventKind {
+        self.kind
+    }
+
+    fn field(&self, field: Field) -> Option<u64> {
+        if field.kind() != self.kind {
+            return None;
+        }
+        Some(self.base.wrapping_add(field_index(field)) % 8)
+    }
+
+    fn head(&self) -> &[u8] {
+        &self.head
+    }
+}
+
+/// Decodes raw tuples into builder tests over `kind`'s own fields,
+/// keeping at most one test per operand: a conjunction that constrains
+/// the same operand to two disjoint value sets is a contradiction, which
+/// the verifier (correctly) rejects as an unreachable `Accept`.
+fn decode_tests(kind: EventKind, raw: &[(u8, u16, u64, u64)]) -> Vec<Test> {
+    let mut seen = std::collections::BTreeSet::new();
+    raw.iter()
+        .map(|&t| decode_test(kind, t))
+        .filter(|test| {
+            let Test::In { op, .. } = test else {
+                unreachable!("decode_test only builds In tests");
+            };
+            seen.insert(format!("{op:?}"))
+        })
+        .collect()
+}
+
+/// Decodes one raw tuple into a builder test over `kind`'s own fields.
+fn decode_test(kind: EventKind, raw: (u8, u16, u64, u64)) -> Test {
+    let (sel, off, a, b) = raw;
+    let op = if sel % 2 == 0 {
+        let fields = fields_of(kind);
+        Operand::Field(fields[(a % fields.len() as u64) as usize])
+    } else {
+        Operand::Pay {
+            off: off % 58,
+            width: match sel % 3 {
+                0 => Width::W8,
+                1 => Width::W16,
+                _ => Width::W32,
+            },
+        }
+    };
+    Test::one_of(op, [a % 8, b % 8])
+}
+
+/// Decodes one raw tuple into an arbitrary (possibly ill-formed) insn.
+fn decode_insn(raw: (u8, u8, u16, u64)) -> Insn {
+    let (op, reg, off, imm) = raw;
+    let r = Reg(reg % 10); // Deliberately sometimes out of range.
+    match op % 9 {
+        0 => Insn::Ld {
+            dst: r,
+            field: ALL_FIELDS[(imm % ALL_FIELDS.len() as u64) as usize],
+        },
+        1 => Insn::LdImm { dst: r, imm },
+        2 => Insn::LdPay {
+            dst: r,
+            off: off % 80, // Sometimes beyond PAY_WINDOW.
+            width: Width::W16,
+        },
+        3 => Insn::And {
+            dst: r,
+            src: Src::Imm(imm),
+        },
+        4 => Insn::Jeq {
+            a: r,
+            b: Src::Imm(imm % 8),
+            off: off % 5,
+        },
+        5 => Insn::Jne {
+            a: r,
+            b: Src::Imm(imm % 8),
+            off: off % 5,
+        },
+        6 => Insn::Ja { off: off % 5 },
+        7 => Insn::Accept,
+        _ => Insn::Reject,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // Manager-built guards always verify, are bounded, and their checked
+    // evaluation never faults — on packets of any kind, any head length.
+    #[test]
+    fn built_guards_verify_and_never_fault(
+        kind_i in 0usize..4,
+        raw_tests in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u64>(), any::<u64>()), 0..5),
+        pkt_kind_i in 0usize..4,
+        base in any::<u64>(),
+        head in prop::collection::vec(any::<u8>(), 0..80),
+    ) {
+        let kind = KINDS[kind_i];
+        let tests = decode_tests(kind, &raw_tests);
+        let prog = conjunction(kind, &tests, vec![]);
+        let vp = match verify(&prog) {
+            Ok(vp) => vp,
+            Err(report) => return Err(TestCaseError::fail(format!(
+                "built guard failed verification: {report}"
+            ))),
+        };
+        prop_assert!(vp.cost() <= plexus_filter::MAX_COST);
+        // Must return (not fault) whatever the packet looks like.
+        let pkt = TestPacket { kind: KINDS[pkt_kind_i], base, head };
+        let _ = eval(&vp, &pkt);
+    }
+
+    // On a matching, fully-populated packet the defensive interpreter
+    // agrees with the unchecked one: safety costs no answers.
+    #[test]
+    fn checked_and_unchecked_agree_on_well_formed_packets(
+        kind_i in 0usize..4,
+        raw_tests in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u64>(), any::<u64>()), 0..5),
+        base in any::<u64>(),
+        head in prop::collection::vec(any::<u8>(), 64..80),
+    ) {
+        let kind = KINDS[kind_i];
+        let tests = decode_tests(kind, &raw_tests);
+        let prog = conjunction(kind, &tests, vec![]);
+        let vp = verify(&prog).expect("built guard verifies");
+        let pkt = TestPacket { kind, base, head };
+        prop_assert_eq!(eval(&vp, &pkt), eval_unchecked(&prog, &pkt));
+    }
+
+    // Arbitrary instruction soup: either the verifier accepts (and the
+    // program is then bounded and safe to evaluate) or it explains itself
+    // with at least one error.
+    #[test]
+    fn arbitrary_programs_verify_or_report(
+        kind_i in 0usize..4,
+        raw_insns in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>(), any::<u64>()), 0..12),
+        pkt_kind_i in 0usize..4,
+        base in any::<u64>(),
+        head in prop::collection::vec(any::<u8>(), 0..80),
+    ) {
+        let mut insns: Vec<Insn> = raw_insns.iter().map(|&r| decode_insn(r)).collect();
+        insns.push(Insn::Accept);
+        let prog = FilterProgram::new(KINDS[kind_i], insns);
+        match verify(&prog) {
+            Ok(vp) => {
+                prop_assert!(vp.cost() <= plexus_filter::MAX_COST);
+                let pkt = TestPacket { kind: KINDS[pkt_kind_i], base, head };
+                let _ = eval(&vp, &pkt);
+            }
+            Err(report) => prop_assert!(!report.errors.is_empty()),
+        }
+    }
+
+    // A program rejected for an out-of-bounds payload load really does
+    // fault when interpreted without checks.
+    #[test]
+    fn oob_rejected_programs_fault_unchecked(
+        kind_i in 0usize..4,
+        off in 64u16..1000,
+        base in any::<u64>(),
+        head in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let kind = KINDS[kind_i];
+        let prog = FilterProgram::new(
+            kind,
+            vec![
+                Insn::LdPay { dst: Reg(0), off, width: Width::W16 },
+                Insn::Accept,
+            ],
+        );
+        let report = verify(&prog).expect_err("load beyond PAY_WINDOW must be rejected");
+        let has_oob = report
+            .errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::OutOfBoundsLoad { .. }));
+        prop_assert!(has_oob, "expected an OutOfBoundsLoad error");
+        let pkt = TestPacket { kind, base, head };
+        let faulted = catch_unwind(AssertUnwindSafe(|| eval_unchecked(&prog, &pkt))).is_err();
+        prop_assert!(faulted, "unchecked interpreter should fault on the OOB load");
+    }
+
+    // A program rejected for loading a field of the wrong event kind
+    // faults when run unchecked against a packet of the program's kind.
+    #[test]
+    fn type_rejected_programs_fault_unchecked(
+        field_i in 0usize..20,
+        kind_i in 0usize..4,
+        base in any::<u64>(),
+        head in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let field = ALL_FIELDS[field_i];
+        // Pick a kind the field does NOT belong to.
+        let kind = KINDS[(KINDS.iter().position(|k| *k == field.kind()).unwrap() + 1 + kind_i % 3) % 4];
+        prop_assert_ne!(kind, field.kind());
+        let prog = FilterProgram::new(
+            kind,
+            vec![Insn::Ld { dst: Reg(0), field }, Insn::Accept],
+        );
+        let report = verify(&prog).expect_err("cross-kind field load must be rejected");
+        let has_mismatch = report
+            .errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::FieldKindMismatch { .. }));
+        prop_assert!(has_mismatch, "expected a FieldKindMismatch error");
+        let pkt = TestPacket { kind, base, head };
+        let faulted = catch_unwind(AssertUnwindSafe(|| eval_unchecked(&prog, &pkt))).is_err();
+        prop_assert!(faulted, "unchecked interpreter should fault on the absent field");
+    }
+}

@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::rc::Rc;
 
+use plexus_filter::{Packet, VerifiedProgram};
 use plexus_sim::engine::Engine;
 use plexus_sim::time::SimDuration;
 use plexus_sim::CpuLease;
@@ -36,6 +37,73 @@ use crate::ephemeral::Ephemeral;
 
 /// A guard predicate: packet filter over the event argument.
 pub type GuardFn<T> = Box<dyn Fn(&T) -> bool>;
+
+/// A statically verified guard bound to its event argument type.
+///
+/// Holds the [`VerifiedProgram`] (so managers and tooling can still
+/// inspect the installed filter) plus a monomorphized evaluator; the
+/// `T: Packet` obligation is discharged at construction, so the
+/// dispatcher's raise path needs no bound on `T`.
+pub struct VerifiedGuard<T> {
+    program: Rc<VerifiedProgram>,
+    eval: fn(&VerifiedProgram, &T) -> bool,
+}
+
+impl<T: Packet + 'static> VerifiedGuard<T> {
+    /// Binds a verified program to the event argument type `T`.
+    pub fn new(program: Rc<VerifiedProgram>) -> VerifiedGuard<T> {
+        VerifiedGuard {
+            program,
+            eval: |p, arg| plexus_filter::eval(p, arg),
+        }
+    }
+}
+
+impl<T> VerifiedGuard<T> {
+    /// Evaluates the guard against an event argument.
+    pub fn matches(&self, arg: &T) -> bool {
+        (self.eval)(&self.program, arg)
+    }
+
+    /// The verified program this guard runs.
+    pub fn program(&self) -> &Rc<VerifiedProgram> {
+        &self.program
+    }
+}
+
+/// A guard attached to a handler: either a legacy opaque closure or a
+/// statically verified filter program.
+///
+/// Closures remain available for thread-mode handlers (trusted in-kernel
+/// code and tests), but interrupt-mode installs require
+/// [`Guard::Verified`] — an unverifiable predicate has no business running
+/// in interrupt context.
+pub enum Guard<T> {
+    /// An opaque predicate closure (legacy; thread mode only).
+    Closure(GuardFn<T>),
+    /// A statically verified filter program.
+    Verified(VerifiedGuard<T>),
+}
+
+impl<T> Guard<T> {
+    /// Wraps a predicate closure.
+    pub fn closure(f: impl Fn(&T) -> bool + 'static) -> Guard<T> {
+        Guard::Closure(Box::new(f))
+    }
+
+    /// Wraps a verified program (requires `T: Packet`).
+    pub fn verified(program: Rc<VerifiedProgram>) -> Guard<T>
+    where
+        T: Packet + 'static,
+    {
+        Guard::Verified(VerifiedGuard::new(program))
+    }
+
+    /// Whether this guard carries verifier evidence.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Guard::Verified(_))
+    }
+}
 
 /// An event handler body.
 pub type HandlerFn<T> = Box<dyn Fn(&mut RaiseCtx<'_>, &T)>;
@@ -91,10 +159,14 @@ pub struct DispatchStats {
     pub raises: u64,
     /// Handlers invoked.
     pub invocations: u64,
-    /// Guards evaluated.
+    /// Guards evaluated (closures and verified programs combined).
     pub guard_evals: u64,
     /// Guards that rejected the argument.
     pub guard_rejects: u64,
+    /// Of `guard_evals`, how many ran a verified filter program.
+    pub verified_guard_evals: u64,
+    /// Of `guard_rejects`, how many came from a verified filter program.
+    pub verified_guard_rejects: u64,
     /// Ephemeral handlers terminated for exceeding their allotment.
     pub terminations: u64,
 }
@@ -126,7 +198,7 @@ pub struct RaiseOutcome {
 
 struct Entry<T> {
     id: HandlerId,
-    guard: Option<GuardFn<T>>,
+    guard: Option<Guard<T>>,
     handler: HandlerFn<T>,
     mode: HandlerMode,
     ephemeral: bool,
@@ -310,7 +382,7 @@ impl Dispatcher {
     fn push_entry<T: 'static>(
         &self,
         event: Event<T>,
-        guard: Option<GuardFn<T>>,
+        guard: Option<Guard<T>>,
         handler: HandlerFn<T>,
         mode: HandlerMode,
         ephemeral: bool,
@@ -329,11 +401,13 @@ impl Dispatcher {
     }
 
     /// Installs a thread-mode handler: each raise spawns a kernel thread
-    /// that runs `handler`.
+    /// that runs `handler`. Both guard forms are accepted here — the
+    /// handler already pays thread costs, and thread-mode closures are how
+    /// trusted in-kernel code filters its own events.
     pub fn install_thread<T, F>(
         &self,
         event: Event<T>,
-        guard: Option<GuardFn<T>>,
+        guard: Option<Guard<T>>,
         handler: F,
     ) -> HandlerId
     where
@@ -347,10 +421,17 @@ impl Dispatcher {
     /// handlers are accepted — the type-level analogue of the manager
     /// querying the compiler's `EPHEMERAL` evidence (§3.3). `time_limit`,
     /// if given, terminates the handler when exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guard` is a [`Guard::Closure`]: guards on interrupt-mode
+    /// handlers run in the raising (interrupt) context, so they must carry
+    /// verifier evidence of bounded cost and memory safety. Pass a
+    /// [`Guard::Verified`] program or no guard at all.
     pub fn install_interrupt<T, F>(
         &self,
         event: Event<T>,
-        guard: Option<GuardFn<T>>,
+        guard: Option<Guard<T>>,
         handler: Ephemeral<F>,
         time_limit: Option<SimDuration>,
     ) -> HandlerId
@@ -358,6 +439,10 @@ impl Dispatcher {
         T: 'static,
         F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
     {
+        assert!(
+            !matches!(guard, Some(Guard::Closure(_))),
+            "interrupt-mode installs require a verified guard program (or no guard)"
+        );
         let f = handler.into_inner();
         self.push_entry(
             event,
@@ -431,8 +516,18 @@ impl Dispatcher {
             if let Some(guard) = &entry.guard {
                 stats.guard_evals += 1;
                 ctx.lease.charge(model.guard_eval);
-                if !guard(arg) {
+                let matched = match guard {
+                    Guard::Closure(f) => f(arg),
+                    Guard::Verified(vg) => {
+                        stats.verified_guard_evals += 1;
+                        vg.matches(arg)
+                    }
+                };
+                if !matched {
                     stats.guard_rejects += 1;
+                    if guard.is_verified() {
+                        stats.verified_guard_rejects += 1;
+                    }
                     outcome.rejected += 1;
                     continue;
                 }
@@ -519,7 +614,7 @@ mod tests {
         let h = hits.clone();
         d.install_thread(
             ev,
-            Some(Box::new(|arg: &u32| arg.is_multiple_of(2))),
+            Some(Guard::closure(|arg: &u32| arg.is_multiple_of(2))),
             move |_, _| h.set(h.get() + 1),
         );
         let mut lease = cpu.begin(SimTime::ZERO);
@@ -541,7 +636,7 @@ mod tests {
         let model = cpu.model().clone();
         let d = Dispatcher::new();
         let ev = d.define_event::<u32>("Costed");
-        d.install_thread(ev, Some(Box::new(|_| true)), |_, _| {});
+        d.install_thread(ev, Some(Guard::closure(|_| true)), |_, _| {});
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
             engine: &mut engine,
@@ -725,6 +820,125 @@ mod tests {
         assert_eq!(d.is_ephemeral(ev, eph), None);
     }
 
+    /// A UdpRecv-shaped event argument for verified-guard tests.
+    #[derive(Debug)]
+    struct UdpArg {
+        dst_port: u64,
+    }
+
+    impl plexus_filter::Packet for UdpArg {
+        fn kind(&self) -> plexus_filter::EventKind {
+            plexus_filter::EventKind::UdpRecv
+        }
+        fn field(&self, field: plexus_filter::Field) -> Option<u64> {
+            match field {
+                plexus_filter::Field::UdpDstPort => Some(self.dst_port),
+                _ => None,
+            }
+        }
+        fn head(&self) -> &[u8] {
+            &[]
+        }
+    }
+
+    fn port_program(port: u64) -> Rc<VerifiedProgram> {
+        let prog = plexus_filter::conjunction(
+            plexus_filter::EventKind::UdpRecv,
+            &[plexus_filter::Test::eq(
+                plexus_filter::Operand::Field(plexus_filter::Field::UdpDstPort),
+                port,
+            )],
+            Vec::new(),
+        );
+        Rc::new(plexus_filter::verify(&prog).expect("builder output verifies"))
+    }
+
+    #[test]
+    fn verified_guards_filter_interrupt_delivery() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<UdpArg>("Udp.PacketRecv");
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        d.install_interrupt(
+            ev,
+            Some(Guard::verified(port_program(53))),
+            Ephemeral::certify(move |_: &mut RaiseCtx, _: &UdpArg| h.set(h.get() + 1)),
+            None,
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        assert_eq!(d.raise(&mut ctx, ev, &UdpArg { dst_port: 53 }).invoked, 1);
+        let out = d.raise(&mut ctx, ev, &UdpArg { dst_port: 80 });
+        assert_eq!(out.invoked, 0);
+        assert_eq!(out.rejected, 1);
+        assert_eq!(hits.get(), 1);
+    }
+
+    #[test]
+    fn stats_distinguish_verified_from_closure_guard_evals() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<UdpArg>("Udp.Mixed");
+        d.install_interrupt(
+            ev,
+            Some(Guard::verified(port_program(53))),
+            Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}),
+            None,
+        );
+        d.install_thread(
+            ev,
+            Some(Guard::closure(|arg: &UdpArg| arg.dst_port == 53)),
+            |_, _| {},
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        d.raise(&mut ctx, ev, &UdpArg { dst_port: 53 });
+        d.raise(&mut ctx, ev, &UdpArg { dst_port: 80 });
+        let stats = d.stats();
+        assert_eq!(stats.guard_evals, 4, "both guards, both raises");
+        assert_eq!(
+            stats.verified_guard_evals, 2,
+            "one verified guard, both raises"
+        );
+        assert_eq!(stats.guard_rejects, 2);
+        assert_eq!(stats.verified_guard_rejects, 1);
+    }
+
+    #[test]
+    fn verified_guards_count_as_guarded_in_summaries() {
+        let d = Dispatcher::new();
+        let ev = d.define_event::<UdpArg>("Udp.Summarized");
+        d.install_interrupt(
+            ev,
+            Some(Guard::verified(port_program(7))),
+            Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}),
+            None,
+        );
+        let summary = d.event_summary();
+        assert_eq!(summary[0].handlers, 1);
+        assert_eq!(summary[0].guarded, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "require a verified guard program")]
+    fn interrupt_installs_reject_closure_guards() {
+        let d = Dispatcher::new();
+        let ev = d.define_event::<UdpArg>("Udp.Strict");
+        d.install_interrupt(
+            ev,
+            Some(Guard::closure(|arg: &UdpArg| arg.dst_port == 53)),
+            Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}),
+            None,
+        );
+    }
+
     #[test]
     #[should_panic(expected = "already defined")]
     fn duplicate_event_names_are_rejected() {
@@ -759,7 +973,7 @@ mod trace_tests {
         let d = Dispatcher::new();
         let a = d.define_event::<u32>("Alpha");
         let b = d.define_event::<u32>("Beta");
-        d.install_thread(a, Some(Box::new(|x: &u32| *x > 0)), |_, _| {});
+        d.install_thread(a, Some(Guard::closure(|x: &u32| *x > 0)), |_, _| {});
         d.install_thread(b, None, |_, _| {});
         d.enable_trace(8);
         let mut lease = cpu.begin(SimTime::ZERO);

@@ -79,8 +79,12 @@ pub struct DomainId(u64);
 pub struct ExtensionSpec {
     /// The extension's module name.
     pub name: String,
-    /// Fully qualified symbols the extension references.
+    /// Fully qualified symbols the extension imports.
     pub imports: Vec<String>,
+    /// Fully qualified symbols the extension body actually references —
+    /// the compiler-reported usage set the lint pass checks the import
+    /// list against.
+    pub refs: Vec<String>,
     /// Symbols the extension itself defines (for later linking by others).
     pub exports: Vec<String>,
     /// Who signed the object file.
@@ -88,11 +92,15 @@ pub struct ExtensionSpec {
 }
 
 impl ExtensionSpec {
-    /// A compiler-signed (typesafe) extension.
+    /// A compiler-signed (typesafe) extension. The reference set defaults
+    /// to the import list (every import used); override with
+    /// [`ExtensionSpec::with_refs`] when they differ.
     pub fn typesafe(name: &str, imports: &[&str]) -> ExtensionSpec {
+        let imports: Vec<String> = imports.iter().map(|s| s.to_string()).collect();
         ExtensionSpec {
             name: name.to_string(),
-            imports: imports.iter().map(|s| s.to_string()).collect(),
+            refs: imports.clone(),
+            imports,
             exports: Vec::new(),
             signature: Signature::TypesafeCompiler,
         }
@@ -107,6 +115,13 @@ impl ExtensionSpec {
     /// Marks the spec with a different signature.
     pub fn with_signature(mut self, signature: Signature) -> ExtensionSpec {
         self.signature = signature;
+        self
+    }
+
+    /// Sets the body's reference set (what the extension actually calls),
+    /// when it differs from the import list.
+    pub fn with_refs(mut self, refs: &[&str]) -> ExtensionSpec {
+        self.refs = refs.iter().map(|s| s.to_string()).collect();
         self
     }
 }
@@ -258,6 +273,35 @@ impl Domain {
             return Err(LinkError::BadSignature(spec.signature));
         }
         self.link_resolving(spec)
+    }
+
+    /// Lints `spec` against this domain's interfaces, reporting **every**
+    /// issue at once: unresolved imports, duplicate imports, imports the
+    /// body never references (dead capabilities), body references outside
+    /// the import closure, self-imports, export collisions, and missing
+    /// signatures. Unlike [`Domain::link`] this changes nothing — it is
+    /// the diagnostic pass (the same one behind the `plexus-verify` tool),
+    /// meant to run before a link or in tooling.
+    pub fn check_spec(&self, spec: &ExtensionSpec) -> plexus_filter::spec::SpecReport {
+        let mut table = plexus_filter::spec::InterfaceTable::new();
+        for iface in self.interfaces.borrow().values() {
+            table.insert(
+                iface.name().to_string(),
+                iface.symbols().map(str::to_string),
+            );
+        }
+        let info = plexus_filter::spec::SpecInfo {
+            name: spec.name.clone(),
+            signature: match spec.signature {
+                Signature::TypesafeCompiler => plexus_filter::spec::SpecSignature::TypesafeCompiler,
+                Signature::TrustedVendor => plexus_filter::spec::SpecSignature::TrustedVendor,
+                Signature::Unsigned => plexus_filter::spec::SpecSignature::Unsigned,
+            },
+            imports: spec.imports.clone(),
+            refs: spec.refs.clone(),
+            exports: spec.exports.clone(),
+        };
+        plexus_filter::spec::analyze(&table, &info)
     }
 
     fn link_resolving(&self, spec: &ExtensionSpec) -> Result<LinkedExtension, LinkError> {
@@ -428,6 +472,50 @@ mod tests {
         assert!(!d.unlink("VideoProto"), "double unlink must fail");
         let late = ExtensionSpec::typesafe("LateViewer", &["VideoProto.Send"]);
         assert!(d.link(&late).is_err(), "exports must vanish on unlink");
+    }
+
+    #[test]
+    fn check_spec_reports_every_issue_without_linking() {
+        use plexus_filter::spec::SpecIssue;
+
+        let d = Domain::new("lintable");
+        d.add_interface(mbuf_iface());
+        d.add_interface(ether_iface());
+        let spec = ExtensionSpec::typesafe(
+            "Leaky",
+            &[
+                "Mbuf.Alloc",
+                "Mbuf.Alloc",
+                "Ethernet.PacketRecv",
+                "VM.MapKernel",
+            ],
+        )
+        .with_refs(&["Ethernet.PacketRecv", "Ethernet.PacketSend"]);
+
+        let report = d.check_spec(&spec);
+        let has = |pred: fn(&SpecIssue) -> bool| report.issues.iter().any(pred);
+        assert!(has(|i| matches!(
+            i,
+            SpecIssue::DuplicateImport { symbol } if symbol == "Mbuf.Alloc"
+        )));
+        assert!(has(|i| matches!(
+            i,
+            SpecIssue::UnresolvedImport { symbol } if symbol == "VM.MapKernel"
+        )));
+        assert!(has(|i| matches!(
+            i,
+            SpecIssue::UnusedImport { symbol } if symbol == "Mbuf.Alloc"
+        )));
+        assert!(has(|i| matches!(
+            i,
+            SpecIssue::UndeclaredReference { symbol } if symbol == "Ethernet.PacketSend"
+        )));
+        assert!(report.issues.len() >= 5, "all issues reported: {report}");
+        assert!(d.linked_extensions().is_empty(), "check_spec must not link");
+
+        // A well-formed spec is clean.
+        let good = ExtensionSpec::typesafe("Tidy", &["Mbuf.Alloc"]);
+        assert!(d.check_spec(&good).is_clean());
     }
 
     #[test]

@@ -21,7 +21,12 @@
 //! is `&Mbuf` (§3.4), and the `EPHEMERAL`/`VIEW` extensions are modeled by
 //! the corresponding modules here.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// The verified guard IR and static verifier (re-exported so dependents
+/// name one crate for events, guards, and verification).
+pub use plexus_filter as filter;
 
 pub mod capability;
 pub mod dispatcher;
@@ -33,7 +38,8 @@ pub mod vm;
 
 pub use capability::Cap;
 pub use dispatcher::{
-    Dispatcher, Event, EventSummary, HandlerId, HandlerMode, RaiseCtx, TraceEntry,
+    Dispatcher, Event, EventSummary, Guard, HandlerId, HandlerMode, RaiseCtx, TraceEntry,
+    VerifiedGuard,
 };
 pub use domain::{Domain, ExtensionSpec, Interface, LinkError, LinkedExtension, Nameserver};
 pub use ephemeral::Ephemeral;

@@ -15,6 +15,7 @@
 //! Everything here is pure protocol logic — no simulator dependencies —
 //! which is what lets the same code run under both OS structures.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arp;

@@ -15,6 +15,7 @@
 //! stacks, the applications — runs *inside* this simulated world, and all
 //! reported latencies/throughputs/utilizations are simulated quantities.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cpu;

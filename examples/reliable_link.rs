@@ -50,14 +50,8 @@ fn main() {
     let aext = sa.link_extension(&reliable_extension_spec("tx")).unwrap();
     let bext = sb.link_extension(&reliable_extension_spec("rx")).unwrap();
     let rx = ReliableReceiver::new(&sb, &bext, 7100).unwrap();
-    let tx = ReliableSender::new(
-        &sa,
-        &aext,
-        7101,
-        (sb.ip(), 7100),
-        ReliableConfig::default(),
-    )
-    .unwrap();
+    let tx =
+        ReliableSender::new(&sa, &aext, 7101, (sb.ip(), 7100), ReliableConfig::default()).unwrap();
 
     medium.start_capture();
     let messages: Vec<String> = (0..12).map(|i| format!("message #{i}")).collect();
@@ -67,7 +61,10 @@ fn main() {
     world.run_for(SimDuration::from_secs(10));
     let capture = medium.stop_capture();
 
-    println!("sent {} messages over a 20%-loss Ethernet segment", messages.len());
+    println!(
+        "sent {} messages over a 20%-loss Ethernet segment",
+        messages.len()
+    );
     println!(
         "delivered: {} | retransmissions: {} | link drops: {} | duplicates re-acked: {}",
         tx.delivered(),
@@ -84,6 +81,10 @@ fn main() {
     }
     println!("every message arrived in order, exactly once — reliability policy");
     println!("(timeout, retry budget, integrity check) owned by the application,");
-    println!("not the transport. The wire saw {} frames for {} messages:", capture.len(), messages.len());
+    println!(
+        "not the transport. The wire saw {} frames for {} messages:",
+        capture.len(),
+        messages.len()
+    );
     println!("the difference is ARP, ACKs, and loss-driven retransmissions.");
 }

@@ -1,4 +1,7 @@
 //! Facade crate: one `use plexus::...` for the whole workspace.
+
+#![forbid(unsafe_code)]
+
 pub use plexus_apps as apps;
 pub use plexus_baseline as baseline;
 pub use plexus_core as core;

@@ -1,0 +1,45 @@
+//! Sampling helpers (`proptest::sample`).
+
+use std::fmt;
+
+use crate::rng::TestRng;
+use crate::strategy::{Arbitrary, Strategy};
+
+/// An index into a collection of as-yet-unknown size: stores raw entropy
+/// and maps it into `0..len` on demand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects this index into a collection of `len` elements.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}
+
+/// Strategy choosing uniformly among fixed alternatives.
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+/// Picks one of `choices` per case. Panics if empty.
+pub fn select<T: Clone + fmt::Debug>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select() needs at least one choice");
+    Select { choices }
+}
+
+impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.choices.len() as u64) as usize;
+        self.choices[i].clone()
+    }
+}
