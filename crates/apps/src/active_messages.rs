@@ -112,6 +112,10 @@ impl ActiveMessages {
                 let handler = h.borrow().get(&msg.index).cloned();
                 if let Some(handler) = handler {
                     r.set(r.get() + 1);
+                    if let Some(rec) = ctx.lease.recorder() {
+                        let lbl = rec.intern("active_messages");
+                        rec.count(plexus_trace::Scope::App, lbl, "dispatched", 1);
+                    }
                     handler(ctx, &msg);
                 }
             }),

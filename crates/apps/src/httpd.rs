@@ -85,6 +85,10 @@ impl Httpd {
                                 }
                             };
                             st.set(s);
+                            if let Some(rec) = ctx.lease.recorder() {
+                                let lbl = rec.intern("httpd");
+                                rec.count(plexus_trace::Scope::App, lbl, "requests", 1);
+                            }
                             conn.send_in(ctx, &resp);
                             // HTTP/1.0: close after the response.
                             conn.close_in(ctx);

@@ -8,6 +8,7 @@
 //!
 //! Run with `cargo run -p plexus-bench --bin ablation`.
 
+use plexus_bench::report::{self, BenchReport};
 use plexus_bench::table;
 use plexus_bench::udp_rtt::{udp_rtt_us_with_model, Link, System};
 use plexus_sim::cpu::CostModel;
@@ -45,12 +46,18 @@ fn main() {
         ("thread_spawn", |m| m.thread_spawn = SimDuration::ZERO),
     ];
 
+    let mut report = BenchReport::new("ablation");
+    report.latency_us("baseline/plexus_interrupt", base_plexus);
+    report.latency_us("baseline/dunix", base_dunix);
     let mut rows = Vec::new();
     for (name, zero) in knobs {
         let mut m = base.clone();
         zero(&mut m);
         let p = udp_rtt_us_with_model(System::PlexusInterrupt, &link, 8, ROUNDS, &m);
         let d = udp_rtt_us_with_model(System::Dunix, &link, 8, ROUNDS, &m);
+        let key = name.replace([' ', '(', ')'], "_");
+        report.latency_us(&format!("zeroed_{key}/plexus_interrupt"), p);
+        report.latency_us(&format!("zeroed_{key}/dunix"), d);
         rows.push(vec![
             name.to_string(),
             format!("{p:.0}"),
@@ -79,4 +86,7 @@ fn main() {
     println!("traps + softirq (+copies at larger payloads); the dispatcher costs");
     println!("Plexus adds are an order of magnitude smaller — the paper's argument");
     println!("that graph dispatch is 'roughly one procedure call' per layer.");
+
+    report.count("rounds_per_cell", u64::from(ROUNDS));
+    report::emit(&report);
 }

@@ -12,6 +12,7 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 
 use plexus_apps::active_messages::{am_extension_spec, ActiveMessages};
+use plexus_bench::report::{self, BenchReport};
 use plexus_bench::table;
 use plexus_bench::udp_rtt::{udp_rtt_us, Link, System};
 use plexus_core::{PlexusStack, StackConfig};
@@ -99,4 +100,11 @@ fn main() {
     println!("{}", table::render(&["protocol", "RTT (us)"], &rows));
     println!("Claim: protocols needing little per-packet work run fastest at");
     println!("interrupt level; skipping IP/UDP processing shaves the rest.");
+
+    let mut report = BenchReport::new("am_latency");
+    report.latency_us("ethernet/active_messages", am);
+    report.latency_us("ethernet/udp_interrupt", udp_int);
+    report.latency_us("ethernet/udp_thread", udp_thr);
+    report.count("rounds_per_cell", u64::from(ROUNDS));
+    report::emit(&report);
 }

@@ -5,6 +5,7 @@
 //! Run with `cargo run -p plexus-bench --bin client_video_cpu`.
 
 use plexus_bench::client_video::{video_client_utilization, ClientSystem};
+use plexus_bench::report::{self, BenchReport};
 use plexus_bench::table;
 
 fn main() {
@@ -34,6 +35,19 @@ fn main() {
             &rows
         )
     );
+    let mut report = BenchReport::new("client_video_cpu");
+    report.scalar("spin/client_cpu", spin.utilization * 100.0, "percent");
+    report.scalar("dunix/client_cpu", dunix.utilization * 100.0, "percent");
+    report.scalar("spin/display_share", spin.display_share * 100.0, "percent");
+    report.scalar(
+        "dunix/display_share",
+        dunix.display_share * 100.0,
+        "percent",
+    );
+    report.count("spin/frames", spin.frames);
+    report.count("dunix/frames", dunix.frames);
+    report::emit(&report);
+
     println!("Paper: \"the CPU utilization between the two operating systems was");
     println!("similar\" because the framebuffer (10x slower than RAM) dominates —");
     println!("the benefits of a customized protocol are masked when application");

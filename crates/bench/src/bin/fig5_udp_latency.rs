@@ -6,8 +6,19 @@
 //!
 //! Run with `cargo run -p plexus-bench --bin fig5_udp_latency`.
 
+use plexus_bench::report::{self, BenchReport};
 use plexus_bench::table;
-use plexus_bench::udp_rtt::{udp_rtt_us, Link, System};
+use plexus_bench::udp_rtt::{udp_rtt_samples_ns, udp_rtt_us, Link, System};
+
+fn metric_key(device: &str, system: System) -> String {
+    let sys = match system {
+        System::RawDriver => "raw_driver",
+        System::PlexusInterrupt => "plexus_interrupt",
+        System::PlexusThread => "plexus_thread",
+        System::Dunix => "dunix",
+    };
+    format!("{}/{sys}", device.to_lowercase().replace(' ', "_"))
+}
 
 fn main() {
     const PAYLOAD: usize = 8;
@@ -28,10 +39,13 @@ fn main() {
         System::Dunix,
     ];
 
+    let mut report = BenchReport::new("fig5_udp_latency");
     let mut rows = Vec::new();
     for (name, link) in &links {
         for sys in &systems {
-            let us = udp_rtt_us(*sys, link, PAYLOAD, ROUNDS);
+            let samples = udp_rtt_samples_ns(*sys, link, PAYLOAD, ROUNDS);
+            let us = samples.iter().sum::<u64>() as f64 / samples.len() as f64 / 1000.0;
+            report.latency_from_ns(&metric_key(name, *sys), &samples);
             rows.push(vec![
                 name.to_string(),
                 sys.label().to_string(),
@@ -39,6 +53,8 @@ fn main() {
             ]);
         }
     }
+    report.count("rounds_per_cell", u64::from(ROUNDS));
+    report.count("payload_bytes", PAYLOAD as u64);
     println!(
         "{}",
         table::render(&["device", "system", "RTT (us)"], &rows)
@@ -53,6 +69,7 @@ fn main() {
     let mut rows = Vec::new();
     for (name, link) in &fast {
         let us = udp_rtt_us(System::PlexusInterrupt, link, PAYLOAD, ROUNDS);
+        report.latency_us(&metric_key(name, System::PlexusInterrupt), us);
         rows.push(vec![
             name.to_string(),
             System::PlexusInterrupt.label().to_string(),
@@ -67,4 +84,6 @@ fn main() {
     println!("Paper reference points: Plexus (interrupt) <600 us Ethernet,");
     println!("~350 us ATM, ~300 us T3; fast drivers 337 us Ethernet / 241 us ATM;");
     println!("DIGITAL UNIX substantially slower on every device.");
+
+    report::emit(&report);
 }

@@ -7,6 +7,7 @@
 //! Run with `cargo run -p plexus-bench --bin fig6_video_cpu`.
 
 use plexus_apps::video::VideoConfig;
+use plexus_bench::report::{self, BenchReport};
 use plexus_bench::table;
 use plexus_bench::video_cpu::{video_server_utilization, VideoSystem};
 
@@ -20,10 +21,21 @@ fn main() {
     );
     println!();
 
+    let mut report = BenchReport::new("fig6_video_cpu");
     let mut rows = Vec::new();
     for streams in [1usize, 2, 4, 6, 8, 10, 12, 15, 18, 21, 24, 27, 30] {
         let spin = video_server_utilization(VideoSystem::Spin, streams, cfg, SECONDS);
         let dunix = video_server_utilization(VideoSystem::Dunix, streams, cfg, SECONDS);
+        report.scalar(
+            &format!("streams_{streams:02}/spin_cpu"),
+            spin.utilization * 100.0,
+            "percent",
+        );
+        report.scalar(
+            &format!("streams_{streams:02}/dunix_cpu"),
+            dunix.utilization * 100.0,
+            "percent",
+        );
         rows.push(vec![
             streams.to_string(),
             format!("{:.1}", spin.offered_load * 100.0),
@@ -50,4 +62,7 @@ fn main() {
     println!("Paper: both saturate the network at 15 streams; SPIN uses ~half the CPU.");
     println!("Beyond 15 streams the link is oversubscribed: the adapter sheds frames");
     println!("(delivered < 100%), i.e. the server can no longer meet every deadline.");
+
+    report.count("seconds_simulated", SECONDS);
+    report::emit(&report);
 }

@@ -8,6 +8,7 @@
 //! Run with `cargo run -p plexus-bench --bin fig7_forwarding`.
 
 use plexus_bench::fwd_latency::{forwarding_rtt_us, FwdSystem};
+use plexus_bench::report::{self, BenchReport};
 use plexus_bench::table;
 use plexus_bench::udp_rtt::Link;
 
@@ -21,6 +22,7 @@ fn main() {
     let payloads = [8usize, 64, 256, 1024];
 
     let link = Link::ethernet();
+    let mut report = BenchReport::new("fig7_forwarding");
     let mut rows = Vec::new();
     for payload in payloads {
         let mut row = vec![payload.to_string()];
@@ -30,6 +32,12 @@ fn main() {
             if *sys == FwdSystem::Direct {
                 direct_us = us;
             }
+            let sys_key = match sys {
+                FwdSystem::Direct => "direct",
+                FwdSystem::Plexus => "plexus_redirect",
+                FwdSystem::DunixSplice => "dunix_splice",
+            };
+            report.latency_us(&format!("payload_{payload:04}/{sys_key}"), us);
             row.push(format!("{us:.0}"));
         }
         let plexus = forwarding_rtt_us(FwdSystem::Plexus, &link, payload, ROUNDS);
@@ -55,4 +63,7 @@ fn main() {
     println!("Paper: the in-kernel redirector adds far less latency than the user-level");
     println!("splice, and it alone preserves end-to-end TCP semantics (the splice");
     println!("terminates the client's connection at the forwarder).");
+
+    report.count("rounds_per_cell", u64::from(ROUNDS));
+    report::emit(&report);
 }

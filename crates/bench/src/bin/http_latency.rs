@@ -4,6 +4,7 @@
 //! Run with `cargo run -p plexus-bench --bin http_latency`.
 
 use plexus_bench::http_latency::{http_get_latency_us, HttpSystem};
+use plexus_bench::report::{self, BenchReport};
 use plexus_bench::table;
 use plexus_bench::udp_rtt::Link;
 
@@ -12,10 +13,13 @@ fn main() {
     println!("over Ethernet, server in-kernel vs. user process");
     println!();
     let sizes = [128usize, 1024, 8192, 65536];
+    let mut report = BenchReport::new("http_latency");
     let mut rows = Vec::new();
     for size in sizes {
         let p = http_get_latency_us(HttpSystem::Plexus, &Link::ethernet(), size);
         let d = http_get_latency_us(HttpSystem::Dunix, &Link::ethernet(), size);
+        report.latency_us(&format!("body_{size:05}/plexus"), p);
+        report.latency_us(&format!("body_{size:05}/dunix"), d);
         rows.push(vec![
             size.to_string(),
             format!("{p:.0}"),
@@ -38,4 +42,6 @@ fn main() {
     println!("The structure cost is per-request boundary crossing work; it is");
     println!("roughly constant until the response is large enough that wire time");
     println!("and per-byte copies dominate.");
+
+    report::emit(&report);
 }

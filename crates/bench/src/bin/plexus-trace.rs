@@ -1,0 +1,164 @@
+//! `plexus-trace` — replay a scenario with the flight recorder on and
+//! dump both exporters.
+//!
+//! Mirrors `plexus-verify`: a small CLI over the library crates. Given a
+//! scenario name (the `examples/` prefix is accepted and stripped, so
+//! `plexus-trace examples/udp_rtt` works), it rebuilds that scenario's
+//! world with a [`plexus_trace::Recorder`] installed, runs it on the
+//! simulated clock, and writes two files:
+//!
+//! * `<scenario>.trace.json` — Chrome `trace_event` format; load it in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! * `<scenario>.stats.json` — counters (per guard/handler/domain) and
+//!   latency histograms.
+//!
+//! Because every timestamp comes from the simulated clock, running the
+//! same scenario twice produces byte-identical files.
+//!
+//! Usage:
+//!
+//! ```text
+//! plexus-trace [-o DIR] [--stdout] SCENARIO...
+//! plexus-trace --list
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use plexus_bench::udp_rtt::{udp_rtt_traced, Link};
+use plexus_trace::export::{chrome_trace, stats_json};
+use plexus_trace::{json, Recorder};
+
+/// Ring capacity for CLI runs: large enough that the scenarios below are
+/// captured without overwrites.
+const RING_CAPACITY: usize = 1 << 16;
+
+/// The scenarios the CLI can replay, with one line of help each.
+const SCENARIOS: &[(&str, &str)] = &[
+    (
+        "udp_rtt",
+        "UDP echo ping-pong (quickstart's protocol), interrupt-level handlers, Ethernet, 20 rounds",
+    ),
+    (
+        "udp_rtt_thread",
+        "the same ping-pong with thread-mode delivery (Figure 5's other Plexus bar)",
+    ),
+];
+
+fn run_scenario(name: &str) -> Option<std::rc::Rc<Recorder>> {
+    let recorder = Recorder::new(RING_CAPACITY);
+    match name {
+        "udp_rtt" => {
+            udp_rtt_traced(true, &Link::ethernet(), 8, 20, &recorder);
+        }
+        "udp_rtt_thread" => {
+            udp_rtt_traced(false, &Link::ethernet(), 8, 20, &recorder);
+        }
+        _ => return None,
+    }
+    Some(recorder)
+}
+
+fn usage() {
+    eprintln!("usage: plexus-trace [-o DIR] [--stdout] SCENARIO...");
+    eprintln!("       plexus-trace --list");
+    eprintln!();
+    eprintln!("scenarios:");
+    for (name, help) in SCENARIOS {
+        eprintln!("  {name:<16} {help}");
+    }
+}
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from(".");
+    let mut to_stdout = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for (name, help) in SCENARIOS {
+                    println!("{name:<16} {help}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--stdout" => to_stdout = true,
+            "-o" | "--out" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("-o needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                out_dir = PathBuf::from(dir);
+            }
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for raw in &names {
+        // Accept `examples/udp_rtt`, `examples/udp_rtt.rs`, or bare names.
+        let name = raw
+            .trim_start_matches("examples/")
+            .trim_end_matches(".rs")
+            .to_string();
+        let Some(recorder) = run_scenario(&name) else {
+            eprintln!("unknown scenario: {raw} (try --list)");
+            failed = true;
+            continue;
+        };
+        let trace = chrome_trace(&recorder);
+        let stats = stats_json(&recorder);
+        for (kind, body) in [("trace", &trace), ("stats", &stats)] {
+            if let Err(e) = json::validate(body) {
+                eprintln!("{name}: internal error: emitted {kind} JSON invalid: {e}");
+                failed = true;
+            }
+        }
+        if to_stdout {
+            println!("{trace}");
+            println!("{stats}");
+        } else {
+            if let Err(e) = fs::create_dir_all(&out_dir) {
+                eprintln!("cannot create {}: {e}", out_dir.display());
+                return ExitCode::FAILURE;
+            }
+            let trace_path = out_dir.join(format!("{name}.trace.json"));
+            let stats_path = out_dir.join(format!("{name}.stats.json"));
+            let write = |path: &PathBuf, body: &str| {
+                let mut b = body.to_string();
+                b.push('\n');
+                fs::write(path, b)
+            };
+            match (write(&trace_path, &trace), write(&stats_path, &stats)) {
+                (Ok(()), Ok(())) => {
+                    eprintln!(
+                        "{name}: {} events -> {} + {}",
+                        recorder.recorded(),
+                        trace_path.display(),
+                        stats_path.display()
+                    );
+                }
+                (a, b) => {
+                    if let Err(e) = a.and(b) {
+                        eprintln!("{name}: write failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -14,6 +14,7 @@ use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
+use plexus_bench::report::{self, BenchReport};
 use plexus_bench::table;
 use plexus_bench::udp_rtt::{udp_rtt_us, Link, System};
 use plexus_core::{AppHandler, PlexusStack, StackConfig, UdpRecv};
@@ -23,12 +24,14 @@ use plexus_net::udp::UdpConfig;
 use plexus_sim::World;
 
 fn main() {
-    payload_sweep();
+    let mut report = BenchReport::new("sweeps");
+    payload_sweep(&mut report);
     println!();
-    guard_scaling();
+    guard_scaling(&mut report);
+    report::emit(&report);
 }
 
-fn payload_sweep() {
+fn payload_sweep(report: &mut BenchReport) {
     const ROUNDS: u32 = 20;
     println!("Payload sweep: Plexus (interrupt) UDP RTT vs. payload size");
     println!();
@@ -43,6 +46,8 @@ fn payload_sweep() {
         let mut row = vec![name.to_string()];
         for size in sizes {
             let us = udp_rtt_us(System::PlexusInterrupt, link, size, ROUNDS);
+            let dev = name.to_lowercase().replace(' ', "_");
+            report.latency_us(&format!("payload_sweep/{dev}/{size:04}"), us);
             row.push(format!("{us:.0}"));
         }
         rows.push(row);
@@ -137,7 +142,7 @@ fn rtt_with_endpoints(extra: usize) -> f64 {
     (done.get().expect("reply") - t0) as f64 / 1000.0
 }
 
-fn guard_scaling() {
+fn guard_scaling(report: &mut BenchReport) {
     println!("Guard scaling: Ethernet UDP RTT vs. bystander endpoints on the server");
     println!("(each endpoint = one more guard on Udp.PacketRecv — MRA87's question)");
     println!();
@@ -145,6 +150,7 @@ fn guard_scaling() {
     let base = rtt_with_endpoints(0);
     for extra in [0usize, 8, 32, 128, 512] {
         let us = rtt_with_endpoints(extra);
+        report.latency_us(&format!("guard_scaling/bystanders_{extra:03}"), us);
         rows.push(vec![
             extra.to_string(),
             format!("{us:.1}"),

@@ -7,6 +7,7 @@
 //!
 //! Run with `cargo run -p plexus-bench --bin tab_tcp_throughput`.
 
+use plexus_bench::report::{self, BenchReport};
 use plexus_bench::table;
 use plexus_bench::tcp_tput::{raw_driver_mbps, tcp_throughput_mbps, TputSystem};
 use plexus_bench::udp_rtt::Link;
@@ -26,10 +27,14 @@ fn main() {
         ("DEC T3", Link::t3(), "n/a (DMA bug)"),
     ];
 
+    let mut report = BenchReport::new("tab_tcp_throughput");
     let mut rows = Vec::new();
     for (name, link, paper) in &links {
         let plexus = tcp_throughput_mbps(TputSystem::Plexus, link, BYTES);
         let dunix = tcp_throughput_mbps(TputSystem::Dunix, link, BYTES);
+        let dev = name.to_lowercase().replace(' ', "_");
+        report.scalar(&format!("{dev}/plexus"), plexus, "mbit_s");
+        report.scalar(&format!("{dev}/dunix"), dunix, "mbit_s");
         rows.push(vec![
             name.to_string(),
             format!("{plexus:.1}"),
@@ -52,4 +57,8 @@ fn main() {
 
     let atm_raw = raw_driver_mbps(&Link::atm(), BYTES);
     println!("ATM driver-to-driver ceiling (PIO-limited): {atm_raw:.1} Mb/s (paper: ~53 Mb/s)");
+
+    report.scalar("fore_atm/raw_driver_ceiling", atm_raw, "mbit_s");
+    report.count("transfer_bytes", BYTES as u64);
+    report::emit(&report);
 }

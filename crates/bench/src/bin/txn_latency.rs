@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo run -p plexus-bench --bin txn_latency`.
 
+use plexus_bench::report::{self, BenchReport};
 use plexus_bench::table;
 use plexus_bench::txn_latency::{txn_latency_us, TxnSystem};
 use plexus_bench::udp_rtt::Link;
@@ -18,11 +19,18 @@ fn main() {
         TxnSystem::TcpSpecial,
         TxnSystem::TcpStandard,
     ];
+    let mut report = BenchReport::new("txn_latency");
     let mut rows = Vec::new();
     for sys in systems {
         let mut row = vec![sys.label().to_string()];
+        let sys_key = match sys {
+            TxnSystem::Udp => "udp",
+            TxnSystem::TcpSpecial => "tcp_special",
+            TxnSystem::TcpStandard => "tcp_standard",
+        };
         for p in payloads {
             let us = txn_latency_us(sys, &Link::ethernet(), p, ROUNDS);
+            report.latency_us(&format!("payload_{p:03}/{sys_key}"), us);
             row.push(format!("{us:.0}"));
         }
         rows.push(row);
@@ -39,4 +47,7 @@ fn main() {
     println!("the teardown — while UDP remains the unreliable floor. Both TCP");
     println!("implementations coexist on the same machines; guards split the port");
     println!("space between them (the paper's TCP-standard/TCP-special example).");
+
+    report.count("rounds_per_cell", u64::from(ROUNDS));
+    report::emit(&report);
 }

@@ -10,6 +10,7 @@
 pub mod client_video;
 pub mod fwd_latency;
 pub mod http_latency;
+pub mod report;
 pub mod table;
 pub mod tcp_tput;
 pub mod txn_latency;

@@ -1,0 +1,189 @@
+//! Machine-readable benchmark output.
+//!
+//! Every `src/bin` harness builds a [`BenchReport`] alongside its human
+//! table and hands it to [`emit`]: by default the JSON is written to
+//! `results/BENCH_<name>.json` (next to the `.txt` tables); with `--json`
+//! on the command line it goes to stdout instead, so CI can pipe it
+//! through a JSON parser. Values come from the simulated clock, so the
+//! bytes are identical across runs and the golden files in `results/` can
+//! be diffed.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use plexus_trace::json;
+
+/// Quotes and escapes `s` as a JSON string literal.
+fn q(s: &str) -> String {
+    format!("\"{}\"", json::escape(s))
+}
+
+/// One measured quantity. Sample-based metrics carry mean/p50/p99 in
+/// simulated microseconds; scalar metrics carry a single value.
+struct Metric {
+    name: String,
+    /// `(mean, p50, p99)` in µs for sample-based metrics.
+    latency: Option<(f64, f64, f64)>,
+    /// Sample count behind `latency` (0 for scalar metrics).
+    samples: u64,
+    /// Scalar value + unit, e.g. CPU utilization in percent.
+    scalar: Option<(f64, &'static str)>,
+}
+
+/// A machine-readable benchmark result.
+pub struct BenchReport {
+    name: String,
+    metrics: Vec<Metric>,
+    counts: Vec<(String, u64)>,
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
+    let n = sorted_ns.len();
+    let rank = ((q / 100.0) * n as f64).ceil() as usize;
+    sorted_ns[rank.clamp(1, n) - 1]
+}
+
+impl BenchReport {
+    /// Starts a report for the benchmark binary `name`.
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_string(),
+            metrics: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Adds a latency metric from per-event samples in simulated ns.
+    pub fn latency_from_ns(&mut self, name: &str, samples_ns: &[u64]) {
+        assert!(!samples_ns.is_empty(), "metric {name} has no samples");
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_unstable();
+        let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            latency: Some((
+                mean / 1000.0,
+                percentile(&sorted, 50.0) as f64 / 1000.0,
+                percentile(&sorted, 99.0) as f64 / 1000.0,
+            )),
+            samples: sorted.len() as u64,
+            scalar: None,
+        });
+    }
+
+    /// Adds a single-valued latency (benches that only compute a mean).
+    pub fn latency_us(&mut self, name: &str, mean_us: f64) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            latency: Some((mean_us, mean_us, mean_us)),
+            samples: 1,
+            scalar: None,
+        });
+    }
+
+    /// Adds a scalar metric with an explicit unit (e.g. `"percent"`,
+    /// `"mbit_s"`).
+    pub fn scalar(&mut self, name: &str, value: f64, unit: &'static str) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            latency: None,
+            samples: 0,
+            scalar: Some((value, unit)),
+        });
+    }
+
+    /// Adds an event count.
+    pub fn count(&mut self, name: &str, value: u64) {
+        self.counts.push((name.to_string(), value));
+    }
+
+    /// Renders the report as JSON (deterministic: fixed key order, fixed
+    /// 3-decimal formatting).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\"bench\": {}", q(&self.name)));
+        out.push_str(", \"metrics\": [");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{{\"name\": {}", q(&m.name)));
+            if let Some((mean, p50, p99)) = m.latency {
+                out.push_str(&format!(
+                    ", \"mean_us\": {mean:.3}, \"p50_us\": {p50:.3}, \"p99_us\": {p99:.3}, \"samples\": {}",
+                    m.samples
+                ));
+            }
+            if let Some((value, unit)) = m.scalar {
+                out.push_str(&format!(", \"value\": {value:.3}, \"unit\": {}", q(unit)));
+            }
+            out.push('}');
+        }
+        out.push_str("], \"counts\": {");
+        for (i, (name, value)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {value}", q(name)));
+        }
+        out.push_str("}}");
+        debug_assert!(json::validate(&out).is_ok(), "report JSON malformed");
+        out
+    }
+
+    /// Writes `results/BENCH_<name>.json`, creating `results/` if needed.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut body = self.to_json();
+        body.push('\n');
+        fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+/// Standard tail for a bench binary: with `--json` among the arguments the
+/// report goes to stdout (and nothing is written); otherwise it lands in
+/// `results/BENCH_<name>.json`.
+pub fn emit(report: &BenchReport) {
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+        return;
+    }
+    match report.write() {
+        Ok(path) => eprintln!("machine-readable report: {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_{}.json: {e}", report.name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_valid_and_deterministic() {
+        let mut r = BenchReport::new("unit_test");
+        r.latency_from_ns("rtt", &[1_000, 2_000, 3_000, 400_000]);
+        r.scalar("cpu", 42.5, "percent");
+        r.count("rounds", 4);
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        json::validate(&a).expect("valid JSON");
+        assert!(a.contains("\"bench\": \"unit_test\""));
+        assert!(a.contains("\"p99_us\": 400.000"));
+        assert!(a.contains("\"rounds\": 4"));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 50.0), 50);
+        assert_eq!(percentile(&samples, 99.0), 99);
+        assert_eq!(percentile(&samples, 100.0), 100);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+}

@@ -126,20 +126,25 @@ impl PingState {
         })
     }
 
-    fn mean_us(&self) -> f64 {
+    fn samples(&self) -> Vec<u64> {
         let rtts = self.rtts_ns.borrow();
         assert!(!rtts.is_empty(), "no round trips completed");
-        rtts.iter().sum::<u64>() as f64 / rtts.len() as f64 / 1000.0
+        rtts.clone()
     }
 
-    /// Records a completed round trip; returns `true` if another should be
-    /// started.
-    fn complete(&self, now_ns: u64) -> bool {
-        self.rtts_ns.borrow_mut().push(now_ns - self.sent_at.get());
+    /// Records a completed round trip; returns the round-trip time and
+    /// whether another round should be started.
+    fn complete(&self, now_ns: u64) -> (u64, bool) {
+        let rtt = now_ns - self.sent_at.get();
+        self.rtts_ns.borrow_mut().push(rtt);
         let left = self.remaining.get() - 1;
         self.remaining.set(left);
-        left > 0
+        (rtt, left > 0)
     }
+}
+
+fn mean_us(samples_ns: &[u64]) -> f64 {
+    samples_ns.iter().sum::<u64>() as f64 / samples_ns.len() as f64 / 1000.0
 }
 
 /// Measures the mean UDP round-trip time in microseconds.
@@ -156,16 +161,63 @@ pub fn udp_rtt_us_with_model(
     rounds: u32,
     model: &CostModel,
 ) -> f64 {
+    mean_us(&udp_rtt_samples_ns_with_model(
+        system, link, payload, rounds, model,
+    ))
+}
+
+/// Per-round round-trip times in nanoseconds (for p50/p99 reporting).
+pub fn udp_rtt_samples_ns(system: System, link: &Link, payload: usize, rounds: u32) -> Vec<u64> {
+    udp_rtt_samples_ns_with_model(system, link, payload, rounds, &CostModel::alpha_3000_400())
+}
+
+/// [`udp_rtt_samples_ns`] with an explicit cost model.
+pub fn udp_rtt_samples_ns_with_model(
+    system: System,
+    link: &Link,
+    payload: usize,
+    rounds: u32,
+    model: &CostModel,
+) -> Vec<u64> {
     assert!(rounds > 0);
     match system {
-        System::PlexusInterrupt => plexus_rtt(link, payload, rounds, true, model),
-        System::PlexusThread => plexus_rtt(link, payload, rounds, false, model),
+        System::PlexusInterrupt => plexus_rtt(link, payload, rounds, true, model, None),
+        System::PlexusThread => plexus_rtt(link, payload, rounds, false, model, None),
         System::Dunix => dunix_rtt(link, payload, rounds, model),
         System::RawDriver => raw_rtt(link, payload, rounds, model),
     }
 }
 
-fn plexus_rtt(link: &Link, payload: usize, rounds: u32, interrupt: bool, model: &CostModel) -> f64 {
+/// Runs the Plexus ping-pong with a flight recorder installed across the
+/// whole world (both machines' CPUs, NICs, and the engine). Each completed
+/// round trip also lands in the recorder's `udp.rtt_ns` histogram. Used by
+/// the `plexus-trace` CLI and the determinism tests.
+pub fn udp_rtt_traced(
+    interrupt: bool,
+    link: &Link,
+    payload: usize,
+    rounds: u32,
+    recorder: &Rc<plexus_trace::Recorder>,
+) -> Vec<u64> {
+    assert!(rounds > 0);
+    plexus_rtt(
+        link,
+        payload,
+        rounds,
+        interrupt,
+        &CostModel::alpha_3000_400(),
+        Some(recorder),
+    )
+}
+
+fn plexus_rtt(
+    link: &Link,
+    payload: usize,
+    rounds: u32,
+    interrupt: bool,
+    model: &CostModel,
+    recorder: Option<&Rc<plexus_trace::Recorder>>,
+) -> Vec<u64> {
     let mut world = World::new();
     let a = world.add_machine_with_model("client", model.clone());
     let b = world.add_machine_with_model("server", model.clone());
@@ -175,6 +227,9 @@ fn plexus_rtt(link: &Link, payload: usize, rounds: u32, interrupt: bool, model: 
         link.propagation,
         link.half_duplex,
     );
+    if let Some(rec) = recorder {
+        world.install_recorder(rec);
+    }
     let cfg = |ipa, mac| {
         if interrupt {
             StackConfig::interrupt(ipa, mac)
@@ -217,7 +272,12 @@ fn plexus_rtt(link: &Link, payload: usize, rounds: u32, interrupt: bool, model: 
     let data2 = data.clone();
     let pong = move |ctx: &mut plexus_kernel::RaiseCtx<'_>, _ev: &UdpRecv| {
         let now = ctx.lease.now().as_nanos();
-        if st.complete(now) {
+        let (rtt, more) = st.complete(now);
+        if let Some(rec) = ctx.lease.recorder() {
+            let hist = rec.intern("udp.rtt_ns");
+            rec.record_latency(hist, rtt);
+        }
+        if more {
             st.sent_at.set(ctx.lease.now().as_nanos());
             let ep = cs.borrow().clone().expect("endpoint installed");
             let _ = ep.send_in(ctx, server_ip(), 7, &data2);
@@ -238,10 +298,10 @@ fn plexus_rtt(link: &Link, payload: usize, rounds: u32, interrupt: bool, model: 
     cep.send(world.engine_mut(), server_ip(), 7, &data).unwrap();
     world.run();
     assert_eq!(state.remaining.get(), 0, "all rounds completed");
-    state.mean_us()
+    state.samples()
 }
 
-fn dunix_rtt(link: &Link, payload: usize, rounds: u32, model: &CostModel) -> f64 {
+fn dunix_rtt(link: &Link, payload: usize, rounds: u32, model: &CostModel) -> Vec<u64> {
     let mut world = World::new();
     let a = world.add_machine_with_model("client", model.clone());
     let b = world.add_machine_with_model("server", model.clone());
@@ -271,7 +331,7 @@ fn dunix_rtt(link: &Link, payload: usize, rounds: u32, model: &CostModel) -> f64
     let data2 = data.clone();
     csock.recv_loop(world.engine_mut(), move |eng, user, _msg| {
         let now = user.now().as_nanos();
-        if st.complete(now) {
+        if st.complete(now).1 {
             st.sent_at.set(user.now().as_nanos());
             c2.sendto_in(eng, user, server_ip(), 7, &data2);
         }
@@ -281,13 +341,13 @@ fn dunix_rtt(link: &Link, payload: usize, rounds: u32, model: &CostModel) -> f64
     csock.sendto(world.engine_mut(), server_ip(), 7, &data);
     world.run();
     assert_eq!(state.remaining.get(), 0, "all rounds completed");
-    state.mean_us()
+    state.samples()
 }
 
 /// Driver-to-driver floor: the server's receive interrupt immediately
 /// hands the frame back to its transmitter; the client's receive interrupt
 /// starts the next round. Only interrupt + driver costs are charged.
-fn raw_rtt(link: &Link, payload: usize, rounds: u32, model: &CostModel) -> f64 {
+fn raw_rtt(link: &Link, payload: usize, rounds: u32, model: &CostModel) -> Vec<u64> {
     let mut world = World::new();
     let a = world.add_machine_with_model("client", model.clone());
     let b = world.add_machine_with_model("server", model.clone());
@@ -325,7 +385,7 @@ fn raw_rtt(link: &Link, payload: usize, rounds: u32, model: &CostModel) -> f64 {
         lease.charge(model.interrupt_entry);
         lease.charge(cn.profile().rx_cpu_cost(frame.len()));
         let now = lease.now().as_nanos();
-        if st.complete(now) {
+        if st.complete(now).1 {
             st.sent_at.set(lease.now().as_nanos());
             lease.charge(cn.profile().tx_cpu_cost(frame.len()));
             let at = lease.now();
@@ -344,7 +404,7 @@ fn raw_rtt(link: &Link, payload: usize, rounds: u32, model: &CostModel) -> f64 {
     }
     world.run();
     assert_eq!(state.remaining.get(), 0, "all rounds completed");
-    state.mean_us()
+    state.samples()
 }
 
 #[cfg(test)]

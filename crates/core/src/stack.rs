@@ -182,22 +182,30 @@ impl StackShared {
     }
 
     /// Installs a protocol-layer handler per the stack's dispatch mode.
+    /// `owner` names the protection domain the handler runs for, so the
+    /// flight recorder can attribute work per-domain.
     pub(crate) fn install_layer<T, F>(
         &self,
         event: Event<T>,
         guard: Option<Guard<T>>,
         handler: F,
+        owner: &str,
     ) -> HandlerId
     where
         T: 'static,
         F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
     {
         match self.mode {
-            DispatchMode::Interrupt => {
-                self.dispatcher
-                    .install_interrupt(event, guard, Ephemeral::certify(handler), None)
-            }
-            DispatchMode::Thread => self.dispatcher.install_thread(event, guard, handler),
+            DispatchMode::Interrupt => self.dispatcher.install_interrupt_owned(
+                event,
+                guard,
+                Ephemeral::certify(handler),
+                None,
+                owner,
+            ),
+            DispatchMode::Thread => self
+                .dispatcher
+                .install_thread_owned(event, guard, handler, owner),
         }
     }
 
@@ -221,18 +229,20 @@ impl StackShared {
         event: Event<T>,
         guard: Option<Guard<T>>,
         handler: AppHandler<T>,
+        owner: &str,
     ) -> HandlerId {
         match handler {
             AppHandler::Interrupt(eph) => {
                 let f = eph.into_inner();
-                self.dispatcher.install_interrupt(
+                self.dispatcher.install_interrupt_owned(
                     event,
                     guard,
                     Ephemeral::certify(move |ctx: &mut RaiseCtx<'_>, arg: &T| f(ctx, arg)),
                     self.ext_time_limit,
+                    owner,
                 )
             }
-            AppHandler::Thread(f) => self.dispatcher.install_thread(event, guard, f),
+            AppHandler::Thread(f) => self.dispatcher.install_thread_owned(event, guard, f, owner),
         }
     }
 
@@ -280,6 +290,9 @@ impl StackShared {
                 Some(gw) => Some(gw),
                 None => {
                     self.bump(|s| s.no_route += 1);
+                    if let Some(rec) = ctx.lease.recorder() {
+                        rec.packet_drop(ctx.lease.now().as_nanos(), "ip", "no_route");
+                    }
                     return;
                 }
             }
@@ -335,6 +348,9 @@ impl StackShared {
                     .unwrap_or(0);
                 if dropped > 0 {
                     me.bump(|s| s.arp_failures += 1);
+                    if let Some(rec) = eng.recorder() {
+                        rec.packet_drop(eng.now().as_nanos(), "arp", "resolution_failed");
+                    }
                 }
                 return;
             }
@@ -511,6 +527,7 @@ impl PlexusStack {
                 s.bump(|st| st.eth_rx += 1);
                 let mut mbuf = Mbuf::from_wire(&frame);
                 mbuf.pkthdr_mut().rcvif = Some(0);
+                mbuf.pkthdr_mut().packet_id = lease.recorder().and_then(|r| r.current_packet());
                 let arg = EthRecv { mbuf };
                 let mut ctx = RaiseCtx {
                     engine,
@@ -519,6 +536,9 @@ impl PlexusStack {
                 s.dispatcher.raise(&mut ctx, s.events.eth_recv, &arg);
             } else {
                 s.bump(|st| st.eth_filtered += 1);
+                if let Some(rec) = lease.recorder() {
+                    rec.packet_drop(lease.now().as_nanos(), "ether", "mac_filter");
+                }
             }
             lease.charge(model.interrupt_exit);
         });
@@ -573,6 +593,7 @@ impl PlexusStack {
                     s.raise_eth_send(ctx, pkt.sender_mac, EtherType::ARP, m);
                 }
             },
+            "arp",
         );
     }
 
@@ -598,11 +619,17 @@ impl PlexusStack {
                     // Bad checksum/version, or a fragment still waiting.
                     if pkt.total_len() >= ip::IP_HDR_LEN {
                         s.bump(|st| st.ip_dropped += 1);
+                        if let Some(rec) = ctx.lease.recorder() {
+                            rec.packet_drop(ctx.lease.now().as_nanos(), "ip", "bad_or_fragment");
+                        }
                     }
                     return;
                 };
                 if !s.is_local_ip(hdr.dst) {
                     s.bump(|st| st.ip_dropped += 1);
+                    if let Some(rec) = ctx.lease.recorder() {
+                        rec.packet_drop(ctx.lease.now().as_nanos(), "ip", "not_local");
+                    }
                     return;
                 }
                 s.bump(|st| st.ip_rx += 1);
@@ -614,6 +641,7 @@ impl PlexusStack {
                 };
                 s.dispatcher.raise(ctx, s.events.ip_recv, &arg);
             },
+            "ip",
         );
 
         let s = shared.clone();
@@ -654,6 +682,7 @@ impl PlexusStack {
                     );
                 }
             },
+            "icmp",
         );
     }
 
@@ -760,9 +789,12 @@ impl PlexusStack {
                 [mac_to_u64(my_mac), mac_to_u64(MacAddr::BROADCAST)],
             );
         let guard = guards::verified(guards::ether_type_program(ethertype, Some(my_mac)), &policy);
-        let id = self
-            .shared
-            .install_app(self.shared.events.eth_recv, Some(guard), handler);
+        let id = self.shared.install_app(
+            self.shared.events.eth_recv,
+            Some(guard),
+            handler,
+            ext.name(),
+        );
         let shared = self.shared.clone();
         self.shared.register_cleanup(ext, move || {
             shared.dispatcher.uninstall(shared.events.eth_recv, id);

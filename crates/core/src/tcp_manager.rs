@@ -121,6 +121,7 @@ impl TcpManager {
                 };
                 s.dispatcher.raise(ctx, s.events.tcp_recv, &arg);
             },
+            "tcp",
         );
         mgr
     }
@@ -211,6 +212,7 @@ impl TcpManager {
                 );
                 conn.process_actions(ctx, actions);
             },
+            ext.name(),
         );
         let _ = on_accept;
         self.listeners
@@ -263,7 +265,7 @@ impl TcpManager {
     /// (which implements whatever transport discipline it wants).
     pub fn claim_special<F>(
         self: &Rc<Self>,
-        _ext: &LinkedExtension,
+        ext: &LinkedExtension,
         ports: &[u16],
         handler: F,
     ) -> Result<HandlerId, PlexusError>
@@ -298,7 +300,7 @@ impl TcpManager {
         );
         Ok(self
             .shared
-            .install_layer(self.shared.events.ip_recv, Some(guard), handler))
+            .install_layer(self.shared.events.ip_recv, Some(guard), handler, ext.name()))
     }
 
     /// Installs a TCP port redirector (§5.2): segments for `port` —
@@ -311,7 +313,7 @@ impl TcpManager {
     /// original endpoints — no header or checksum is touched in flight.
     pub fn redirect(
         self: &Rc<Self>,
-        _ext: &LinkedExtension,
+        ext: &LinkedExtension,
         port: u16,
         new_dst: Ipv4Addr,
     ) -> Result<HandlerId, PlexusError> {
@@ -347,6 +349,7 @@ impl TcpManager {
                     shared.raise_eth_send(ctx, mac, EtherType::IPV4, dgram);
                 }
             },
+            ext.name(),
         ))
     }
 }
@@ -424,6 +427,7 @@ impl TcpConn {
                 );
                 c.process_actions(ctx, actions);
             },
+            "tcp",
         );
         conn.handler.set(Some(id));
         conn

@@ -132,6 +132,7 @@ impl UdpManager {
                     );
                 }
             },
+            "udp",
         );
         mgr
     }
@@ -208,8 +209,12 @@ impl UdpManager {
                 ),
                 &policy,
             );
-            self.shared
-                .install_app(self.shared.events.udp_recv, Some(guard), handler)
+            self.shared.install_app(
+                self.shared.events.udp_recv,
+                Some(guard),
+                handler,
+                ext.name(),
+            )
         } else {
             // Special implementation: its own node on Ip.PacketRecv, doing
             // its own (cheaper) datagram processing. Its guard reads the
@@ -234,7 +239,7 @@ impl UdpManager {
             );
             let wrapped = wrap_special_udp(config, handler);
             self.shared
-                .install_app(self.shared.events.ip_recv, Some(guard), wrapped)
+                .install_app(self.shared.events.ip_recv, Some(guard), wrapped, ext.name())
         };
 
         let endpoint = Rc::new(UdpEndpoint {
@@ -260,7 +265,7 @@ impl UdpManager {
     /// end-to-end fields survive. The UDP checksum is fixed incrementally.
     pub fn redirect(
         self: &Rc<Self>,
-        _ext: &LinkedExtension,
+        ext: &LinkedExtension,
         port: u16,
         new_dst: Ipv4Addr,
     ) -> Result<HandlerId, PlexusError> {
@@ -300,6 +305,7 @@ impl UdpManager {
                     },
                 );
             },
+            ext.name(),
         ))
     }
 

@@ -25,6 +25,7 @@
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::fmt;
 use std::marker::PhantomData;
 use std::rc::Rc;
 
@@ -32,6 +33,7 @@ use plexus_filter::{Packet, VerifiedProgram};
 use plexus_sim::engine::Engine;
 use plexus_sim::time::SimDuration;
 use plexus_sim::CpuLease;
+use plexus_trace::{GuardKind, Scope};
 
 use crate::ephemeral::Ephemeral;
 
@@ -153,6 +155,13 @@ impl<T> Clone for Event<T> {
 impl<T> Copy for Event<T> {}
 
 /// Counters the dispatcher keeps about its own operation.
+///
+/// All counters are `u64` and increment saturating — a flooded dispatcher
+/// pins at `u64::MAX` rather than wrapping. When a
+/// [`plexus_trace::Recorder`] is installed on the raising CPU, the
+/// recorder's [`plexus_trace::Registry`] holds the superset (per-event,
+/// per-guard-kind, per-domain splits); this struct remains the cheap
+/// aggregate view.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DispatchStats {
     /// Events raised.
@@ -169,6 +178,23 @@ pub struct DispatchStats {
     pub verified_guard_rejects: u64,
     /// Ephemeral handlers terminated for exceeding their allotment.
     pub terminations: u64,
+}
+
+impl fmt::Display for DispatchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "raises={} invocations={} guard_evals={} (verified {}) \
+             guard_rejects={} (verified {}) terminations={}",
+            self.raises,
+            self.invocations,
+            self.guard_evals,
+            self.verified_guard_evals,
+            self.guard_rejects,
+            self.verified_guard_rejects,
+            self.terminations
+        )
+    }
 }
 
 /// One record in the dispatcher's event trace (see
@@ -202,6 +228,9 @@ struct Entry<T> {
     handler: HandlerFn<T>,
     mode: HandlerMode,
     ephemeral: bool,
+    /// Owning domain (extension or kernel subsystem) for per-domain
+    /// accounting in the flight recorder.
+    owner: Rc<str>,
     removed: Cell<bool>,
 }
 
@@ -386,6 +415,7 @@ impl Dispatcher {
         handler: HandlerFn<T>,
         mode: HandlerMode,
         ephemeral: bool,
+        owner: &str,
     ) -> HandlerId {
         let id = HandlerId(self.next_handler.get());
         self.next_handler.set(id.0 + 1);
@@ -395,6 +425,7 @@ impl Dispatcher {
             handler,
             mode,
             ephemeral,
+            owner: Rc::from(owner),
             removed: Cell::new(false),
         }));
         id
@@ -404,6 +435,10 @@ impl Dispatcher {
     /// that runs `handler`. Both guard forms are accepted here — the
     /// handler already pays thread costs, and thread-mode closures are how
     /// trusted in-kernel code filters its own events.
+    ///
+    /// The handler is attributed to the `"kernel"` domain; managers
+    /// installing on behalf of an extension use
+    /// [`Dispatcher::install_thread_owned`].
     pub fn install_thread<T, F>(
         &self,
         event: Event<T>,
@@ -414,7 +449,31 @@ impl Dispatcher {
         T: 'static,
         F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
     {
-        self.push_entry(event, guard, Box::new(handler), HandlerMode::Thread, false)
+        self.install_thread_owned(event, guard, handler, "kernel")
+    }
+
+    /// [`Dispatcher::install_thread`] with an explicit owning domain, so
+    /// the flight recorder can attribute invocations and terminations to
+    /// the extension that installed the handler.
+    pub fn install_thread_owned<T, F>(
+        &self,
+        event: Event<T>,
+        guard: Option<Guard<T>>,
+        handler: F,
+        owner: &str,
+    ) -> HandlerId
+    where
+        T: 'static,
+        F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
+    {
+        self.push_entry(
+            event,
+            guard,
+            Box::new(handler),
+            HandlerMode::Thread,
+            false,
+            owner,
+        )
     }
 
     /// Installs an interrupt-mode handler. Only certified [`Ephemeral`]
@@ -439,6 +498,28 @@ impl Dispatcher {
         T: 'static,
         F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
     {
+        self.install_interrupt_owned(event, guard, handler, time_limit, "kernel")
+    }
+
+    /// [`Dispatcher::install_interrupt`] with an explicit owning domain
+    /// for per-extension flight-recorder accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guard` is a [`Guard::Closure`] (see
+    /// [`Dispatcher::install_interrupt`]).
+    pub fn install_interrupt_owned<T, F>(
+        &self,
+        event: Event<T>,
+        guard: Option<Guard<T>>,
+        handler: Ephemeral<F>,
+        time_limit: Option<SimDuration>,
+        owner: &str,
+    ) -> HandlerId
+    where
+        T: 'static,
+        F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
+    {
         assert!(
             !matches!(guard, Some(Guard::Closure(_))),
             "interrupt-mode installs require a verified guard program (or no guard)"
@@ -450,6 +531,7 @@ impl Dispatcher {
             Box::new(f),
             HandlerMode::Interrupt { time_limit },
             true,
+            owner,
         )
     }
 
@@ -500,6 +582,14 @@ impl Dispatcher {
         let model = ctx.lease.model().clone();
         ctx.lease.charge(model.dispatch_raise);
 
+        // Flight recorder, if the raising CPU carries one. Held as an
+        // owned handle because the handler call below reborrows `ctx`.
+        let rec = ctx.lease.recorder_handle();
+        let ev_label = rec.as_ref().map(|r| r.intern(&table.name));
+        if let (Some(r), Some(lbl)) = (&rec, ev_label) {
+            r.count(Scope::Event, lbl, "raises", 1);
+        }
+
         // Snapshot the entry list so handlers can install/uninstall without
         // aliasing the `RefCell` borrow; entries removed mid-raise are
         // skipped via their `removed` flag.
@@ -507,26 +597,30 @@ impl Dispatcher {
 
         let mut outcome = RaiseOutcome::default();
         let mut stats = self.stats.get();
-        stats.raises += 1;
+        stats.raises = stats.raises.saturating_add(1);
 
         for entry in entries {
             if entry.removed.get() {
                 continue;
             }
             if let Some(guard) = &entry.guard {
-                stats.guard_evals += 1;
+                stats.guard_evals = stats.guard_evals.saturating_add(1);
                 ctx.lease.charge(model.guard_eval);
-                let matched = match guard {
-                    Guard::Closure(f) => f(arg),
+                let (matched, kind) = match guard {
+                    Guard::Closure(f) => (f(arg), GuardKind::Closure),
                     Guard::Verified(vg) => {
-                        stats.verified_guard_evals += 1;
-                        vg.matches(arg)
+                        stats.verified_guard_evals = stats.verified_guard_evals.saturating_add(1);
+                        (vg.matches(arg), GuardKind::Verified)
                     }
                 };
+                if let (Some(r), Some(lbl)) = (&rec, ev_label) {
+                    r.guard_eval(ctx.lease.now().as_nanos(), lbl, kind, matched);
+                }
                 if !matched {
-                    stats.guard_rejects += 1;
+                    stats.guard_rejects = stats.guard_rejects.saturating_add(1);
                     if guard.is_verified() {
-                        stats.verified_guard_rejects += 1;
+                        stats.verified_guard_rejects =
+                            stats.verified_guard_rejects.saturating_add(1);
                     }
                     outcome.rejected += 1;
                     continue;
@@ -536,8 +630,13 @@ impl Dispatcher {
                 ctx.lease.charge(model.thread_spawn + model.context_switch);
             }
             ctx.lease.charge(model.dispatch_handler);
-            stats.invocations += 1;
+            stats.invocations = stats.invocations.saturating_add(1);
             outcome.invoked += 1;
+
+            let owner_label = rec.as_ref().map(|r| r.intern(&entry.owner));
+            if let (Some(r), Some(lbl), Some(owner)) = (&rec, ev_label, owner_label) {
+                r.handler_enter(ctx.lease.now().as_nanos(), lbl, owner);
+            }
 
             let mark = ctx.lease.mark();
             // Persist stats before calling out: the handler may re-raise.
@@ -545,6 +644,7 @@ impl Dispatcher {
             (entry.handler)(ctx, arg);
             stats = self.stats.get();
 
+            let mut terminated = false;
             if let HandlerMode::Interrupt {
                 time_limit: Some(limit),
             } = entry.mode
@@ -552,8 +652,17 @@ impl Dispatcher {
                 let used = ctx.lease.mark() - mark;
                 if used > limit {
                     ctx.lease.rollback_to(mark, limit);
-                    stats.terminations += 1;
+                    stats.terminations = stats.terminations.saturating_add(1);
                     outcome.terminated += 1;
+                    terminated = true;
+                }
+            }
+            if let (Some(r), Some(lbl), Some(owner)) = (&rec, ev_label, owner_label) {
+                // Exit is stamped after any termination rollback, so the
+                // span's duration reflects what was actually charged.
+                r.handler_exit(ctx.lease.now().as_nanos(), lbl, owner);
+                if terminated {
+                    r.handler_terminated(ctx.lease.now().as_nanos(), lbl, owner);
                 }
             }
         }
@@ -1012,5 +1121,143 @@ mod trace_tests {
         assert_eq!(d.trace().len(), 4, "oldest entries fell off");
         d.disable_trace();
         assert!(d.trace().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod recorder_tests {
+    use super::*;
+    use plexus_sim::cpu::{CostModel, Cpu};
+    use plexus_sim::time::SimTime;
+    use plexus_trace::{CounterKey, Recorder, TraceEvent};
+
+    #[test]
+    fn raise_records_guard_and_handler_events_with_owner() {
+        let mut engine = Engine::new();
+        let cpu = Cpu::new(CostModel::alpha_3000_400());
+        let rec = Recorder::new(64);
+        cpu.set_recorder(Some(rec.clone()));
+
+        let d = Dispatcher::new();
+        let ev = d.define_event::<u32>("Udp.PacketRecv");
+        d.install_thread_owned(
+            ev,
+            Some(Guard::closure(|arg: &u32| *arg > 10)),
+            |_, _| {},
+            "rtt-extension",
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        d.raise(&mut ctx, ev, &42);
+        d.raise(&mut ctx, ev, &3);
+        drop(lease);
+
+        let lbl = rec.intern("Udp.PacketRecv");
+        let dom = rec.intern("rtt-extension");
+        let get = |scope, label, metric| {
+            rec.registry().get(CounterKey {
+                scope,
+                label,
+                metric,
+            })
+        };
+        assert_eq!(get(Scope::Event, lbl, "raises"), 2);
+        assert_eq!(get(Scope::Guard, lbl, "closure.accepts"), 1);
+        assert_eq!(get(Scope::Guard, lbl, "closure.rejects"), 1);
+        assert_eq!(get(Scope::Handler, lbl, "invocations"), 1);
+        assert_eq!(get(Scope::Domain, dom, "invocations"), 1);
+
+        let events = rec.events();
+        let enters: Vec<_> = events
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::HandlerEnter { .. }))
+            .collect();
+        let exits: Vec<_> = events
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::HandlerExit { .. }))
+            .collect();
+        assert_eq!(enters.len(), 1);
+        assert_eq!(exits.len(), 1);
+        assert!(exits[0].at_ns >= enters[0].at_ns);
+    }
+
+    #[test]
+    fn termination_is_attributed_to_the_owning_domain() {
+        let mut engine = Engine::new();
+        let cpu = Cpu::new(CostModel::alpha_3000_400());
+        let rec = Recorder::new(64);
+        cpu.set_recorder(Some(rec.clone()));
+
+        let d = Dispatcher::new();
+        let ev = d.define_event::<u32>("Limited");
+        d.install_interrupt_owned(
+            ev,
+            None,
+            Ephemeral::certify(|ctx: &mut RaiseCtx, _: &u32| {
+                ctx.lease.charge(SimDuration::from_millis(1));
+            }),
+            Some(SimDuration::from_micros(10)),
+            "runaway-ext",
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        let out = d.raise(&mut ctx, ev, &0);
+        assert_eq!(out.terminated, 1);
+        let dom = rec.intern("runaway-ext");
+        assert_eq!(
+            rec.registry().get(CounterKey {
+                scope: Scope::Domain,
+                label: dom,
+                metric: "terminations",
+            }),
+            1
+        );
+    }
+
+    #[test]
+    fn without_a_recorder_raise_behaves_identically() {
+        // Costs and stats must not depend on whether tracing is on.
+        let run = |with_recorder: bool| {
+            let mut engine = Engine::new();
+            let cpu = Cpu::new(CostModel::alpha_3000_400());
+            if with_recorder {
+                cpu.set_recorder(Some(Recorder::new(16)));
+            }
+            let d = Dispatcher::new();
+            let ev = d.define_event::<u32>("Same");
+            d.install_thread(ev, Some(Guard::closure(|_| true)), |_, _| {});
+            let mut lease = cpu.begin(SimTime::ZERO);
+            let mut ctx = RaiseCtx {
+                engine: &mut engine,
+                lease: &mut lease,
+            };
+            d.raise(&mut ctx, ev, &0);
+            (lease.elapsed(), d.stats())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn display_formats_all_counters() {
+        let stats = DispatchStats {
+            raises: 10,
+            invocations: 8,
+            guard_evals: 6,
+            guard_rejects: 2,
+            verified_guard_evals: 4,
+            verified_guard_rejects: 1,
+            terminations: 3,
+        };
+        assert_eq!(
+            stats.to_string(),
+            "raises=10 invocations=8 guard_evals=6 (verified 4) \
+             guard_rejects=2 (verified 1) terminations=3"
+        );
     }
 }

@@ -11,6 +11,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use plexus_sim::CpuLease;
+use plexus_trace::CrossDir;
 
 /// A user address space.
 pub struct AddressSpace {
@@ -56,6 +57,9 @@ impl AddressSpace {
         self.traps.set(self.traps.get() + 1);
         let cost = lease.model().syscall;
         lease.charge(cost);
+        if let Some(rec) = lease.recorder() {
+            rec.crossing(lease.now().as_nanos(), CrossDir::UserToKernel, 0);
+        }
     }
 
     /// Charges a `len`-byte copy from this space into the kernel.
@@ -64,6 +68,9 @@ impl AddressSpace {
             .set(self.bytes_copied_in.get() + len as u64);
         let cost = lease.model().copy(len);
         lease.charge(cost);
+        if let Some(rec) = lease.recorder() {
+            rec.crossing(lease.now().as_nanos(), CrossDir::UserToKernel, len);
+        }
     }
 
     /// Charges a `len`-byte copy from the kernel into this space.
@@ -72,6 +79,9 @@ impl AddressSpace {
             .set(self.bytes_copied_out.get() + len as u64);
         let cost = lease.model().copy(len);
         lease.charge(cost);
+        if let Some(rec) = lease.recorder() {
+            rec.crossing(lease.now().as_nanos(), CrossDir::KernelToUser, len);
+        }
     }
 }
 

@@ -36,6 +36,10 @@ pub struct PktHdr {
     pub len: usize,
     /// Index of the interface the packet arrived on, if any.
     pub rcvif: Option<usize>,
+    /// Flight-recorder packet ID assigned at NIC delivery, if tracing is
+    /// on. Survives [`Mbuf::share`], so handlers deep in the graph can
+    /// attribute work to the arriving packet.
+    pub packet_id: Option<u64>,
 }
 
 #[derive(Clone)]

@@ -14,8 +14,10 @@
 //! lease begins at `max(now, cpu.free_at)`, so concurrent activities on one
 //! machine queue behind each other exactly like work on a single processor.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+
+use plexus_trace::Recorder;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -142,6 +144,7 @@ pub struct Cpu {
     model: CostModel,
     free_at: Cell<SimTime>,
     busy: Cell<SimDuration>,
+    recorder: RefCell<Option<Rc<Recorder>>>,
 }
 
 impl Cpu {
@@ -151,7 +154,20 @@ impl Cpu {
             model,
             free_at: Cell::new(SimTime::ZERO),
             busy: Cell::new(SimDuration::ZERO),
+            recorder: RefCell::new(None),
         })
+    }
+
+    /// Installs (or removes) a flight recorder. Every lease opened after
+    /// this carries the recorder, so code charging this CPU can emit trace
+    /// events without any extra plumbing.
+    pub fn set_recorder(&self, recorder: Option<Rc<Recorder>>) {
+        *self.recorder.borrow_mut() = recorder;
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn recorder(&self) -> Option<Rc<Recorder>> {
+        self.recorder.borrow().clone()
     }
 
     /// The cost model this CPU charges with.
@@ -183,6 +199,7 @@ impl Cpu {
     pub fn begin(self: &Rc<Self>, now: SimTime) -> CpuLease {
         let start = self.free_at.get().max(now);
         CpuLease {
+            recorder: self.recorder.borrow().clone(),
             cpu: self.clone(),
             start,
             elapsed: SimDuration::ZERO,
@@ -210,6 +227,7 @@ pub struct CpuLease {
     start: SimTime,
     elapsed: SimDuration,
     committed: bool,
+    recorder: Option<Rc<Recorder>>,
 }
 
 impl CpuLease {
@@ -260,6 +278,18 @@ impl CpuLease {
     /// The cost model of the underlying CPU.
     pub fn model(&self) -> &CostModel {
         &self.cpu.model
+    }
+
+    /// The flight recorder captured when this lease was opened, if any.
+    /// Instrumented code stamps events with [`CpuLease::now`].
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Owned handle to the captured recorder (for callers that must hold
+    /// it across a re-entrant borrow of the lease, like the dispatcher).
+    pub fn recorder_handle(&self) -> Option<Rc<Recorder>> {
+        self.recorder.clone()
     }
 
     /// Commits the accumulated work and returns its completion instant.

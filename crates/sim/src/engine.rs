@@ -16,6 +16,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
 
+use plexus_trace::Recorder;
+
 use crate::time::{SimDuration, SimTime};
 
 /// A scheduled closure. It receives the engine so it can schedule follow-ups.
@@ -99,12 +101,25 @@ pub struct Engine {
     queue: BinaryHeap<Entry>,
     stopped: bool,
     executed: u64,
+    recorder: Option<Rc<Recorder>>,
 }
 
 impl Engine {
     /// Creates an engine with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         Engine::default()
+    }
+
+    /// Installs (or removes) a flight recorder. Cancelable timers record a
+    /// `TimerFire` event when they run.
+    pub fn set_recorder(&mut self, recorder: Option<Rc<Recorder>>) {
+        self.recorder = recorder;
+    }
+
+    /// The installed flight recorder, if any. Lets code holding only an
+    /// engine (driver rx closures, timer callbacks) emit trace events.
+    pub fn recorder(&self) -> Option<&Rc<Recorder>> {
+        self.recorder.as_ref()
     }
 
     /// The current simulated instant.
@@ -197,6 +212,12 @@ impl Engine {
             if let Some(flag) = &entry.cancelled {
                 if flag.get() {
                     continue;
+                }
+                // Only cancelable entries are timers in the protocol sense
+                // (retransmits, delays); plain scheduled actions are
+                // simulation plumbing.
+                if let Some(rec) = &self.recorder {
+                    rec.timer_fire(self.now.as_nanos());
                 }
             }
             self.executed += 1;

@@ -15,6 +15,7 @@
 use std::cell::{Cell, RefCell};
 use std::rc::{Rc, Weak};
 
+use plexus_trace::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -317,6 +318,7 @@ pub struct Nic {
     tx_free_at: Cell<SimTime>,
     rx_handler: RefCell<Option<RxHandler>>,
     stats: Cell<NicStats>,
+    recorder: RefCell<Option<Rc<Recorder>>>,
     id: usize,
 }
 
@@ -330,6 +332,7 @@ impl Nic {
             tx_free_at: Cell::new(SimTime::ZERO),
             rx_handler: RefCell::new(None),
             stats: Cell::new(NicStats::default()),
+            recorder: RefCell::new(None),
             id,
         });
         medium.attach(&nic);
@@ -344,6 +347,19 @@ impl Nic {
     /// Traffic counters.
     pub fn stats(&self) -> NicStats {
         self.stats.get()
+    }
+
+    /// Installs (or removes) a flight recorder. On delivery the NIC
+    /// assigns each frame a fresh per-packet ID and records the arrival;
+    /// adapter-level drops are recorded with their reason.
+    pub fn set_recorder(&self, recorder: Option<Rc<Recorder>>) {
+        *self.recorder.borrow_mut() = recorder;
+    }
+
+    fn record_drop(&self, now: SimTime, reason: &str) {
+        if let Some(rec) = self.recorder.borrow().as_ref() {
+            rec.packet_drop(now.as_nanos(), self.profile.name, reason);
+        }
     }
 
     /// Installs the receive handler (the driver's interrupt entry point).
@@ -367,6 +383,7 @@ impl Nic {
             // Allow a little slack for link headers over the payload MTU.
             stats.tx_oversize += 1;
             self.stats.set(stats);
+            self.record_drop(engine.now(), "tx_oversize");
             return ready_at;
         }
         let mut start = self.tx_free_at.get().max(ready_at).max(engine.now());
@@ -383,6 +400,7 @@ impl Nic {
         {
             stats.tx_ring_drops += 1;
             self.stats.set(stats);
+            self.record_drop(engine.now(), "tx_ring_full");
             return start;
         }
         let end = start + ser;
@@ -402,7 +420,10 @@ impl Nic {
         }
         let frame = match self.medium.faults.borrow().apply(frame) {
             Some(f) => f,
-            None => return end,
+            None => {
+                self.record_drop(end, "fault_injected");
+                return end;
+            }
         };
         let arrival = end + self.medium.propagation;
         let members: Vec<Rc<Nic>> = self
@@ -430,7 +451,17 @@ impl Nic {
                 stats.rx_frames += 1;
                 stats.rx_bytes += frame.len() as u64;
                 self.stats.set(stats);
+                // Assign the per-packet ID here, at the moment the frame
+                // reaches the host: everything the rx chain records until
+                // it returns is attributed to this packet.
+                let rec = self.recorder.borrow().clone();
+                if let Some(rec) = &rec {
+                    rec.packet_arrival(engine.now().as_nanos(), self.profile.name, frame.len());
+                }
                 h(engine, frame);
+                if let Some(rec) = &rec {
+                    rec.packet_done();
+                }
                 let mut slot = self.rx_handler.borrow_mut();
                 if slot.is_none() {
                     *slot = Some(h);
@@ -439,6 +470,7 @@ impl Nic {
             None => {
                 stats.rx_no_handler += 1;
                 self.stats.set(stats);
+                self.record_drop(engine.now(), "rx_no_handler");
             }
         }
     }

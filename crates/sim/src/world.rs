@@ -147,6 +147,21 @@ impl World {
         (medium, nics)
     }
 
+    /// Installs a flight recorder across the whole world: the engine
+    /// (timer fires), every machine's CPU (leases carry it into the
+    /// dispatcher and protocol code), and every attached NIC (packet
+    /// arrival IDs, adapter drops). Connect machines *before* calling
+    /// this, or install on late NICs by hand.
+    pub fn install_recorder(&mut self, recorder: &Rc<plexus_trace::Recorder>) {
+        self.engine.set_recorder(Some(recorder.clone()));
+        for m in &self.machines {
+            m.cpu().set_recorder(Some(recorder.clone()));
+            for idx in 0..m.nic_count() {
+                m.nic(idx).set_recorder(Some(recorder.clone()));
+            }
+        }
+    }
+
     /// The event engine.
     pub fn engine(&self) -> &Engine {
         &self.engine

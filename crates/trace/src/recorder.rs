@@ -1,0 +1,294 @@
+//! The recorder: interner + ring + registry + packet-ID generator.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::registry::{CounterKey, Registry, Scope};
+use crate::ring::Ring;
+use crate::{CrossDir, GuardKind, TraceEvent, TraceRecord};
+
+/// A handle to an interned string. `Copy`, so trace records carrying names
+/// stay allocation-free; resolve back with [`Recorder::name`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub(crate) u32);
+
+#[derive(Debug, Default)]
+struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &str) -> Label {
+        if let Some(&i) = self.index.get(s) {
+            return Label(i);
+        }
+        let i = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(s.to_owned());
+        self.index.insert(s.to_owned(), i);
+        Label(i)
+    }
+}
+
+/// The flight recorder: a bounded event ring plus a metrics [`Registry`],
+/// stamped entirely from the simulated clock.
+///
+/// Install one per simulation (`World::install_recorder` wires it to every
+/// CPU, NIC, and the engine). Instrumented code receives it as an
+/// `Option<&Recorder>` / `Option<Rc<Recorder>>`; with no recorder
+/// installed the hot path pays a single `Option` test.
+#[derive(Debug)]
+pub struct Recorder {
+    ring: RefCell<Ring>,
+    registry: Registry,
+    interner: RefCell<Interner>,
+    next_seq: Cell<u64>,
+    next_packet: Cell<u64>,
+    current_packet: Cell<Option<u64>>,
+}
+
+impl Recorder {
+    /// Creates a recorder whose ring retains `capacity` records.
+    pub fn new(capacity: usize) -> Rc<Recorder> {
+        Rc::new(Recorder {
+            ring: RefCell::new(Ring::new(capacity)),
+            registry: Registry::default(),
+            interner: RefCell::new(Interner::default()),
+            next_seq: Cell::new(0),
+            next_packet: Cell::new(0),
+            current_packet: Cell::new(None),
+        })
+    }
+
+    /// Interns a name; cheap (one hash lookup) after first sight.
+    pub fn intern(&self, s: &str) -> Label {
+        self.interner.borrow_mut().intern(s)
+    }
+
+    /// Resolves an interned label back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` did not come from this recorder.
+    pub fn name(&self, label: Label) -> String {
+        self.interner.borrow().names[label.0 as usize].clone()
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Snapshot of retained trace records, oldest first.
+    pub fn events(&self) -> Vec<TraceRecord> {
+        self.ring.borrow().snapshot()
+    }
+
+    /// Records overwritten because the ring filled.
+    pub fn overwritten(&self) -> u64 {
+        self.ring.borrow().overwritten()
+    }
+
+    /// Total records ever pushed.
+    pub fn recorded(&self) -> u64 {
+        self.next_seq.get()
+    }
+
+    fn push(&self, at_ns: u64, event: TraceEvent) {
+        let seq = self.next_seq.get();
+        self.next_seq.set(seq + 1);
+        self.ring.borrow_mut().push(TraceRecord {
+            at_ns,
+            seq,
+            packet: self.current_packet.get(),
+            event,
+        });
+    }
+
+    /// Bumps a counter by `delta`.
+    pub fn count(&self, scope: Scope, label: Label, metric: &'static str, delta: u64) {
+        self.registry.add(
+            CounterKey {
+                scope,
+                label,
+                metric,
+            },
+            delta,
+        );
+    }
+
+    /// Records a latency observation into the named histogram.
+    pub fn record_latency(&self, hist: Label, ns: u64) {
+        self.registry.record_hist(hist, ns);
+    }
+
+    // --- instrumentation entry points -----------------------------------
+
+    /// A frame arrived at a NIC: assigns the next per-packet ID, marks it
+    /// current (subsequent records are attributed to it until
+    /// [`Recorder::packet_done`]), and records the arrival.
+    pub fn packet_arrival(&self, at_ns: u64, nic: &str, bytes: usize) -> u64 {
+        let id = self.next_packet.get();
+        self.next_packet.set(id + 1);
+        self.current_packet.set(Some(id));
+        let nic = self.intern(nic);
+        self.push(
+            at_ns,
+            TraceEvent::PacketArrival {
+                nic,
+                bytes: bytes as u32,
+            },
+        );
+        self.count(Scope::Packet, nic, "arrivals", 1);
+        self.count(Scope::Packet, nic, "bytes", bytes as u64);
+        id
+    }
+
+    /// The current packet's processing chain has left the instrumented
+    /// path; later records are no longer attributed to it.
+    pub fn packet_done(&self) {
+        self.current_packet.set(None);
+    }
+
+    /// The packet ID currently in flight, if any.
+    pub fn current_packet(&self) -> Option<u64> {
+        self.current_packet.get()
+    }
+
+    /// A guard was evaluated during an event raise.
+    pub fn guard_eval(&self, at_ns: u64, event: Label, kind: GuardKind, matched: bool) {
+        self.push(
+            at_ns,
+            TraceEvent::GuardEval {
+                event,
+                kind,
+                matched,
+            },
+        );
+        let metric = match (kind, matched) {
+            (GuardKind::Verified, true) => "verified.accepts",
+            (GuardKind::Verified, false) => "verified.rejects",
+            (GuardKind::Closure, true) => "closure.accepts",
+            (GuardKind::Closure, false) => "closure.rejects",
+        };
+        self.count(Scope::Guard, event, metric, 1);
+    }
+
+    /// A handler began executing.
+    pub fn handler_enter(&self, at_ns: u64, event: Label, domain: Label) {
+        self.push(at_ns, TraceEvent::HandlerEnter { event, domain });
+        self.count(Scope::Handler, event, "invocations", 1);
+        self.count(Scope::Domain, domain, "invocations", 1);
+    }
+
+    /// A handler finished executing.
+    pub fn handler_exit(&self, at_ns: u64, event: Label, domain: Label) {
+        self.push(at_ns, TraceEvent::HandlerExit { event, domain });
+    }
+
+    /// An over-budget ephemeral handler was terminated (§3.3).
+    pub fn handler_terminated(&self, at_ns: u64, event: Label, domain: Label) {
+        let reason = self.intern("handler_terminated");
+        self.push(
+            at_ns,
+            TraceEvent::Drop {
+                layer: event,
+                reason,
+            },
+        );
+        self.count(Scope::Domain, domain, "terminations", 1);
+        self.count(Scope::Drop, reason, "count", 1);
+    }
+
+    /// A packet was dropped at `layer` for `reason`.
+    pub fn packet_drop(&self, at_ns: u64, layer: &str, reason: &str) {
+        let layer = self.intern(layer);
+        let reason = self.intern(reason);
+        self.push(at_ns, TraceEvent::Drop { layer, reason });
+        self.count(Scope::Drop, reason, "count", 1);
+    }
+
+    /// A cancelable engine timer fired.
+    pub fn timer_fire(&self, at_ns: u64) {
+        self.push(at_ns, TraceEvent::TimerFire);
+        let label = self.intern("engine");
+        self.count(Scope::Timer, label, "fires", 1);
+    }
+
+    /// A user/kernel boundary crossing (trap, copyin, copyout).
+    pub fn crossing(&self, at_ns: u64, dir: CrossDir, bytes: usize) {
+        self.push(
+            at_ns,
+            TraceEvent::Crossing {
+                dir,
+                bytes: bytes as u32,
+            },
+        );
+        let label = self.intern(dir.name());
+        self.count(Scope::Crossing, label, "count", 1);
+        self.count(Scope::Crossing, label, "bytes", bytes as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_reversible() {
+        let rec = Recorder::new(8);
+        let a = rec.intern("udp_recv");
+        let b = rec.intern("ip_recv");
+        assert_ne!(a, b);
+        assert_eq!(rec.intern("udp_recv"), a);
+        assert_eq!(rec.name(a), "udp_recv");
+        assert_eq!(rec.name(b), "ip_recv");
+    }
+
+    #[test]
+    fn packet_ids_are_sequential_and_attributed() {
+        let rec = Recorder::new(32);
+        let p0 = rec.packet_arrival(100, "Ethernet", 60);
+        let ev = rec.intern("eth_recv");
+        let dom = rec.intern("kernel");
+        rec.handler_enter(150, ev, dom);
+        rec.packet_done();
+        let p1 = rec.packet_arrival(900, "Ethernet", 61);
+        rec.packet_done();
+        assert_eq!((p0, p1), (0, 1));
+        let evs = rec.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].packet, Some(0));
+        assert_eq!(evs[1].packet, Some(0), "handler attributed to packet 0");
+        assert_eq!(evs[2].packet, Some(1));
+        assert_eq!(evs[1].at_ns, 150);
+        // Counters landed.
+        let key = CounterKey {
+            scope: Scope::Packet,
+            label: rec.intern("Ethernet"),
+            metric: "arrivals",
+        };
+        assert_eq!(rec.registry().get(key), 2);
+    }
+
+    #[test]
+    fn guard_counters_split_by_kind_and_verdict() {
+        let rec = Recorder::new(8);
+        let ev = rec.intern("udp_recv");
+        rec.guard_eval(1, ev, GuardKind::Verified, true);
+        rec.guard_eval(2, ev, GuardKind::Verified, false);
+        rec.guard_eval(3, ev, GuardKind::Closure, true);
+        let get = |metric| {
+            rec.registry().get(CounterKey {
+                scope: Scope::Guard,
+                label: ev,
+                metric,
+            })
+        };
+        assert_eq!(get("verified.accepts"), 1);
+        assert_eq!(get("verified.rejects"), 1);
+        assert_eq!(get("closure.accepts"), 1);
+        assert_eq!(get("closure.rejects"), 0);
+    }
+}

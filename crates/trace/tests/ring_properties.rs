@@ -1,0 +1,55 @@
+//! Property tests for the flight-recorder ring: below capacity it never
+//! loses or reorders events; above capacity it keeps exactly the newest
+//! window and accounts for every overwrite.
+
+use plexus_trace::{Ring, TraceEvent, TraceRecord};
+use proptest::prelude::*;
+
+fn rec(seq: u64) -> TraceRecord {
+    TraceRecord {
+        at_ns: seq.wrapping_mul(7),
+        seq,
+        packet: if seq.is_multiple_of(3) {
+            None
+        } else {
+            Some(seq / 2)
+        },
+        event: TraceEvent::TimerFire,
+    }
+}
+
+proptest! {
+    #[test]
+    fn below_capacity_never_loses_or_reorders(
+        cap in 1usize..256,
+        n in 0usize..256,
+    ) {
+        let n = n.min(cap);
+        let mut ring = Ring::new(cap);
+        for i in 0..n as u64 {
+            ring.push(rec(i));
+        }
+        prop_assert_eq!(ring.len(), n);
+        prop_assert_eq!(ring.overwritten(), 0);
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|r| r.seq).collect();
+        let expected: Vec<u64> = (0..n as u64).collect();
+        prop_assert_eq!(seqs, expected);
+    }
+
+    #[test]
+    fn overflow_keeps_exactly_the_newest_window(
+        cap in 1usize..64,
+        n in 0usize..512,
+    ) {
+        let mut ring = Ring::new(cap);
+        for i in 0..n as u64 {
+            ring.push(rec(i));
+        }
+        let kept = n.min(cap);
+        prop_assert_eq!(ring.len(), kept);
+        prop_assert_eq!(ring.overwritten(), (n - kept) as u64);
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|r| r.seq).collect();
+        let expected: Vec<u64> = ((n - kept) as u64..n as u64).collect();
+        prop_assert_eq!(seqs, expected, "newest window, oldest first");
+    }
+}

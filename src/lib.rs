@@ -8,3 +8,4 @@ pub use plexus_core as core;
 pub use plexus_kernel as kernel;
 pub use plexus_net as net;
 pub use plexus_sim as sim;
+pub use plexus_trace as trace;
