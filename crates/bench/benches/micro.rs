@@ -17,7 +17,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 use std::rc::Rc;
 
-use plexus_kernel::dispatcher::{Dispatcher, Guard, RaiseCtx};
+use plexus_kernel::dispatcher::{Dispatcher, Guard, HandlerSpec, RaiseCtx};
 use plexus_kernel::ephemeral::Ephemeral;
 use plexus_kernel::filter::{
     conjunction, verify, EventKind, Field, Operand, Packet, Test, VerifiedProgram,
@@ -73,11 +73,9 @@ fn bench_dispatch(c: &mut Criterion) {
     {
         let d = Dispatcher::new();
         let ev = d.define_event::<u32>("bare");
-        d.install_interrupt(
+        d.install(
             ev,
-            None,
-            Ephemeral::certify(|_: &mut RaiseCtx, _: &u32| {}),
-            None,
+            HandlerSpec::ephemeral(Ephemeral::certify(|_: &mut RaiseCtx, _: &u32| {})).interrupt(),
         );
         let cpu = Cpu::new(CostModel::alpha_3000_400());
         let mut engine = Engine::new();
@@ -100,11 +98,11 @@ fn bench_dispatch(c: &mut Criterion) {
         let d = Dispatcher::new();
         let ev = d.define_event::<Dgram>("filters");
         for port in 0..n as u16 {
-            d.install_interrupt(
+            d.install(
                 ev,
-                Some(Guard::verified(port_program(port))),
-                Ephemeral::certify(|_: &mut RaiseCtx, _: &Dgram| {}),
-                None,
+                HandlerSpec::ephemeral(Ephemeral::certify(|_: &mut RaiseCtx, _: &Dgram| {}))
+                    .interrupt()
+                    .guard(Guard::verified(port_program(port))),
             );
         }
         let cpu = Cpu::new(CostModel::alpha_3000_400());

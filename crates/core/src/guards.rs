@@ -14,8 +14,8 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 
 use plexus_filter::{
-    conjunction, verify_with_policy, EventKind, Field, FilterProgram, Operand, Packet, Policy,
-    PortSet, Test, Width,
+    conjunction, verify_with_policy, DemuxKey, EventKind, Field, FilterProgram, KeySpec, Operand,
+    Packet, Policy, PortSet, Test, VerifiedProgram, Width,
 };
 use plexus_kernel::dispatcher::Guard;
 use plexus_net::ether::{EtherType, MacAddr};
@@ -83,13 +83,100 @@ pub(crate) fn ether_type_program(
     conjunction(EventKind::EthRecv, &tests, vec![])
 }
 
-/// Verifies a manager-built program against `policy` and wraps it as a
-/// dispatcher guard. The managers are trusted code building guards from
+/// A verified guard plus everything the dispatcher learned about it
+/// statically: the one product every manager-built guard comes in.
+///
+/// Managers used to hand the dispatcher a bare [`Guard`] and had no view
+/// of whether their filter was demux-indexable; now verification and key
+/// extraction happen in one place, and the manager never matches on guard
+/// kind — it calls [`GuardSpec::guard`] and installs.
+pub(crate) struct GuardSpec {
+    program: Rc<VerifiedProgram>,
+    key: Option<KeySpec>,
+}
+
+impl GuardSpec {
+    /// The verified program.
+    #[allow(dead_code)]
+    pub(crate) fn program(&self) -> &Rc<VerifiedProgram> {
+        &self.program
+    }
+
+    /// The demux key the dispatcher will index this guard under, if its
+    /// accept condition is an extractable field conjunction. Exercised by
+    /// the indexability tests; production code lets the dispatcher do its
+    /// own extraction at install time.
+    #[allow(dead_code)]
+    pub(crate) fn key(&self) -> Option<&KeySpec> {
+        self.key.as_ref()
+    }
+
+    /// Wraps the program as a dispatcher guard for event argument `T`.
+    pub(crate) fn guard<T: Packet + 'static>(&self) -> Guard<T> {
+        Guard::verified(self.program.clone())
+    }
+}
+
+/// Verifies a manager-built program against `policy` and packages it with
+/// its demux key. The managers are trusted code building guards from
 /// their own bindings, so a verification failure here is a manager bug,
 /// not a packet-time condition — it panics with the full report.
-pub(crate) fn verified<T: Packet + 'static>(program: FilterProgram, policy: &Policy) -> Guard<T> {
+pub(crate) fn build(program: FilterProgram, policy: &Policy) -> GuardSpec {
     match verify_with_policy(&program, policy) {
-        Ok(vp) => Guard::verified(Rc::new(vp)),
+        Ok(vp) => {
+            let vp = Rc::new(vp);
+            let key = DemuxKey::extract(&vp);
+            GuardSpec { program: vp, key }
+        }
         Err(report) => panic!("manager-built guard failed verification:\n{report}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The satellite claim behind the demux index: every guard shape the
+    /// managers build — EtherType demux, transport node with a NotInSet
+    /// port carve-out, and pinned-port bindings — extracts a demux key, so
+    /// all manager installs land on the hash path without any manager
+    /// knowing the index exists.
+    #[test]
+    fn manager_guard_shapes_are_demux_indexable() {
+        let ether = build(ether_type_program(EtherType::IPV4, None), &Policy::new());
+        assert!(ether.key().is_some(), "EtherType demux guard must index");
+        assert_eq!(ether.program().program().kind, EventKind::EthRecv);
+
+        let udp_standard = build(
+            transport_over_ip(
+                17,
+                None,
+                Some(Test::NotInSet {
+                    op: TRANSPORT_DST_PORT,
+                    set: 0,
+                }),
+                vec![PortSet::new()],
+            ),
+            &Policy::new(),
+        );
+        assert!(
+            udp_standard.key().is_some(),
+            "UDP standard node (proto + NotInSet) must index"
+        );
+
+        let my_ip = Ipv4Addr::new(10, 0, 0, 1);
+        let special_bind = build(
+            transport_over_ip(
+                17,
+                Some(my_ip),
+                Some(Test::eq(TRANSPORT_DST_PORT, 53)),
+                vec![],
+            ),
+            &Policy::new(),
+        );
+        assert!(
+            special_bind.key().is_some(),
+            "special binding (proto + local dst + pinned port) must index"
+        );
     }
 }

@@ -34,7 +34,7 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 
 use plexus_filter::{Field, FieldKey, Policy};
-use plexus_kernel::dispatcher::{Dispatcher, Event, Guard, HandlerId, RaiseCtx};
+use plexus_kernel::dispatcher::{Dispatcher, Event, Guard, HandlerId, HandlerSpec, RaiseCtx};
 use plexus_kernel::domain::{Domain, ExtensionSpec, Interface, LinkedExtension};
 use plexus_kernel::ephemeral::Ephemeral;
 use plexus_kernel::view::view;
@@ -195,18 +195,14 @@ impl StackShared {
         T: 'static,
         F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
     {
-        match self.mode {
-            DispatchMode::Interrupt => self.dispatcher.install_interrupt_owned(
-                event,
-                guard,
-                Ephemeral::certify(handler),
-                None,
-                owner,
-            ),
-            DispatchMode::Thread => self
-                .dispatcher
-                .install_thread_owned(event, guard, handler, owner),
-        }
+        let spec = match self.mode {
+            DispatchMode::Interrupt => {
+                HandlerSpec::ephemeral(Ephemeral::certify(handler)).interrupt()
+            }
+            DispatchMode::Thread => HandlerSpec::new(handler),
+        };
+        self.dispatcher
+            .install(event, spec.guard_opt(guard).owner(owner))
     }
 
     /// Installs a send-path handler. The send path is always a direct
@@ -218,8 +214,10 @@ impl StackShared {
         T: 'static,
         F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
     {
-        self.dispatcher
-            .install_interrupt(event, None, Ephemeral::certify(handler), None)
+        self.dispatcher.install(
+            event,
+            HandlerSpec::ephemeral(Ephemeral::certify(handler)).interrupt(),
+        )
     }
 
     /// Installs an *application* handler: interrupt-level only when the app
@@ -231,19 +229,18 @@ impl StackShared {
         handler: AppHandler<T>,
         owner: &str,
     ) -> HandlerId {
-        match handler {
+        let spec = match handler {
             AppHandler::Interrupt(eph) => {
                 let f = eph.into_inner();
-                self.dispatcher.install_interrupt_owned(
-                    event,
-                    guard,
-                    Ephemeral::certify(move |ctx: &mut RaiseCtx<'_>, arg: &T| f(ctx, arg)),
-                    self.ext_time_limit,
-                    owner,
-                )
+                HandlerSpec::ephemeral(Ephemeral::certify(
+                    move |ctx: &mut RaiseCtx<'_>, arg: &T| f(ctx, arg),
+                ))
+                .time_limit(self.ext_time_limit)
             }
-            AppHandler::Thread(f) => self.dispatcher.install_thread_owned(event, guard, f, owner),
-        }
+            AppHandler::Thread(f) => HandlerSpec::new(f),
+        };
+        self.dispatcher
+            .install(event, spec.guard_opt(guard).owner(owner))
     }
 
     /// Registers a teardown action to run when extension `ext` unloads.
@@ -563,10 +560,11 @@ impl PlexusStack {
 
     fn install_arp(shared: &Rc<StackShared>) {
         let s = shared.clone();
-        let guard = guards::verified(
+        let guard = guards::build(
             guards::ether_type_program(EtherType::ARP, None),
             &Policy::new(),
-        );
+        )
+        .guard();
         shared.install_layer(
             shared.events.eth_recv,
             Some(guard),
@@ -601,10 +599,11 @@ impl PlexusStack {
     /// `Ip.PacketRecv`; plus the `Ip.PacketSend` output handler.
     fn install_ip(shared: &Rc<StackShared>) {
         let s = shared.clone();
-        let guard = guards::verified(
+        let guard = guards::build(
             guards::ether_type_program(EtherType::IPV4, None),
             &Policy::new(),
-        );
+        )
+        .guard();
         shared.install_layer(
             shared.events.eth_recv,
             Some(guard),
@@ -652,10 +651,11 @@ impl PlexusStack {
 
     fn install_icmp(shared: &Rc<StackShared>) {
         let s = shared.clone();
-        let guard = guards::verified(
+        let guard = guards::build(
             guards::transport_over_ip(ip::proto::ICMP, None, None, vec![]),
             &Policy::new(),
-        );
+        )
+        .guard();
         shared.install_layer(
             shared.events.ip_recv,
             Some(guard),
@@ -788,7 +788,8 @@ impl PlexusStack {
                 FieldKey::Field(Field::EthDst),
                 [mac_to_u64(my_mac), mac_to_u64(MacAddr::BROADCAST)],
             );
-        let guard = guards::verified(guards::ether_type_program(ethertype, Some(my_mac)), &policy);
+        let guard =
+            guards::build(guards::ether_type_program(ethertype, Some(my_mac)), &policy).guard();
         let id = self.shared.install_app(
             self.shared.events.eth_recv,
             Some(guard),

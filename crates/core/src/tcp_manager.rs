@@ -88,7 +88,7 @@ impl TcpManager {
         // The standard TCP implementation node: all TCP except ports owned
         // by special implementations (§3.1's two-implementations example).
         // The destination port is bytes 2..4 of the TCP header.
-        let guard = guards::verified(
+        let guard = guards::build(
             guards::transport_over_ip(
                 proto::TCP,
                 None,
@@ -104,7 +104,7 @@ impl TcpManager {
         let m = mgr.clone();
         shared.install_layer(
             shared.events.ip_recv,
-            Some(guard),
+            Some(guard.guard()),
             move |ctx, ev: &IpRecv| {
                 let model = ctx.lease.model().clone();
                 ctx.lease.charge(model.tcp_proc);
@@ -175,7 +175,7 @@ impl TcpManager {
         // so that check moved into the handler below; the policy proves
         // the listener only ever sees its own port (§3.1).
         let policy = Policy::new().require_eq(FieldKey::Field(Field::TcpDstPort), u64::from(port));
-        let guard = guards::verified(
+        let guard = guards::build(
             conjunction(
                 EventKind::TcpRecv,
                 &[
@@ -192,7 +192,7 @@ impl TcpManager {
         let accept_cb = on_accept.clone();
         let handler = self.shared.install_layer(
             self.shared.events.tcp_recv,
-            Some(guard),
+            Some(guard.guard()),
             move |ctx, ev: &TcpRecv| {
                 let key = (port, ev.src, ev.segment.src_port);
                 if mgr2.conns.borrow().contains_key(&key) {
@@ -289,7 +289,7 @@ impl TcpManager {
         let policy = Policy::new()
             .require_eq(FieldKey::Field(Field::IpProto), u64::from(proto::TCP))
             .require_in(guards::TRANSPORT_DST_PORT_KEY, claimed.iter().copied());
-        let guard = guards::verified(
+        let guard = guards::build(
             guards::transport_over_ip(
                 proto::TCP,
                 None,
@@ -298,9 +298,12 @@ impl TcpManager {
             ),
             &policy,
         );
-        Ok(self
-            .shared
-            .install_layer(self.shared.events.ip_recv, Some(guard), handler, ext.name()))
+        Ok(self.shared.install_layer(
+            self.shared.events.ip_recv,
+            Some(guard.guard()),
+            handler,
+            ext.name(),
+        ))
     }
 
     /// Installs a TCP port redirector (§5.2): segments for `port` —
@@ -325,7 +328,7 @@ impl TcpManager {
         let policy = Policy::new()
             .require_eq(FieldKey::Field(Field::IpProto), u64::from(proto::TCP))
             .require_eq(guards::TRANSPORT_DST_PORT_KEY, u64::from(port));
-        let guard = guards::verified(
+        let guard = guards::build(
             guards::transport_over_ip(
                 proto::TCP,
                 None,
@@ -336,7 +339,7 @@ impl TcpManager {
         );
         Ok(self.shared.install_layer(
             self.shared.events.ip_recv,
-            Some(guard),
+            Some(guard.guard()),
             move |ctx, ev: &IpRecv| {
                 let model = ctx.lease.model().clone();
                 ctx.lease.charge(model.proc_call);
@@ -414,11 +417,11 @@ impl TcpConn {
             policy = policy.require_eq(FieldKey::Field(field), value);
             tests.push(Test::eq(Operand::Field(field), value));
         }
-        let guard = guards::verified(conjunction(EventKind::TcpRecv, &tests, vec![]), &policy);
+        let guard = guards::build(conjunction(EventKind::TcpRecv, &tests, vec![]), &policy);
         let c = conn.clone();
         let id = mgr.shared.install_layer(
             mgr.shared.events.tcp_recv,
-            Some(guard),
+            Some(guard.guard()),
             move |ctx, ev: &TcpRecv| {
                 let actions = c.tcb.borrow_mut().on_segment(
                     &ev.segment,

@@ -75,7 +75,7 @@ impl UdpManager {
 
         // Standard UDP node: IP payloads whose protocol is UDP and whose
         // destination port is not claimed by a special implementation.
-        let guard = guards::verified(
+        let guard = guards::build(
             guards::transport_over_ip(
                 proto::UDP,
                 None,
@@ -91,7 +91,7 @@ impl UdpManager {
         let m = mgr.clone();
         shared.install_layer(
             shared.events.ip_recv,
-            Some(guard),
+            Some(guard.guard()),
             move |ctx, ev: &IpRecv| {
                 let model = ctx.lease.model().clone();
                 ctx.lease.charge(model.udp_proc);
@@ -195,7 +195,7 @@ impl UdpManager {
                     FieldKey::Field(Field::UdpDstAddr),
                     guards::local_dst_values(my_ip),
                 );
-            let guard = guards::verified(
+            let guard = guards::build(
                 conjunction(
                     EventKind::UdpRecv,
                     &[
@@ -211,7 +211,7 @@ impl UdpManager {
             );
             self.shared.install_app(
                 self.shared.events.udp_recv,
-                Some(guard),
+                Some(guard.guard()),
                 handler,
                 ext.name(),
             )
@@ -228,7 +228,7 @@ impl UdpManager {
                     FieldKey::Field(Field::IpDst),
                     guards::local_dst_values(my_ip),
                 );
-            let guard = guards::verified(
+            let guard = guards::build(
                 guards::transport_over_ip(
                     proto::UDP,
                     Some(my_ip),
@@ -238,8 +238,12 @@ impl UdpManager {
                 &policy,
             );
             let wrapped = wrap_special_udp(config, handler);
-            self.shared
-                .install_app(self.shared.events.ip_recv, Some(guard), wrapped, ext.name())
+            self.shared.install_app(
+                self.shared.events.ip_recv,
+                Some(guard.guard()),
+                wrapped,
+                ext.name(),
+            )
         };
 
         let endpoint = Rc::new(UdpEndpoint {
@@ -275,7 +279,7 @@ impl UdpManager {
         let policy = Policy::new()
             .require_eq(FieldKey::Field(Field::IpProto), u64::from(proto::UDP))
             .require_eq(guards::TRANSPORT_DST_PORT_KEY, u64::from(port));
-        let guard = guards::verified(
+        let guard = guards::build(
             guards::transport_over_ip(
                 proto::UDP,
                 None,
@@ -287,7 +291,7 @@ impl UdpManager {
         let old_dst = self.shared.ip;
         Ok(self.shared.install_layer(
             self.shared.events.ip_recv,
-            Some(guard),
+            Some(guard.guard()),
             move |ctx, ev: &IpRecv| {
                 let model = ctx.lease.model().clone();
                 // Header rewrite + incremental checksum fix: a handful of

@@ -8,7 +8,7 @@
 //! tests) that programs the verifier rejects really would fault.
 
 use crate::ir::{EventKind, Field, FilterProgram, Insn, Src, Width, MAX_COST};
-use crate::verify::VerifiedProgram;
+use crate::verify::{FieldKey, VerifiedProgram};
 
 /// How an event exposes its typed fields and contiguous head bytes to a
 /// guard program.
@@ -31,6 +31,24 @@ fn load_be(bytes: &[u8], width: Width) -> u64 {
             Width::W16 => 0xFFFF,
             Width::W32 => 0xFFFF_FFFF,
         }
+}
+
+/// Reads the value a guard program would observe for `key` on `pkt`,
+/// mirroring [`eval`]'s load semantics exactly: a missing typed field or a
+/// short payload yields `None` (where `eval` would reject).
+///
+/// The dispatcher's demux index probes packets through this function, so
+/// `read_field_key(pkt, k) == None` implies every verified guard that
+/// loads `k` rejects `pkt`.
+pub fn read_field_key<P: Packet + ?Sized>(pkt: &P, key: FieldKey) -> Option<u64> {
+    match key {
+        FieldKey::Field(field) => pkt.field(field),
+        FieldKey::Pay(off, width) => {
+            let start = off as usize;
+            let end = start + width.bytes() as usize;
+            pkt.head().get(start..end).map(|b| load_be(b, width))
+        }
+    }
 }
 
 /// Evaluates a verified guard against a packet. Total and fault-free: any

@@ -32,7 +32,7 @@ pub const PAY_WINDOW: u16 = 64;
 
 /// The event type a program is written against. Field loads are typed by
 /// kind; a program only ever evaluates events of its own kind.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EventKind {
     /// Raw Ethernet frame receive (`EthRecv`).
     EthRecv,

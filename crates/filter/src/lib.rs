@@ -40,13 +40,14 @@ pub mod spec;
 pub mod verify;
 
 pub use builder::{conjunction, Operand, Test};
-pub use eval::{eval, eval_unchecked, Packet};
+pub use eval::{eval, eval_unchecked, read_field_key, Packet};
 pub use ir::{
     EventKind, Field, FilterProgram, Insn, PortSet, Reg, SetId, Src, Width, MAX_COST, MAX_INSNS,
     NUM_REGS, PAY_WINDOW,
 };
 pub use verify::{
-    verify, verify_with_policy, FieldKey, FilterReport, Policy, VerifiedProgram, VerifyError,
+    key_schema, verify, verify_with_policy, DemuxKey, FieldKey, FieldSpec, FilterReport, KeySpec,
+    Policy, VerifiedProgram, VerifyError, MAX_ENUMERATED_KEYS,
 };
 
 #[cfg(test)]
@@ -403,6 +404,139 @@ mod tests {
             }
         }
         assert!(!eval(&vp, &NotUdp));
+    }
+
+    #[test]
+    fn demux_key_extracts_eq_conjunction() {
+        let vp = verify(&port_guard(53)).unwrap();
+        let spec = DemuxKey::extract(&vp).expect("eq guard is indexable");
+        assert_eq!(spec.kind(), EventKind::UdpRecv);
+        assert_eq!(spec.fields().len(), 1);
+        match &spec.fields()[0] {
+            FieldSpec::In(vals) => assert_eq!(vals.iter().copied().collect::<Vec<_>>(), [53]),
+            other => panic!("expected In, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn demux_key_unions_one_of_values() {
+        let prog = conjunction(
+            EventKind::UdpRecv,
+            &[Test::one_of(
+                Operand::Field(Field::UdpDstPort),
+                [53u64, 67, 68],
+            )],
+            Vec::new(),
+        );
+        let spec = DemuxKey::extract(&verify(&prog).unwrap()).expect("indexable");
+        match &spec.fields()[0] {
+            FieldSpec::In(vals) => {
+                assert_eq!(vals.iter().copied().collect::<Vec<_>>(), [53, 67, 68])
+            }
+            other => panic!("expected In, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn demux_key_tracks_not_in_set_and_in_together() {
+        // The UDP manager's standard-node guard shape: proto == 17 AND
+        // transport dst port not in the special set.
+        let special = PortSet::new();
+        let prog = conjunction(
+            EventKind::IpRecv,
+            &[
+                Test::eq(Operand::Field(Field::IpProto), 17),
+                Test::NotInSet {
+                    op: Operand::Pay {
+                        off: 2,
+                        width: Width::W16,
+                    },
+                    set: 0,
+                },
+            ],
+            vec![special.clone()],
+        );
+        let spec = DemuxKey::extract(&verify(&prog).unwrap()).expect("indexable via proto");
+        assert_eq!(spec.fields().len(), 2);
+        assert!(matches!(&spec.fields()[0], FieldSpec::In(v) if v.contains(&17)));
+        match &spec.fields()[1] {
+            FieldSpec::NotIn(sets) => {
+                assert_eq!(sets.len(), 1);
+                // The spec carries the *live* shared set, not a snapshot.
+                special.insert(9);
+                assert!(sets[0].contains(9));
+            }
+            other => panic!("expected NotIn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn demux_key_absent_for_unconstrained_guard() {
+        // Accept-all over UdpRecv: no In field -> no key.
+        let wide_open = FilterProgram::new(EventKind::UdpRecv, vec![Insn::Accept]);
+        assert!(DemuxKey::extract(&verify(&wide_open).unwrap()).is_none());
+
+        // A guard that only constrains a non-schema field (payload length)
+        // is likewise not indexable.
+        let by_len = conjunction(
+            EventKind::UdpRecv,
+            &[Test::eq(Operand::Field(Field::UdpPayloadLen), 8)],
+            Vec::new(),
+        );
+        assert!(DemuxKey::extract(&verify(&by_len).unwrap()).is_none());
+    }
+
+    #[test]
+    fn demux_key_absent_for_never_accepting_guard() {
+        let prog = FilterProgram::new(EventKind::UdpRecv, vec![Insn::Reject]);
+        assert!(DemuxKey::extract(&verify(&prog).unwrap()).is_none());
+    }
+
+    #[test]
+    fn demux_key_caps_enumerated_cross_product() {
+        // Two 9-value one_of tests over schema fields: the 81-key cross
+        // product exceeds MAX_ENUMERATED_KEYS (64), so the widest In field
+        // is demoted to Any while the other still indexes.
+        let dsts: Vec<u64> = (80..89).collect();
+        let srcs: Vec<u64> = (2000..2009).collect();
+        let prog = conjunction(
+            EventKind::TcpRecv,
+            &[
+                Test::one_of(Operand::Field(Field::TcpDstPort), dsts),
+                Test::one_of(Operand::Field(Field::TcpSrcPort), srcs),
+            ],
+            Vec::new(),
+        );
+        let spec = DemuxKey::extract(&verify(&prog).unwrap()).expect("still indexable");
+        assert!(matches!(&spec.fields()[0], FieldSpec::In(v) if v.len() == 9));
+        assert!(
+            matches!(&spec.fields()[1], FieldSpec::Any),
+            "src addr untested"
+        );
+        assert!(
+            matches!(&spec.fields()[2], FieldSpec::Any),
+            "widest In demoted to fit the cap"
+        );
+    }
+
+    #[test]
+    fn read_field_key_mirrors_eval_loads() {
+        let pkt = udp_to(53);
+        assert_eq!(
+            read_field_key(&pkt, FieldKey::Field(Field::UdpDstPort)),
+            Some(53)
+        );
+        assert_eq!(read_field_key(&pkt, FieldKey::Field(Field::IpProto)), None);
+        assert_eq!(
+            read_field_key(&pkt, FieldKey::Pay(0, Width::W16)),
+            Some(0),
+            "in-window payload load"
+        );
+        assert_eq!(
+            read_field_key(&pkt, FieldKey::Pay(31, Width::W16)),
+            None,
+            "short payload reads as None, as eval would reject"
+        );
     }
 
     #[test]

@@ -23,8 +23,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::ir::{
-    EventKind, Field, FilterProgram, Insn, Reg, Src, Width, MAX_COST, MAX_INSNS, NUM_REGS,
-    PAY_WINDOW,
+    EventKind, Field, FilterProgram, Insn, PortSet, Reg, SetId, Src, Width, MAX_COST, MAX_INSNS,
+    NUM_REGS, PAY_WINDOW,
 };
 
 /// What a value-range constraint or abstract field refers to: a typed
@@ -463,6 +463,11 @@ enum ValSet {
 struct State {
     regs: [RegVal; NUM_REGS],
     fields: BTreeMap<FieldKey, ValSet>,
+    /// Facts of the form "field ∉ set" (in `JInSet`'s u16-truncated
+    /// membership sense), learned on the fall-through edge of `JInSet`.
+    /// Set contents are dynamic, so the fact names the set rather than its
+    /// values; the dispatcher re-checks membership live at dispatch time.
+    notin: BTreeMap<FieldKey, BTreeSet<SetId>>,
 }
 
 impl State {
@@ -470,6 +475,7 @@ impl State {
         State {
             regs: [RegVal::Undef; NUM_REGS],
             fields: BTreeMap::new(),
+            notin: BTreeMap::new(),
         }
     }
 
@@ -497,6 +503,14 @@ impl State {
                 }
             }
         }
+        // A non-membership fact survives a join only if both paths prove it.
+        self.notin.retain(|key, sets| {
+            match other.notin.get(key) {
+                Some(theirs) => sets.retain(|s| theirs.contains(s)),
+                None => sets.clear(),
+            }
+            !sets.is_empty()
+        });
     }
 }
 
@@ -550,11 +564,13 @@ fn refine_filter(state: &mut State, key: FieldKey, pred: impl Fn(u64) -> bool) -
 /// Single forward dataflow pass (sound because all edges go forward: by the
 /// time `pc` is visited, every predecessor has already contributed its
 /// state). Detects undefined reads, unreachable instructions, missing
-/// terminators, and policy violations.
-fn analyze(program: &FilterProgram, policy: &Policy, report: &mut FilterReport) {
+/// terminators, and policy violations. Returns the abstract state at each
+/// reachable `Accept` (the raw material for [`DemuxKey::extract`]).
+fn analyze(program: &FilterProgram, policy: &Policy, report: &mut FilterReport) -> Vec<State> {
     let len = program.insns.len();
     let mut states: Vec<Option<State>> = vec![None; len];
     states[0] = Some(State::entry());
+    let mut accepts: Vec<State> = Vec::new();
 
     let merge = |slot: &mut Option<State>, incoming: State| match slot {
         None => *slot = Some(incoming),
@@ -703,13 +719,19 @@ fn analyze(program: &FilterProgram, policy: &Policy, report: &mut FilterReport) 
                     fall_through!(at, fall);
                 }
             }
-            Insn::JInSet { a, off, .. } => {
-                read_reg(*a, &state, report);
+            Insn::JInSet { a, set, off } => {
+                let av = read_reg(*a, &state, report);
                 let target = at + 1 + *off as usize;
-                // Set contents are dynamic: no static refinement on either
-                // edge.
+                // Set contents are dynamic, so the taken (member) edge
+                // learns nothing static. The fall-through edge learns
+                // "tested value ∉ set"; when the register holds a packet
+                // field, record that as a named-set fact.
                 merge(&mut states[target], state.clone());
-                fall_through!(at, state);
+                let mut fall = state;
+                if let RegVal::Field(key) = av {
+                    fall.notin.entry(key).or_default().insert(*set);
+                }
+                fall_through!(at, fall);
             }
             Insn::Ja { off } => {
                 let target = at + 1 + *off as usize;
@@ -733,8 +755,182 @@ fn analyze(program: &FilterProgram, policy: &Policy, report: &mut FilterReport) 
                         });
                     }
                 }
+                accepts.push(state);
             }
             Insn::Reject => {}
         }
+    }
+    accepts
+}
+
+/// The declared demultiplexing key schema for each event kind: the ordered
+/// fields a dispatcher may hash on. Chosen to match what the stack's guards
+/// actually test — ethertype at the link layer, (protocol, transport
+/// destination port) at the IP layer, destination port for UDP, and the
+/// connection 3-tuple for TCP.
+///
+/// `IpRecv` keys the transport destination port as a *payload* load
+/// (`Pay(2, W16)`) because that is how IP-level guards address it: the
+/// port sits 2 bytes into the IP payload for both UDP and TCP.
+pub fn key_schema(kind: EventKind) -> &'static [FieldKey] {
+    match kind {
+        EventKind::EthRecv => &[FieldKey::Field(Field::EthType)],
+        EventKind::IpRecv => &[
+            FieldKey::Field(Field::IpProto),
+            FieldKey::Pay(2, Width::W16),
+        ],
+        EventKind::UdpRecv => &[FieldKey::Field(Field::UdpDstPort)],
+        EventKind::TcpRecv => &[
+            FieldKey::Field(Field::TcpDstPort),
+            FieldKey::Field(Field::TcpSrcAddr),
+            FieldKey::Field(Field::TcpSrcPort),
+        ],
+    }
+}
+
+/// Cap on the number of hash keys one guard may occupy in the demux index
+/// (the cross product of its per-field value sets). Guards over the cap
+/// have their widest field demoted to [`FieldSpec::Any`] — still sound,
+/// just less selective.
+pub const MAX_ENUMERATED_KEYS: usize = 64;
+
+/// What a guard provably requires of one schema field at every accept.
+#[derive(Clone, Debug)]
+pub enum FieldSpec {
+    /// No static constraint: the guard may accept any value here.
+    Any,
+    /// The guard only accepts packets whose field value is in this set.
+    In(BTreeSet<u64>),
+    /// The guard only accepts packets whose field value (as a u16 port) is
+    /// in none of these shared sets — checked live, since set contents are
+    /// dynamic.
+    NotIn(Vec<PortSet>),
+}
+
+/// A guard's extracted demux key: one [`FieldSpec`] per field of its event
+/// kind's [`key_schema`], in schema order.
+///
+/// Soundness invariant: for every packet the guard accepts, each `In`
+/// field's observed value lies in the spec's set, and each `NotIn` field's
+/// value is a member of none of the named sets *at the time of dispatch*.
+/// The converse need not hold — a key match does not imply acceptance —
+/// so an index built from key specs can only *narrow* the candidate set,
+/// never admit a handler whose guard would reject.
+#[derive(Clone, Debug)]
+pub struct KeySpec {
+    kind: EventKind,
+    fields: Vec<FieldSpec>,
+}
+
+impl KeySpec {
+    /// The event kind whose schema this key is over.
+    pub fn kind(&self) -> EventKind {
+        self.kind
+    }
+
+    /// Per-field specs, aligned with `key_schema(self.kind())`.
+    pub fn fields(&self) -> &[FieldSpec] {
+        &self.fields
+    }
+
+    /// Whether any field is statically enumerable (`In`) — the
+    /// precondition for the guard to occupy hash buckets at all.
+    pub fn is_indexable(&self) -> bool {
+        self.fields.iter().any(|f| matches!(f, FieldSpec::In(_)))
+    }
+}
+
+/// The demux key extraction pass (see [`KeySpec`]).
+pub struct DemuxKey;
+
+impl DemuxKey {
+    /// Extracts a demux key from a verified guard, or `None` when the
+    /// analysis cannot bound any schema field (the dispatcher then keeps
+    /// the guard on its linear-scan path).
+    ///
+    /// Per schema field, across the abstract states at every reachable
+    /// `Accept`:
+    ///
+    /// * if every accept proves `field ∈ S_i`, the spec is
+    ///   `In(S_1 ∪ ... ∪ S_n)` — a sound over-approximation;
+    /// * otherwise, if every accept proves `field ∉ set` for some common
+    ///   shared sets, the spec is `NotIn` of those sets;
+    /// * otherwise `Any`.
+    ///
+    /// A guard with no `In` field yields `None`: it would hash nowhere.
+    pub fn extract(vp: &VerifiedProgram) -> Option<KeySpec> {
+        let program = vp.program();
+        let mut report = FilterReport::default();
+        let accepts = analyze(program, &Policy::new(), &mut report);
+        debug_assert!(report.is_clean(), "verified program re-analysis failed");
+        if accepts.is_empty() {
+            // The guard provably never accepts; nothing to index.
+            return None;
+        }
+
+        let mut fields: Vec<FieldSpec> = Vec::new();
+        for key in key_schema(program.kind) {
+            let mut union: Option<BTreeSet<u64>> = Some(BTreeSet::new());
+            for st in &accepts {
+                match (&mut union, st.field_set(*key)) {
+                    (Some(u), ValSet::In(vals)) => u.extend(vals),
+                    _ => union = None,
+                }
+            }
+            if let Some(vals) = union {
+                fields.push(FieldSpec::In(vals));
+                continue;
+            }
+
+            let mut common: Option<BTreeSet<SetId>> = None;
+            for st in &accepts {
+                let theirs = st.notin.get(key).cloned().unwrap_or_default();
+                common = Some(match common {
+                    None => theirs,
+                    Some(cur) => cur.intersection(&theirs).copied().collect(),
+                });
+            }
+            let sets: Vec<PortSet> = common
+                .unwrap_or_default()
+                .iter()
+                .filter_map(|id| program.sets.get(*id as usize).cloned())
+                .collect();
+            if sets.is_empty() {
+                fields.push(FieldSpec::Any);
+            } else {
+                fields.push(FieldSpec::NotIn(sets));
+            }
+        }
+
+        // Bound the guard's bucket footprint: while the cross product of
+        // `In` sizes exceeds the cap, widen the largest `In` to `Any`.
+        loop {
+            let product = fields
+                .iter()
+                .map(|f| match f {
+                    FieldSpec::In(v) => v.len(),
+                    _ => 1,
+                })
+                .try_fold(1usize, usize::checked_mul)
+                .unwrap_or(usize::MAX);
+            if product <= MAX_ENUMERATED_KEYS {
+                break;
+            }
+            let widest = fields
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| match f {
+                    FieldSpec::In(v) => Some((v.len(), i)),
+                    _ => None,
+                })
+                .max()?;
+            fields[widest.1] = FieldSpec::Any;
+        }
+
+        let spec = KeySpec {
+            kind: program.kind,
+            fields,
+        };
+        spec.is_indexable().then_some(spec)
     }
 }

@@ -24,12 +24,12 @@
 
 use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::marker::PhantomData;
 use std::rc::Rc;
 
-use plexus_filter::{Packet, VerifiedProgram};
+use plexus_filter::{key_schema, DemuxKey, FieldKey, FieldSpec, KeySpec, Packet, VerifiedProgram};
 use plexus_sim::engine::Engine;
 use plexus_sim::time::SimDuration;
 use plexus_sim::CpuLease;
@@ -49,14 +49,24 @@ pub type GuardFn<T> = Box<dyn Fn(&T) -> bool>;
 pub struct VerifiedGuard<T> {
     program: Rc<VerifiedProgram>,
     eval: fn(&VerifiedProgram, &T) -> bool,
+    /// Extracted demux key, when the program's acceptance is statically
+    /// bounded over its event kind's key schema (see
+    /// [`plexus_filter::DemuxKey`]).
+    key: Option<KeySpec>,
+    /// Monomorphized schema-field reader for the demux probe; mirrors
+    /// `eval`'s load semantics.
+    read: fn(&T, FieldKey) -> Option<u64>,
 }
 
 impl<T: Packet + 'static> VerifiedGuard<T> {
     /// Binds a verified program to the event argument type `T`.
     pub fn new(program: Rc<VerifiedProgram>) -> VerifiedGuard<T> {
+        let key = DemuxKey::extract(&program);
         VerifiedGuard {
             program,
             eval: |p, arg| plexus_filter::eval(p, arg),
+            key,
+            read: |arg, k| plexus_filter::read_field_key(arg, k),
         }
     }
 }
@@ -70,6 +80,11 @@ impl<T> VerifiedGuard<T> {
     /// The verified program this guard runs.
     pub fn program(&self) -> &Rc<VerifiedProgram> {
         &self.program
+    }
+
+    /// The extracted demux key, if the guard is indexable.
+    pub fn key(&self) -> Option<&KeySpec> {
+        self.key.as_ref()
     }
 }
 
@@ -109,6 +124,100 @@ impl<T> Guard<T> {
 
 /// An event handler body.
 pub type HandlerFn<T> = Box<dyn Fn(&mut RaiseCtx<'_>, &T)>;
+
+/// Everything [`Dispatcher::install`] needs to install one handler, built
+/// fluently:
+///
+/// ```ignore
+/// dispatcher.install(event, HandlerSpec::new(f).guard(g).owner("udp"));
+/// dispatcher.install(
+///     event,
+///     HandlerSpec::ephemeral(Ephemeral::certify(f))
+///         .guard(g)
+///         .owner("udp")
+///         .interrupt(),
+/// );
+/// ```
+///
+/// This replaces the four `install_thread{,_owned}` /
+/// `install_interrupt{,_owned}` entry points. Defaults: thread mode,
+/// no guard, owner `"kernel"`. Interrupt delivery requires construction
+/// via [`HandlerSpec::ephemeral`] — the certification discipline the old
+/// `install_interrupt` signature enforced with its `Ephemeral<F>`
+/// parameter.
+pub struct HandlerSpec<T> {
+    guard: Option<Guard<T>>,
+    handler: HandlerFn<T>,
+    ephemeral: bool,
+    interrupt: bool,
+    time_limit: Option<SimDuration>,
+    owner: String,
+}
+
+impl<T> HandlerSpec<T> {
+    /// A thread-mode handler spec with no guard, owned by `"kernel"`.
+    pub fn new(handler: impl Fn(&mut RaiseCtx<'_>, &T) + 'static) -> HandlerSpec<T> {
+        HandlerSpec {
+            guard: None,
+            handler: Box::new(handler),
+            ephemeral: false,
+            interrupt: false,
+            time_limit: None,
+            owner: "kernel".to_string(),
+        }
+    }
+
+    /// A spec around a certified [`Ephemeral`] handler — the only
+    /// construction path that [`HandlerSpec::interrupt`] accepts.
+    pub fn ephemeral<F>(handler: Ephemeral<F>) -> HandlerSpec<T>
+    where
+        F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
+    {
+        let f = handler.into_inner();
+        HandlerSpec {
+            guard: None,
+            handler: Box::new(f),
+            ephemeral: true,
+            interrupt: false,
+            time_limit: None,
+            owner: "kernel".to_string(),
+        }
+    }
+
+    /// Attaches a guard.
+    pub fn guard(mut self, guard: Guard<T>) -> HandlerSpec<T> {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Attaches an optional guard (convenience for call sites that already
+    /// hold an `Option<Guard<T>>`).
+    pub fn guard_opt(mut self, guard: Option<Guard<T>>) -> HandlerSpec<T> {
+        self.guard = guard;
+        self
+    }
+
+    /// Sets the owning domain for flight-recorder attribution.
+    pub fn owner(mut self, owner: &str) -> HandlerSpec<T> {
+        self.owner = owner.to_string();
+        self
+    }
+
+    /// Requests interrupt-mode delivery (run in the raiser's context).
+    pub fn interrupt(mut self) -> HandlerSpec<T> {
+        self.interrupt = true;
+        self
+    }
+
+    /// Sets the interrupt-mode termination allotment; implies
+    /// [`HandlerSpec::interrupt`]. Accepts a bare [`SimDuration`] or an
+    /// `Option` (for call sites with a configured-but-maybe-absent limit).
+    pub fn time_limit(mut self, limit: impl Into<Option<SimDuration>>) -> HandlerSpec<T> {
+        self.time_limit = limit.into();
+        self.interrupt = true;
+        self
+    }
+}
 
 /// Context passed to handlers: the engine (to schedule follow-up work) and
 /// the open CPU lease (to charge processing costs).
@@ -178,6 +287,16 @@ pub struct DispatchStats {
     pub verified_guard_rejects: u64,
     /// Ephemeral handlers terminated for exceeding their allotment.
     pub terminations: u64,
+    /// Raises served through the demux index (one hash probe instead of a
+    /// guard evaluation per indexed handler).
+    pub demux_hits: u64,
+    /// Raises of guarded events that had no indexed handlers and fell back
+    /// to the pure linear scan.
+    pub demux_fallbacks: u64,
+    /// Guard evaluations avoided because the index proved the guard would
+    /// reject (counted into `RaiseOutcome::rejected`, but never into
+    /// `guard_evals`).
+    pub demux_skipped: u64,
 }
 
 impl fmt::Display for DispatchStats {
@@ -185,14 +304,18 @@ impl fmt::Display for DispatchStats {
         write!(
             f,
             "raises={} invocations={} guard_evals={} (verified {}) \
-             guard_rejects={} (verified {}) terminations={}",
+             guard_rejects={} (verified {}) terminations={} \
+             demux_hits={} demux_fallbacks={} demux_skipped={}",
             self.raises,
             self.invocations,
             self.guard_evals,
             self.verified_guard_evals,
             self.guard_rejects,
             self.verified_guard_rejects,
-            self.terminations
+            self.terminations,
+            self.demux_hits,
+            self.demux_fallbacks,
+            self.demux_skipped
         )
     }
 }
@@ -231,12 +354,84 @@ struct Entry<T> {
     /// Owning domain (extension or kernel subsystem) for per-domain
     /// accounting in the flight recorder.
     owner: Rc<str>,
+    /// The guard's demux key — `Some` iff this entry occupies hash buckets
+    /// in the table's index (so the raise path may skip it when the index
+    /// does not select it).
+    key: Option<KeySpec>,
     removed: Cell<bool>,
+}
+
+/// Hash key of one demux bucket: which schema fields are bound (`mask`,
+/// bit `i` = schema field `i`) and their values, in schema order.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct BucketKey {
+    mask: u8,
+    vals: Vec<u64>,
+}
+
+/// Per-table demultiplexing index over the installed verified guards whose
+/// acceptance is statically bounded ([`DemuxKey::extract`]).
+///
+/// Soundness: a bucket only ever *narrows* the candidate set. An indexed
+/// entry appears under every key its guard may accept (the enumerated
+/// cross product of its `In` sets), so an entry absent from the probed
+/// buckets has a guard that provably rejects the packet; candidates still
+/// run their full guard. Entries whose guards are not indexable carry no
+/// key and are always evaluated.
+struct DemuxState<T> {
+    /// Monomorphized schema-field reader, taken from the first indexed
+    /// guard (all guards of one event kind share `read_field_key`).
+    read: Option<fn(&T, FieldKey) -> Option<u64>>,
+    /// The event kind's key schema, fixed by the first indexed guard.
+    schema: Option<&'static [FieldKey]>,
+    /// Live indexed entries per field mask — the masks the probe must
+    /// try. `BTreeMap` so probe order is deterministic.
+    mask_counts: BTreeMap<u8, usize>,
+    /// `(mask, values) -> handler ids`, in install order per bucket.
+    buckets: HashMap<BucketKey, Vec<HandlerId>>,
+    /// Total live indexed entries.
+    indexed: usize,
+}
+
+impl<T> Default for DemuxState<T> {
+    fn default() -> DemuxState<T> {
+        DemuxState {
+            read: None,
+            schema: None,
+            mask_counts: BTreeMap::new(),
+            buckets: HashMap::new(),
+            indexed: 0,
+        }
+    }
+}
+
+/// Enumerates the bucket keys a key spec occupies: the bound-field mask
+/// and the cross product of its `In` sets, in schema order. Bounded by
+/// [`plexus_filter::MAX_ENUMERATED_KEYS`] at extraction time.
+fn enumerate_keys(spec: &KeySpec) -> (u8, Vec<Vec<u64>>) {
+    let mut mask = 0u8;
+    let mut combos: Vec<Vec<u64>> = vec![Vec::new()];
+    for (i, field) in spec.fields().iter().enumerate() {
+        if let FieldSpec::In(vals) = field {
+            mask |= 1 << i;
+            let mut next = Vec::with_capacity(combos.len() * vals.len());
+            for combo in &combos {
+                for v in vals {
+                    let mut c = combo.clone();
+                    c.push(*v);
+                    next.push(c);
+                }
+            }
+            combos = next;
+        }
+    }
+    (mask, combos)
 }
 
 struct Table<T> {
     name: String,
     entries: RefCell<Vec<Rc<Entry<T>>>>,
+    demux: RefCell<DemuxState<T>>,
 }
 
 /// Type-erased view of a [`Table`] for graph introspection.
@@ -286,6 +481,7 @@ pub struct Dispatcher {
     next_handler: Cell<u64>,
     stats: Cell<DispatchStats>,
     trace: RefCell<Option<TraceRing>>,
+    demux_enabled: Cell<bool>,
 }
 
 struct TraceRing {
@@ -312,12 +508,27 @@ impl Dispatcher {
             next_handler: Cell::new(1),
             stats: Cell::new(DispatchStats::default()),
             trace: RefCell::new(None),
+            demux_enabled: Cell::new(true),
         })
     }
 
     /// Operation counters.
     pub fn stats(&self) -> DispatchStats {
         self.stats.get()
+    }
+
+    /// Enables or disables the hash-demultiplexing fast path (on by
+    /// default). With it off every raise walks the linear scan — handler
+    /// selection is identical either way; only the charged probe/guard
+    /// costs and the demux counters differ. Benchmarks use this to compare
+    /// the two regimes.
+    pub fn set_demux_enabled(&self, enabled: bool) {
+        self.demux_enabled.set(enabled);
+    }
+
+    /// Whether the demux fast path is enabled.
+    pub fn demux_enabled(&self) -> bool {
+        self.demux_enabled.get()
     }
 
     /// Turns on event tracing with a bounded ring of `capacity` entries
@@ -365,6 +576,7 @@ impl Dispatcher {
         let table = Rc::new(Table::<T> {
             name: name.to_string(),
             entries: RefCell::new(Vec::new()),
+            demux: RefCell::new(DemuxState::default()),
         });
         tables.push((table.clone() as Rc<dyn Any>, table as Rc<dyn TableInfo>));
         names.insert(name.to_string(), index);
@@ -408,6 +620,47 @@ impl Dispatcher {
             .collect()
     }
 
+    /// Installs a handler described by a [`HandlerSpec`] — the single
+    /// installation entry point (the old `install_thread{,_owned}` /
+    /// `install_interrupt{,_owned}` quartet are deprecated shims over it).
+    ///
+    /// When the spec's guard is a verified program with an extractable
+    /// demux key, the handler is also entered into the event's hash index,
+    /// so raises can skip its guard whenever the packet's key provably
+    /// mismatches.
+    ///
+    /// # Panics
+    ///
+    /// For interrupt-mode specs: panics if the handler was not certified
+    /// via [`HandlerSpec::ephemeral`] (§3.3's evidence requirement), or if
+    /// the guard is a [`Guard::Closure`] — an unverifiable predicate has
+    /// no business running in interrupt context.
+    pub fn install<T: 'static>(&self, event: Event<T>, spec: HandlerSpec<T>) -> HandlerId {
+        let mode = if spec.interrupt {
+            assert!(
+                spec.ephemeral,
+                "interrupt-mode installs require a certified ephemeral handler"
+            );
+            assert!(
+                !matches!(spec.guard, Some(Guard::Closure(_))),
+                "interrupt-mode installs require a verified guard program (or no guard)"
+            );
+            HandlerMode::Interrupt {
+                time_limit: spec.time_limit,
+            }
+        } else {
+            HandlerMode::Thread
+        };
+        self.push_entry(
+            event,
+            spec.guard,
+            spec.handler,
+            mode,
+            spec.ephemeral,
+            &spec.owner,
+        )
+    }
+
     fn push_entry<T: 'static>(
         &self,
         event: Event<T>,
@@ -419,13 +672,52 @@ impl Dispatcher {
     ) -> HandlerId {
         let id = HandlerId(self.next_handler.get());
         self.next_handler.set(id.0 + 1);
-        self.table(event).entries.borrow_mut().push(Rc::new(Entry {
+        let table = self.table(event);
+
+        // Index the entry if its guard carries an extractable key. The
+        // entry's stored `key` stays `None` unless the index actually
+        // accepted it — the raise path's skip test relies on "has a key"
+        // implying "is in the buckets".
+        let (key, read) = match &guard {
+            Some(Guard::Verified(vg)) => (vg.key().cloned(), Some(vg.read)),
+            _ => (None, None),
+        };
+        let key = key.and_then(|spec| {
+            let mut demux = table.demux.borrow_mut();
+            let schema = key_schema(spec.kind());
+            if demux.schema.get_or_insert(schema) != &schema {
+                // A guard of a different event kind on the same table
+                // (possible only with an exotic `Packet` impl): leave it
+                // on the linear path rather than mix schemas.
+                return None;
+            }
+            let (mask, combos) = enumerate_keys(&spec);
+            if mask == 0 {
+                return None;
+            }
+            if demux.read.is_none() {
+                demux.read = read;
+            }
+            *demux.mask_counts.entry(mask).or_insert(0) += 1;
+            for vals in combos {
+                demux
+                    .buckets
+                    .entry(BucketKey { mask, vals })
+                    .or_default()
+                    .push(id);
+            }
+            demux.indexed += 1;
+            Some(spec)
+        });
+
+        table.entries.borrow_mut().push(Rc::new(Entry {
             id,
             guard,
             handler,
             mode,
             ephemeral,
             owner: Rc::from(owner),
+            key,
             removed: Cell::new(false),
         }));
         id
@@ -435,10 +727,7 @@ impl Dispatcher {
     /// that runs `handler`. Both guard forms are accepted here — the
     /// handler already pays thread costs, and thread-mode closures are how
     /// trusted in-kernel code filters its own events.
-    ///
-    /// The handler is attributed to the `"kernel"` domain; managers
-    /// installing on behalf of an extension use
-    /// [`Dispatcher::install_thread_owned`].
+    #[deprecated(note = "use Dispatcher::install with HandlerSpec::new")]
     pub fn install_thread<T, F>(
         &self,
         event: Event<T>,
@@ -449,12 +738,11 @@ impl Dispatcher {
         T: 'static,
         F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
     {
-        self.install_thread_owned(event, guard, handler, "kernel")
+        self.install(event, HandlerSpec::new(handler).guard_opt(guard))
     }
 
-    /// [`Dispatcher::install_thread`] with an explicit owning domain, so
-    /// the flight recorder can attribute invocations and terminations to
-    /// the extension that installed the handler.
+    /// Thread-mode install with an explicit owning domain.
+    #[deprecated(note = "use Dispatcher::install with HandlerSpec::new(...).owner(...)")]
     pub fn install_thread_owned<T, F>(
         &self,
         event: Event<T>,
@@ -466,27 +754,19 @@ impl Dispatcher {
         T: 'static,
         F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
     {
-        self.push_entry(
+        self.install(
             event,
-            guard,
-            Box::new(handler),
-            HandlerMode::Thread,
-            false,
-            owner,
+            HandlerSpec::new(handler).guard_opt(guard).owner(owner),
         )
     }
 
-    /// Installs an interrupt-mode handler. Only certified [`Ephemeral`]
-    /// handlers are accepted — the type-level analogue of the manager
-    /// querying the compiler's `EPHEMERAL` evidence (§3.3). `time_limit`,
-    /// if given, terminates the handler when exceeded.
+    /// Installs an interrupt-mode handler from a certified [`Ephemeral`].
     ///
     /// # Panics
     ///
-    /// Panics if `guard` is a [`Guard::Closure`]: guards on interrupt-mode
-    /// handlers run in the raising (interrupt) context, so they must carry
-    /// verifier evidence of bounded cost and memory safety. Pass a
-    /// [`Guard::Verified`] program or no guard at all.
+    /// Panics if `guard` is a [`Guard::Closure`] (see
+    /// [`Dispatcher::install`]).
+    #[deprecated(note = "use Dispatcher::install with HandlerSpec::ephemeral(...).interrupt()")]
     pub fn install_interrupt<T, F>(
         &self,
         event: Event<T>,
@@ -498,16 +778,24 @@ impl Dispatcher {
         T: 'static,
         F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
     {
-        self.install_interrupt_owned(event, guard, handler, time_limit, "kernel")
+        self.install(
+            event,
+            HandlerSpec::ephemeral(handler)
+                .guard_opt(guard)
+                .interrupt()
+                .time_limit(time_limit),
+        )
     }
 
-    /// [`Dispatcher::install_interrupt`] with an explicit owning domain
-    /// for per-extension flight-recorder accounting.
+    /// Interrupt-mode install with an explicit owning domain.
     ///
     /// # Panics
     ///
     /// Panics if `guard` is a [`Guard::Closure`] (see
-    /// [`Dispatcher::install_interrupt`]).
+    /// [`Dispatcher::install`]).
+    #[deprecated(
+        note = "use Dispatcher::install with HandlerSpec::ephemeral(...).interrupt().owner(...)"
+    )]
     pub fn install_interrupt_owned<T, F>(
         &self,
         event: Event<T>,
@@ -520,33 +808,56 @@ impl Dispatcher {
         T: 'static,
         F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
     {
-        assert!(
-            !matches!(guard, Some(Guard::Closure(_))),
-            "interrupt-mode installs require a verified guard program (or no guard)"
-        );
-        let f = handler.into_inner();
-        self.push_entry(
+        self.install(
             event,
-            guard,
-            Box::new(f),
-            HandlerMode::Interrupt { time_limit },
-            true,
-            owner,
+            HandlerSpec::ephemeral(handler)
+                .guard_opt(guard)
+                .interrupt()
+                .time_limit(time_limit)
+                .owner(owner),
         )
     }
 
-    /// Removes a handler. Returns `false` if it was not installed (or was
-    /// already removed). Safe to call from inside a handler.
+    /// Removes a handler (and its demux-index buckets). Returns `false` if
+    /// it was not installed (or was already removed). Safe to call from
+    /// inside a handler.
     pub fn uninstall<T: 'static>(&self, event: Event<T>, id: HandlerId) -> bool {
         let table = self.table(event);
-        let entries = table.entries.borrow();
-        for e in entries.iter() {
-            if e.id == id && !e.removed.get() {
-                e.removed.set(true);
-                return true;
+        let mut found: Option<Option<KeySpec>> = None;
+        {
+            let entries = table.entries.borrow();
+            for e in entries.iter() {
+                if e.id == id && !e.removed.get() {
+                    e.removed.set(true);
+                    found = Some(e.key.clone());
+                    break;
+                }
             }
         }
-        false
+        let Some(key) = found else {
+            return false;
+        };
+        if let Some(spec) = key {
+            let mut demux = table.demux.borrow_mut();
+            let (mask, combos) = enumerate_keys(&spec);
+            for vals in combos {
+                let bk = BucketKey { mask, vals };
+                if let Some(ids) = demux.buckets.get_mut(&bk) {
+                    ids.retain(|x| *x != id);
+                    if ids.is_empty() {
+                        demux.buckets.remove(&bk);
+                    }
+                }
+            }
+            if let Some(count) = demux.mask_counts.get_mut(&mask) {
+                *count -= 1;
+                if *count == 0 {
+                    demux.mask_counts.remove(&mask);
+                }
+            }
+            demux.indexed -= 1;
+        }
+        true
     }
 
     /// Number of live handlers installed on `event`.
@@ -599,9 +910,93 @@ impl Dispatcher {
         let mut stats = self.stats.get();
         stats.raises = stats.raises.saturating_add(1);
 
+        // Demux fast path: one hash probe selects the indexed candidates.
+        // The borrow is dropped before the walk — handlers may install
+        // mid-raise, which needs `demux` mutably.
+        let mut candidates: Option<HashSet<HandlerId>> = None;
+        let mut read_fn: Option<fn(&T, FieldKey) -> Option<u64>> = None;
+        if self.demux_enabled.get() {
+            let demux = table.demux.borrow();
+            if demux.indexed > 0 {
+                // The probe is charged like a single guard evaluation —
+                // the index replaces N guard runs with one keyed lookup.
+                ctx.lease.charge(model.guard_eval);
+                read_fn = demux.read;
+                let read = demux.read.expect("indexed entries carry a reader");
+                let schema = demux.schema.expect("indexed entries carry a schema");
+                let mut selected = HashSet::new();
+                for (&mask, _) in demux.mask_counts.iter() {
+                    let mut vals = Vec::new();
+                    let mut readable = true;
+                    for (i, key) in schema.iter().enumerate() {
+                        if mask & (1 << i) != 0 {
+                            match read(arg, *key) {
+                                Some(v) => vals.push(v),
+                                None => {
+                                    // Guards under this mask load this
+                                    // field; a failed load rejects in
+                                    // eval, so none can match.
+                                    readable = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if !readable {
+                        continue;
+                    }
+                    if let Some(ids) = demux.buckets.get(&BucketKey { mask, vals }) {
+                        selected.extend(ids.iter().copied());
+                    }
+                }
+                candidates = Some(selected);
+            }
+        }
+        let probed = candidates.is_some();
+        let mut avoided: u64 = 0;
+        let mut saw_guard = false;
+
         for entry in entries {
             if entry.removed.get() {
                 continue;
+            }
+            if entry.guard.is_some() {
+                saw_guard = true;
+            }
+            // Indexed entries the probe did not select (or whose live
+            // `NotIn` port sets exclude the packet) are skipped without
+            // evaluating the guard: the index proves the guard rejects, so
+            // the outcome is identical to the linear scan — minus the
+            // eval, its charge, and its trace record.
+            if let (Some(selected), Some(spec)) = (&candidates, &entry.key) {
+                let mut skip = !selected.contains(&entry.id);
+                if !skip {
+                    if let Some(read) = read_fn {
+                        let schema = key_schema(spec.kind());
+                        for (i, field) in spec.fields().iter().enumerate() {
+                            if let FieldSpec::NotIn(sets) = field {
+                                // Live membership, mirroring JInSet's
+                                // u16-truncated semantics: a member (or an
+                                // unreadable field) cannot reach accept.
+                                let member = match read(arg, schema[i]) {
+                                    None => true,
+                                    Some(v) => u16::try_from(v)
+                                        .map(|p| sets.iter().any(|s| s.contains(p)))
+                                        .unwrap_or(false),
+                                };
+                                if member {
+                                    skip = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                if skip {
+                    outcome.rejected += 1;
+                    avoided += 1;
+                    continue;
+                }
             }
             if let Some(guard) = &entry.guard {
                 stats.guard_evals = stats.guard_evals.saturating_add(1);
@@ -666,6 +1061,21 @@ impl Dispatcher {
                 }
             }
         }
+        if probed {
+            stats.demux_hits = stats.demux_hits.saturating_add(1);
+            stats.demux_skipped = stats.demux_skipped.saturating_add(avoided);
+            if let (Some(r), Some(lbl)) = (&rec, ev_label) {
+                r.count(Scope::Event, lbl, "demux.hits", 1);
+                r.count(Scope::Event, lbl, "demux.avoided", avoided);
+                // Per-raise distribution of guard evals the index saved.
+                r.record_latency(r.intern("demux.avoided"), avoided);
+            }
+        } else if saw_guard && self.demux_enabled.get() {
+            stats.demux_fallbacks = stats.demux_fallbacks.saturating_add(1);
+            if let (Some(r), Some(lbl)) = (&rec, ev_label) {
+                r.count(Scope::Event, lbl, "demux.fallbacks", 1);
+            }
+        }
         self.stats.set(stats);
         if let Some(ring) = self.trace.borrow_mut().as_mut() {
             if ring.entries.len() == ring.capacity {
@@ -700,9 +1110,12 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         for tag in ["a", "b"] {
             let log = log.clone();
-            d.install_thread(ev, None, move |_, arg: &u32| {
-                log.borrow_mut().push(format!("{tag}:{arg}"));
-            });
+            d.install(
+                ev,
+                HandlerSpec::new(move |_, arg: &u32| {
+                    log.borrow_mut().push(format!("{tag}:{arg}"));
+                }),
+            );
         }
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
@@ -721,10 +1134,10 @@ mod tests {
         let ev = d.define_event::<u32>("Guarded");
         let hits = Rc::new(Cell::new(0u32));
         let h = hits.clone();
-        d.install_thread(
+        d.install(
             ev,
-            Some(Guard::closure(|arg: &u32| arg.is_multiple_of(2))),
-            move |_, _| h.set(h.get() + 1),
+            HandlerSpec::new(move |_, _| h.set(h.get() + 1))
+                .guard(Guard::closure(|arg: &u32| arg.is_multiple_of(2))),
         );
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
@@ -745,7 +1158,10 @@ mod tests {
         let model = cpu.model().clone();
         let d = Dispatcher::new();
         let ev = d.define_event::<u32>("Costed");
-        d.install_thread(ev, Some(Guard::closure(|_| true)), |_, _| {});
+        d.install(
+            ev,
+            HandlerSpec::new(|_, _| {}).guard(Guard::closure(|_| true)),
+        );
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
             engine: &mut engine,
@@ -766,11 +1182,9 @@ mod tests {
         let model = cpu.model().clone();
         let d = Dispatcher::new();
         let ev = d.define_event::<u32>("Fast");
-        d.install_interrupt(
+        d.install(
             ev,
-            None,
-            Ephemeral::certify(|_: &mut RaiseCtx, _: &u32| {}),
-            None,
+            HandlerSpec::ephemeral(Ephemeral::certify(|_: &mut RaiseCtx, _: &u32| {})).interrupt(),
         );
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
@@ -790,14 +1204,13 @@ mod tests {
         let d = Dispatcher::new();
         let ev = d.define_event::<u32>("Limited");
         let limit = SimDuration::from_micros(10);
-        d.install_interrupt(
+        d.install(
             ev,
-            None,
-            Ephemeral::certify(|ctx: &mut RaiseCtx, _: &u32| {
+            HandlerSpec::ephemeral(Ephemeral::certify(|ctx: &mut RaiseCtx, _: &u32| {
                 // A runaway handler: tries to burn 1 ms of interrupt time.
                 ctx.lease.charge(SimDuration::from_millis(1));
-            }),
-            Some(limit),
+            }))
+            .time_limit(limit),
         );
         let mut lease = cpu.begin(SimTime::ZERO);
         let before = lease.mark();
@@ -821,13 +1234,12 @@ mod tests {
         let (mut engine, cpu) = ctx_parts();
         let d = Dispatcher::new();
         let ev = d.define_event::<u32>("WithinBudget");
-        d.install_interrupt(
+        d.install(
             ev,
-            None,
-            Ephemeral::certify(|ctx: &mut RaiseCtx, _: &u32| {
+            HandlerSpec::ephemeral(Ephemeral::certify(|ctx: &mut RaiseCtx, _: &u32| {
                 ctx.lease.charge(SimDuration::from_micros(3));
-            }),
-            Some(SimDuration::from_micros(10)),
+            }))
+            .time_limit(SimDuration::from_micros(10)),
         );
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
@@ -846,7 +1258,7 @@ mod tests {
         let ev = d.define_event::<u32>("Removable");
         let hits = Rc::new(Cell::new(0u32));
         let h = hits.clone();
-        let id = d.install_thread(ev, None, move |_, _| h.set(h.get() + 1));
+        let id = d.install(ev, HandlerSpec::new(move |_, _| h.set(h.get() + 1)));
         assert_eq!(d.handler_count(ev), 1);
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
@@ -871,10 +1283,13 @@ mod tests {
         let d2 = d.clone();
         let id_cell: Rc<Cell<Option<HandlerId>>> = Rc::new(Cell::new(None));
         let idc = id_cell.clone();
-        let id = d.install_thread(ev, None, move |_, _| {
-            h.set(h.get() + 1);
-            d2.uninstall(ev, idc.get().expect("id set before raise"));
-        });
+        let id = d.install(
+            ev,
+            HandlerSpec::new(move |_, _| {
+                h.set(h.get() + 1);
+                d2.uninstall(ev, idc.get().expect("id set before raise"));
+            }),
+        );
         id_cell.set(Some(id));
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
@@ -895,14 +1310,20 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let l1 = log.clone();
         let d2 = d.clone();
-        d.install_thread(outer, None, move |ctx, arg: &u32| {
-            l1.borrow_mut().push(format!("outer:{arg}"));
-            d2.raise(ctx, inner, &(arg + 1));
-        });
+        d.install(
+            outer,
+            HandlerSpec::new(move |ctx: &mut RaiseCtx, arg: &u32| {
+                l1.borrow_mut().push(format!("outer:{arg}"));
+                d2.raise(ctx, inner, &(arg + 1));
+            }),
+        );
         let l2 = log.clone();
-        d.install_thread(inner, None, move |_, arg: &u32| {
-            l2.borrow_mut().push(format!("inner:{arg}"));
-        });
+        d.install(
+            inner,
+            HandlerSpec::new(move |_, arg: &u32| {
+                l2.borrow_mut().push(format!("inner:{arg}"));
+            }),
+        );
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
             engine: &mut engine,
@@ -916,13 +1337,11 @@ mod tests {
     fn ephemerality_is_queryable_by_managers() {
         let d = Dispatcher::new();
         let ev = d.define_event::<u32>("Queried");
-        let eph = d.install_interrupt(
+        let eph = d.install(
             ev,
-            None,
-            Ephemeral::certify(|_: &mut RaiseCtx, _: &u32| {}),
-            None,
+            HandlerSpec::ephemeral(Ephemeral::certify(|_: &mut RaiseCtx, _: &u32| {})).interrupt(),
         );
-        let thr = d.install_thread(ev, None, |_, _| {});
+        let thr = d.install(ev, HandlerSpec::new(|_, _: &u32| {}));
         assert_eq!(d.is_ephemeral(ev, eph), Some(true));
         assert_eq!(d.is_ephemeral(ev, thr), Some(false));
         d.uninstall(ev, eph);
@@ -969,11 +1388,13 @@ mod tests {
         let ev = d.define_event::<UdpArg>("Udp.PacketRecv");
         let hits = Rc::new(Cell::new(0u32));
         let h = hits.clone();
-        d.install_interrupt(
+        d.install(
             ev,
-            Some(Guard::verified(port_program(53))),
-            Ephemeral::certify(move |_: &mut RaiseCtx, _: &UdpArg| h.set(h.get() + 1)),
-            None,
+            HandlerSpec::ephemeral(Ephemeral::certify(move |_: &mut RaiseCtx, _: &UdpArg| {
+                h.set(h.get() + 1)
+            }))
+            .guard(Guard::verified(port_program(53)))
+            .interrupt(),
         );
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
@@ -992,16 +1413,19 @@ mod tests {
         let (mut engine, cpu) = ctx_parts();
         let d = Dispatcher::new();
         let ev = d.define_event::<UdpArg>("Udp.Mixed");
-        d.install_interrupt(
+        // With the index on, the second raise would skip the verified
+        // guard entirely; force the linear scan to pin the historical
+        // counting behavior.
+        d.set_demux_enabled(false);
+        d.install(
             ev,
-            Some(Guard::verified(port_program(53))),
-            Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}),
-            None,
+            HandlerSpec::ephemeral(Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}))
+                .guard(Guard::verified(port_program(53)))
+                .interrupt(),
         );
-        d.install_thread(
+        d.install(
             ev,
-            Some(Guard::closure(|arg: &UdpArg| arg.dst_port == 53)),
-            |_, _| {},
+            HandlerSpec::new(|_, _| {}).guard(Guard::closure(|arg: &UdpArg| arg.dst_port == 53)),
         );
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
@@ -1024,11 +1448,11 @@ mod tests {
     fn verified_guards_count_as_guarded_in_summaries() {
         let d = Dispatcher::new();
         let ev = d.define_event::<UdpArg>("Udp.Summarized");
-        d.install_interrupt(
+        d.install(
             ev,
-            Some(Guard::verified(port_program(7))),
-            Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}),
-            None,
+            HandlerSpec::ephemeral(Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}))
+                .guard(Guard::verified(port_program(7)))
+                .interrupt(),
         );
         let summary = d.event_summary();
         assert_eq!(summary[0].handlers, 1);
@@ -1040,12 +1464,323 @@ mod tests {
     fn interrupt_installs_reject_closure_guards() {
         let d = Dispatcher::new();
         let ev = d.define_event::<UdpArg>("Udp.Strict");
+        d.install(
+            ev,
+            HandlerSpec::ephemeral(Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}))
+                .guard(Guard::closure(|arg: &UdpArg| arg.dst_port == 53))
+                .interrupt(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "certified ephemeral handler")]
+    fn interrupt_installs_require_certification() {
+        let d = Dispatcher::new();
+        let ev = d.define_event::<u32>("Uncertified");
+        d.install(ev, HandlerSpec::new(|_, _: &u32| {}).interrupt());
+    }
+
+    /// The four deprecated install entry points still work for one PR
+    /// cycle; this is the only place they may be called.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_install_shims_still_work() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<UdpArg>("Udp.Shimmed");
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        d.install_thread(ev, None, move |_, _| h.set(h.get() + 1));
+        let h = hits.clone();
+        d.install_thread_owned(ev, None, move |_, _| h.set(h.get() + 1), "ext-a");
+        let h = hits.clone();
         d.install_interrupt(
             ev,
-            Some(Guard::closure(|arg: &UdpArg| arg.dst_port == 53)),
-            Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}),
+            Some(Guard::verified(port_program(53))),
+            Ephemeral::certify(move |_: &mut RaiseCtx, _: &UdpArg| h.set(h.get() + 1)),
             None,
         );
+        let h = hits.clone();
+        d.install_interrupt_owned(
+            ev,
+            None,
+            Ephemeral::certify(move |_: &mut RaiseCtx, _: &UdpArg| h.set(h.get() + 1)),
+            Some(SimDuration::from_micros(10)),
+            "ext-b",
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        let out = d.raise(&mut ctx, ev, &UdpArg { dst_port: 53 });
+        assert_eq!(out.invoked, 4, "all four shims installed live handlers");
+        assert_eq!(hits.get(), 4);
+    }
+
+    #[test]
+    fn demux_skips_provably_rejecting_guards_without_evaluating() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<UdpArg>("Udp.Indexed");
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        for port in [53u64, 80, 443] {
+            let h = hits.clone();
+            d.install(
+                ev,
+                HandlerSpec::new(move |_, _: &UdpArg| h.borrow_mut().push(port))
+                    .guard(Guard::verified(port_program(port))),
+            );
+        }
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        let out = d.raise(&mut ctx, ev, &UdpArg { dst_port: 80 });
+        assert_eq!(out.invoked, 1);
+        assert_eq!(out.rejected, 2, "skipped entries still count as rejected");
+        assert_eq!(*hits.borrow(), vec![80]);
+        let stats = d.stats();
+        assert_eq!(stats.guard_evals, 1, "only the candidate's guard ran");
+        assert_eq!(stats.guard_rejects, 0);
+        assert_eq!(stats.demux_hits, 1);
+        assert_eq!(stats.demux_skipped, 2);
+        assert_eq!(stats.demux_fallbacks, 0);
+    }
+
+    #[test]
+    fn demux_outcome_matches_linear_scan_exactly() {
+        let run = |demux: bool| {
+            let (mut engine, cpu) = ctx_parts();
+            let d = Dispatcher::new();
+            d.set_demux_enabled(demux);
+            let ev = d.define_event::<UdpArg>("Udp.Compared");
+            let order = Rc::new(RefCell::new(Vec::new()));
+            for (tag, port) in [("a", 53u64), ("b", 80), ("c", 53)] {
+                let o = order.clone();
+                d.install(
+                    ev,
+                    HandlerSpec::new(move |_, _: &UdpArg| o.borrow_mut().push(tag))
+                        .guard(Guard::verified(port_program(port))),
+                );
+            }
+            // One unindexable closure-guard handler mixed in.
+            let o = order.clone();
+            d.install(
+                ev,
+                HandlerSpec::new(move |_, _: &UdpArg| o.borrow_mut().push("z"))
+                    .guard(Guard::closure(|arg: &UdpArg| arg.dst_port == 53)),
+            );
+            let mut lease = cpu.begin(SimTime::ZERO);
+            let mut ctx = RaiseCtx {
+                engine: &mut engine,
+                lease: &mut lease,
+            };
+            let out53 = d.raise(&mut ctx, ev, &UdpArg { dst_port: 53 });
+            let out80 = d.raise(&mut ctx, ev, &UdpArg { dst_port: 80 });
+            let seen = order.borrow().clone();
+            (out53, out80, seen)
+        };
+        assert_eq!(run(true), run(false), "same outcomes, same handler order");
+    }
+
+    #[test]
+    fn demux_probe_replaces_linear_guard_charges() {
+        let run = |demux: bool| {
+            let (mut engine, cpu) = ctx_parts();
+            let d = Dispatcher::new();
+            d.set_demux_enabled(demux);
+            let ev = d.define_event::<UdpArg>("Udp.Charged");
+            for port in 1..=8u64 {
+                d.install(
+                    ev,
+                    HandlerSpec::new(|_, _: &UdpArg| {}).guard(Guard::verified(port_program(port))),
+                );
+            }
+            let mut lease = cpu.begin(SimTime::ZERO);
+            let mut ctx = RaiseCtx {
+                engine: &mut engine,
+                lease: &mut lease,
+            };
+            d.raise(&mut ctx, ev, &UdpArg { dst_port: 3 });
+            lease.elapsed()
+        };
+        let (_, cpu) = ctx_parts();
+        let model = cpu.model().clone();
+        let handler = model.thread_spawn + model.context_switch + model.dispatch_handler;
+        // Indexed: raise + probe (one guard_eval) + one real eval + handler.
+        assert_eq!(
+            run(true),
+            model.dispatch_raise + model.guard_eval * 2 + handler
+        );
+        // Linear: raise + eight evals + handler.
+        assert_eq!(
+            run(false),
+            model.dispatch_raise + model.guard_eval * 8 + handler
+        );
+    }
+
+    #[test]
+    fn demux_index_follows_uninstall() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<UdpArg>("Udp.Unindexed");
+        let id53 = d.install(
+            ev,
+            HandlerSpec::new(|_, _: &UdpArg| {}).guard(Guard::verified(port_program(53))),
+        );
+        d.install(
+            ev,
+            HandlerSpec::new(|_, _: &UdpArg| {}).guard(Guard::verified(port_program(80))),
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        assert_eq!(d.raise(&mut ctx, ev, &UdpArg { dst_port: 53 }).invoked, 1);
+        assert!(d.uninstall(ev, id53));
+        let out = d.raise(&mut ctx, ev, &UdpArg { dst_port: 53 });
+        assert_eq!(out.invoked, 0);
+        assert_eq!(out.rejected, 1, "only the live port-80 entry is skipped");
+        assert_eq!(d.stats().demux_hits, 2, "index still probes for port 80");
+    }
+
+    #[test]
+    fn demux_falls_back_when_nothing_is_indexable() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<UdpArg>("Udp.Fallback");
+        d.install(
+            ev,
+            HandlerSpec::new(|_, _: &UdpArg| {})
+                .guard(Guard::closure(|arg: &UdpArg| arg.dst_port == 53)),
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        d.raise(&mut ctx, ev, &UdpArg { dst_port: 53 });
+        let stats = d.stats();
+        assert_eq!(stats.demux_hits, 0);
+        assert_eq!(stats.demux_fallbacks, 1);
+        assert_eq!(stats.guard_evals, 1);
+    }
+
+    /// An IpRecv-shaped argument whose transport dst port sits at payload
+    /// bytes 2..4, as the real IP receive argument exposes it.
+    struct IpArg {
+        proto: u64,
+        payload: Vec<u8>,
+    }
+
+    impl plexus_filter::Packet for IpArg {
+        fn kind(&self) -> plexus_filter::EventKind {
+            plexus_filter::EventKind::IpRecv
+        }
+        fn field(&self, field: plexus_filter::Field) -> Option<u64> {
+            match field {
+                plexus_filter::Field::IpProto => Some(self.proto),
+                plexus_filter::Field::IpSrc | plexus_filter::Field::IpDst => Some(0),
+                plexus_filter::Field::IpPayloadLen => Some(self.payload.len() as u64),
+                _ => None,
+            }
+        }
+        fn head(&self) -> &[u8] {
+            &self.payload
+        }
+    }
+
+    #[test]
+    fn demux_checks_not_in_port_sets_live() {
+        // The UDP-standard node's guard shape: proto == 17 AND dst port
+        // not in the claimed set. Claims must take effect without
+        // reinstalling — the index checks the shared set at visit time.
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<IpArg>("Ip.PacketRecv");
+        let special = plexus_filter::PortSet::new();
+        let prog = plexus_filter::conjunction(
+            plexus_filter::EventKind::IpRecv,
+            &[
+                plexus_filter::Test::eq(
+                    plexus_filter::Operand::Field(plexus_filter::Field::IpProto),
+                    17,
+                ),
+                plexus_filter::Test::NotInSet {
+                    op: plexus_filter::Operand::Pay {
+                        off: 2,
+                        width: plexus_filter::Width::W16,
+                    },
+                    set: 0,
+                },
+            ],
+            vec![special.clone()],
+        );
+        let vp = Rc::new(plexus_filter::verify(&prog).expect("verifies"));
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        d.install(
+            ev,
+            HandlerSpec::new(move |_, _: &IpArg| h.set(h.get() + 1)).guard(Guard::verified(vp)),
+        );
+        let pkt = IpArg {
+            proto: 17,
+            payload: vec![0, 0, 0, 53, 0, 0, 0, 0], // dst port 53
+        };
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        assert_eq!(d.raise(&mut ctx, ev, &pkt).invoked, 1);
+        special.insert(53);
+        let out = d.raise(&mut ctx, ev, &pkt);
+        assert_eq!(out.invoked, 0);
+        assert_eq!(out.rejected, 1, "claimed port skipped at visit time");
+        assert_eq!(
+            d.stats().guard_evals,
+            1,
+            "the claimed-port rejection never ran the guard"
+        );
+        special.remove(53);
+        assert_eq!(d.raise(&mut ctx, ev, &pkt).invoked, 1);
+    }
+
+    #[test]
+    fn mid_raise_installs_do_not_poison_the_index() {
+        // A handler that installs another indexed handler while the raise
+        // is walking the snapshot: the install mutates the demux state,
+        // which must not alias the probe's borrow.
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<UdpArg>("Udp.MidRaise");
+        let d2 = d.clone();
+        let installed = Rc::new(Cell::new(false));
+        let flag = installed.clone();
+        d.install(
+            ev,
+            HandlerSpec::new(move |_, _: &UdpArg| {
+                if !flag.get() {
+                    flag.set(true);
+                    d2.install(
+                        ev,
+                        HandlerSpec::new(|_, _: &UdpArg| {})
+                            .guard(Guard::verified(port_program(53))),
+                    );
+                }
+            })
+            .guard(Guard::verified(port_program(53))),
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        assert_eq!(d.raise(&mut ctx, ev, &UdpArg { dst_port: 53 }).invoked, 1);
+        assert_eq!(d.raise(&mut ctx, ev, &UdpArg { dst_port: 53 }).invoked, 2);
     }
 
     #[test]
@@ -1082,8 +1817,11 @@ mod trace_tests {
         let d = Dispatcher::new();
         let a = d.define_event::<u32>("Alpha");
         let b = d.define_event::<u32>("Beta");
-        d.install_thread(a, Some(Guard::closure(|x: &u32| *x > 0)), |_, _| {});
-        d.install_thread(b, None, |_, _| {});
+        d.install(
+            a,
+            HandlerSpec::new(|_, _| {}).guard(Guard::closure(|x: &u32| *x > 0)),
+        );
+        d.install(b, HandlerSpec::new(|_, _: &u32| {}));
         d.enable_trace(8);
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
@@ -1108,7 +1846,7 @@ mod trace_tests {
         let (mut engine, cpu) = ctx_parts();
         let d = Dispatcher::new();
         let ev = d.define_event::<u32>("Flood");
-        d.install_thread(ev, None, |_, _| {});
+        d.install(ev, HandlerSpec::new(|_, _: &u32| {}));
         d.enable_trace(4);
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
@@ -1140,11 +1878,11 @@ mod recorder_tests {
 
         let d = Dispatcher::new();
         let ev = d.define_event::<u32>("Udp.PacketRecv");
-        d.install_thread_owned(
+        d.install(
             ev,
-            Some(Guard::closure(|arg: &u32| *arg > 10)),
-            |_, _| {},
-            "rtt-extension",
+            HandlerSpec::new(|_, _| {})
+                .guard(Guard::closure(|arg: &u32| *arg > 10))
+                .owner("rtt-extension"),
         );
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
@@ -1193,14 +1931,13 @@ mod recorder_tests {
 
         let d = Dispatcher::new();
         let ev = d.define_event::<u32>("Limited");
-        d.install_interrupt_owned(
+        d.install(
             ev,
-            None,
-            Ephemeral::certify(|ctx: &mut RaiseCtx, _: &u32| {
+            HandlerSpec::ephemeral(Ephemeral::certify(|ctx: &mut RaiseCtx, _: &u32| {
                 ctx.lease.charge(SimDuration::from_millis(1));
-            }),
-            Some(SimDuration::from_micros(10)),
-            "runaway-ext",
+            }))
+            .time_limit(SimDuration::from_micros(10))
+            .owner("runaway-ext"),
         );
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
@@ -1231,7 +1968,10 @@ mod recorder_tests {
             }
             let d = Dispatcher::new();
             let ev = d.define_event::<u32>("Same");
-            d.install_thread(ev, Some(Guard::closure(|_| true)), |_, _| {});
+            d.install(
+                ev,
+                HandlerSpec::new(|_, _| {}).guard(Guard::closure(|_| true)),
+            );
             let mut lease = cpu.begin(SimTime::ZERO);
             let mut ctx = RaiseCtx {
                 engine: &mut engine,
@@ -1253,11 +1993,22 @@ mod recorder_tests {
             verified_guard_evals: 4,
             verified_guard_rejects: 1,
             terminations: 3,
+            demux_hits: 5,
+            demux_fallbacks: 2,
+            demux_skipped: 9,
         };
+        let s = stats.to_string();
         assert_eq!(
-            stats.to_string(),
+            s,
+            "raises=10 invocations=8 guard_evals=6 (verified 4) \
+             guard_rejects=2 (verified 1) terminations=3 \
+             demux_hits=5 demux_fallbacks=2 demux_skipped=9"
+        );
+        // Regression: the pre-demux counters keep their exact wording, so
+        // anything parsing the old prefix keeps working.
+        assert!(s.starts_with(
             "raises=10 invocations=8 guard_evals=6 (verified 4) \
              guard_rejects=2 (verified 1) terminations=3"
-        );
+        ));
     }
 }

@@ -468,3 +468,172 @@ proptest! {
         prop_assert_eq!(first.2, second.2, "delivered data identical");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Dispatcher demux index: indexed dispatch must be observationally identical
+// to the linear guard walk — same handlers invoked, in the same order, with
+// the same raise outcomes — for arbitrary mixes of indexable verified
+// guards, unindexable guards, closures, and live port-set mutation.
+// ---------------------------------------------------------------------------
+
+mod demux_equivalence {
+    use proptest::prelude::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use plexus::kernel::dispatcher::{Dispatcher, Guard, HandlerSpec, RaiseCtx};
+    use plexus::kernel::filter::{
+        conjunction, verify, EventKind, Field, Operand, Packet, PortSet, Test,
+    };
+    use plexus::sim::cpu::{CostModel, Cpu};
+    use plexus::sim::time::SimTime;
+    use plexus::sim::Engine;
+
+    /// A minimal `UdpRecv`-shaped event.
+    struct Dgram {
+        src_port: u16,
+        dst_port: u16,
+    }
+
+    impl Packet for Dgram {
+        fn kind(&self) -> EventKind {
+            EventKind::UdpRecv
+        }
+        fn field(&self, field: Field) -> Option<u64> {
+            match field {
+                Field::UdpDstPort => Some(u64::from(self.dst_port)),
+                Field::UdpSrcPort => Some(u64::from(self.src_port)),
+                _ => None,
+            }
+        }
+        fn head(&self) -> &[u8] {
+            &[]
+        }
+    }
+
+    /// One installed handler's guard, spanning every dispatch path: no
+    /// guard, an opaque closure (never indexable), an indexable equality
+    /// or one-of on the schema field, a shared-set test (falls back:
+    /// NotIn alone yields no hash key), and an off-schema equality
+    /// (verified but unindexable).
+    #[derive(Debug, Clone)]
+    enum GuardKind {
+        None,
+        Closure(u16),
+        EqDst(u16),
+        OneOfDst(Vec<u16>),
+        NotInShared,
+        EqSrc(u16),
+    }
+
+    fn guard_kind() -> impl Strategy<Value = GuardKind> {
+        prop_oneof![
+            Just(GuardKind::None),
+            (0u16..8).prop_map(GuardKind::Closure),
+            (0u16..8).prop_map(GuardKind::EqDst),
+            proptest::collection::vec(0u16..8, 1..4).prop_map(GuardKind::OneOfDst),
+            Just(GuardKind::NotInShared),
+            (0u16..8).prop_map(GuardKind::EqSrc),
+        ]
+    }
+
+    fn build_guard(kind: &GuardKind, shared: &PortSet) -> Option<Guard<Dgram>> {
+        let dst = Operand::Field(Field::UdpDstPort);
+        let (tests, sets): (Vec<Test>, Vec<PortSet>) = match kind {
+            GuardKind::None => return None,
+            GuardKind::Closure(p) => {
+                let p = *p;
+                return Some(Guard::closure(move |d: &Dgram| d.dst_port == p));
+            }
+            GuardKind::EqDst(p) => (vec![Test::eq(dst, u64::from(*p))], vec![]),
+            GuardKind::OneOfDst(ports) => (
+                vec![Test::one_of(dst, ports.iter().map(|p| u64::from(*p)))],
+                vec![],
+            ),
+            GuardKind::NotInShared => (
+                vec![Test::NotInSet { op: dst, set: 0 }],
+                vec![shared.clone()],
+            ),
+            GuardKind::EqSrc(p) => (
+                vec![Test::eq(Operand::Field(Field::UdpSrcPort), u64::from(*p))],
+                vec![],
+            ),
+        };
+        let program = conjunction(EventKind::UdpRecv, &tests, sets);
+        Some(Guard::verified(Rc::new(
+            verify(&program).expect("generated guard verifies"),
+        )))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn indexed_dispatch_equals_linear_scan(
+            guards in proptest::collection::vec(guard_kind(), 0..10),
+            packets in proptest::collection::vec((0u16..8, 0u16..8), 1..20),
+            initial_set in proptest::collection::vec(0u16..8, 0..4),
+            mutations in proptest::collection::vec((any::<bool>(), 0u16..8), 0..20),
+        ) {
+            // Both dispatchers share the same verified programs and the
+            // same live port set, so a mutation lands on both; only the
+            // dispatch strategy differs.
+            let shared = PortSet::new();
+            for p in &initial_set {
+                shared.insert(*p);
+            }
+            let linear = Dispatcher::new();
+            linear.set_demux_enabled(false);
+            let indexed = Dispatcher::new();
+            prop_assert!(indexed.demux_enabled());
+
+            let log_lin: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+            let log_idx: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+            let ev_lin = linear.define_event::<Dgram>("Udp.Equiv");
+            let ev_idx = indexed.define_event::<Dgram>("Udp.Equiv");
+            for (i, kind) in guards.iter().enumerate() {
+                // Guards are rebuilt per dispatcher from the same spec
+                // (closures are not Clone); NotInShared guards reference
+                // the one shared set either way.
+                let l = log_lin.clone();
+                linear.install(
+                    ev_lin,
+                    HandlerSpec::new(move |_, _: &Dgram| l.borrow_mut().push(i))
+                        .guard_opt(build_guard(kind, &shared)),
+                );
+                let l = log_idx.clone();
+                indexed.install(
+                    ev_idx,
+                    HandlerSpec::new(move |_, _: &Dgram| l.borrow_mut().push(i))
+                        .guard_opt(build_guard(kind, &shared)),
+                );
+            }
+
+            let cpu = Cpu::new(CostModel::alpha_3000_400());
+            let mut engine = Engine::new();
+            let mut muts = mutations.iter().cycle();
+            for (src_port, dst_port) in packets {
+                let pkt = Dgram { src_port, dst_port };
+                let mut lease = cpu.begin(SimTime::ZERO);
+                let mut ctx = RaiseCtx { engine: &mut engine, lease: &mut lease };
+                let out_lin = linear.raise(&mut ctx, ev_lin, &pkt);
+                let out_idx = indexed.raise(&mut ctx, ev_idx, &pkt);
+                prop_assert_eq!(out_lin, out_idx, "raise outcomes diverge");
+                // Mutate the shared set between raises: the index must
+                // observe membership at visit time, exactly like eval.
+                if let Some((insert, port)) = muts.next() {
+                    if *insert {
+                        shared.insert(*port);
+                    } else {
+                        shared.remove(*port);
+                    }
+                }
+            }
+            prop_assert_eq!(
+                &*log_lin.borrow(),
+                &*log_idx.borrow(),
+                "same handlers in the same order"
+            );
+        }
+    }
+}

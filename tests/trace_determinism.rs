@@ -46,8 +46,11 @@ fn trace_carries_guard_handler_domain_and_histogram_detail() {
     let reg = rec.registry();
 
     // Per-guard accounting, by verdict, for verified-IR guards: every
-    // round trip crosses Ethernet.PacketRecv (IP accepts; ARP rejects)
-    // and Udp.PacketRecv on both hosts.
+    // round trip crosses Ethernet.PacketRecv and Udp.PacketRecv on both
+    // hosts. With the demux index on (the default), the ARP guard that
+    // used to evaluate-and-reject every IPv4 frame is skipped outright,
+    // so `verified.rejects` stays at zero and the skip shows up in the
+    // per-event demux counters instead.
     let eth = rec.intern("Ethernet.PacketRecv");
     let udp = rec.intern("Udp.PacketRecv");
     let per_round = u64::from(ROUNDS) * 2; // client + server
@@ -57,8 +60,21 @@ fn trace_carries_guard_handler_domain_and_histogram_detail() {
         metric,
     };
     assert_eq!(reg.get(key(eth, "verified.accepts")), per_round);
-    assert_eq!(reg.get(key(eth, "verified.rejects")), per_round);
+    assert_eq!(reg.get(key(eth, "verified.rejects")), 0);
     assert_eq!(reg.get(key(udp, "verified.accepts")), per_round);
+    let demux_key = |label, metric| CounterKey {
+        scope: Scope::Event,
+        label,
+        metric,
+    };
+    assert_eq!(reg.get(demux_key(eth, "demux.hits")), per_round);
+    assert_eq!(
+        reg.get(demux_key(eth, "demux.avoided")),
+        per_round,
+        "each IPv4 frame skips the ARP guard via the index"
+    );
+    assert_eq!(reg.get(demux_key(eth, "demux.fallbacks")), 0);
+    assert!(reg.get(demux_key(udp, "demux.hits")) >= per_round);
 
     // Per-handler and per-domain counts: the echo endpoint runs under the
     // extension's own domain, the UDP layer under "udp".
