@@ -1,0 +1,105 @@
+//! `plexus-bench-diff` — the bench regression gate.
+//!
+//! Compares a freshly generated `BENCH_*.json` report against a committed
+//! golden and exits non-zero on regression. Latency and scalar metrics
+//! may drift within the per-metric `tol_pct` stamped in the golden
+//! (default 2%); sample counts and event counts must match exactly,
+//! because the simulation is deterministic — a changed count is a
+//! behaviour change, not noise.
+//!
+//! Usage:
+//!
+//! ```text
+//! plexus-bench-diff [--tol PCT] [--quiet] GOLDEN.json FRESH.json
+//! ```
+//!
+//! The verdict is printed to stdout as JSON (one document); a human
+//! summary of any failures goes to stderr. Exit codes: 0 pass, 1
+//! regression, 2 usage or parse error.
+
+use std::fs;
+use std::process::ExitCode;
+
+use plexus_bench::diff::diff_reports;
+use plexus_bench::report::DEFAULT_TOL_PCT;
+use plexus_trace::json;
+
+fn usage() {
+    eprintln!("usage: plexus-bench-diff [--tol PCT] [--quiet] GOLDEN.json FRESH.json");
+}
+
+fn main() -> ExitCode {
+    let mut tol = DEFAULT_TOL_PCT;
+    let mut quiet = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tol" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--tol needs a numeric percentage");
+                    return ExitCode::from(2);
+                };
+                tol = v;
+            }
+            "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [golden_path, fresh_path] = paths.as_slice() else {
+        usage();
+        return ExitCode::from(2);
+    };
+
+    let load = |path: &str| -> Result<json::Value, String> {
+        let body = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        json::parse(&body).map_err(|e| format!("{path}: {e}"))
+    };
+    let (golden, fresh) = match (load(golden_path), load(fresh_path)) {
+        (Ok(g), Ok(f)) => (g, f),
+        (g, f) => {
+            for r in [g.err(), f.err()].into_iter().flatten() {
+                eprintln!("{r}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let verdict = match diff_reports(&golden, &fresh, tol) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        print!("{}", verdict.to_json());
+    }
+    if verdict.ok() {
+        eprintln!(
+            "{}: {} checks passed against {golden_path}",
+            verdict.bench,
+            verdict.checks.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for c in verdict.failures() {
+            match c.fresh {
+                Some(f) => eprintln!(
+                    "{}: REGRESSION {}: golden {:.3}, fresh {:.3} ({:.2}% > {:.2}% allowed)",
+                    verdict.bench, c.name, c.golden, f, c.dev_pct, c.tol_pct
+                ),
+                None => eprintln!(
+                    "{}: REGRESSION {}: present in golden ({:.3}) but missing from fresh run",
+                    verdict.bench, c.name, c.golden
+                ),
+            }
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,232 @@
+//! `plexus-profile` — replay a scenario with the flight recorder on and
+//! emit the cycle-accounting profile.
+//!
+//! Builds on `plexus-trace`: instead of dumping raw events, the ring is
+//! folded through [`plexus_trace::profile`] into per-packet span trees
+//! and attribution slices, and written as:
+//!
+//! * `<scenario>.profile.json` — truncation report, per-triple aggregate
+//!   (mean/p50/p99 ns), per-packet span trees and slices, and — for the
+//!   ping-pong scenarios — the per-round latency waterfall whose
+//!   segments sum to each measured RTT exactly.
+//! * `<scenario>.folded` — folded stacks (`layer;domain;handler ns`) for
+//!   `flamegraph.pl --countname=ns` or <https://www.speedscope.app>.
+//!
+//! Every timestamp comes from the simulated clock, so both files are
+//! byte-identical across runs.
+//!
+//! Usage:
+//!
+//! ```text
+//! plexus-profile [-o DIR] [--stdout] SCENARIO...
+//! plexus-profile --list
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use plexus_apps::video::VideoConfig;
+use plexus_bench::fwd_latency::plexus_fwd_traced;
+use plexus_bench::udp_rtt::{udp_rtt_traced, Link};
+use plexus_bench::video_cpu::{video_server_utilization_traced, VideoSystem};
+use plexus_trace::flame::folded;
+use plexus_trace::profile::{pingpong_waterfall, profile_json, Profile, Waterfall};
+use plexus_trace::{json, Recorder};
+
+/// The scenarios the CLI can replay, with one line of help each.
+const SCENARIOS: &[(&str, &str)] = &[
+    (
+        "udp_rtt",
+        "UDP echo ping-pong, interrupt-level handlers, Ethernet, 20 rounds (Figure 5)",
+    ),
+    (
+        "udp_rtt_thread",
+        "the same ping-pong with thread-mode delivery (Figure 5's other Plexus bar)",
+    ),
+    (
+        "fig6_video",
+        "video server at 15 streams over the T3 for 1 simulated second (Figure 6)",
+    ),
+    (
+        "fig7_forwarding",
+        "TCP echo through the in-kernel forwarder, 5 rounds (Figure 7)",
+    ),
+];
+
+/// Per-scenario run: ring capacity, how many packets keep full span/slice
+/// detail in the JSON (the cap is stated in the output, never silent),
+/// and the app domain that delimits ping-pong rounds (None: no waterfall).
+struct Scenario {
+    ring: usize,
+    detail: usize,
+    app_domain: Option<&'static str>,
+}
+
+fn run_scenario(name: &str) -> Option<(std::rc::Rc<Recorder>, Scenario)> {
+    match name {
+        "udp_rtt" | "udp_rtt_thread" => {
+            let recorder = Recorder::new(1 << 16);
+            udp_rtt_traced(name == "udp_rtt", &Link::ethernet(), 8, 20, &recorder);
+            Some((
+                recorder,
+                Scenario {
+                    ring: 1 << 16,
+                    detail: 64,
+                    app_domain: Some("rtt-bench"),
+                },
+            ))
+        }
+        "fig6_video" => {
+            let recorder = Recorder::new(1 << 18);
+            video_server_utilization_traced(
+                VideoSystem::Spin,
+                15,
+                VideoConfig::default(),
+                1,
+                Some(&recorder),
+            );
+            Some((
+                recorder,
+                Scenario {
+                    ring: 1 << 18,
+                    detail: 8,
+                    app_domain: None,
+                },
+            ))
+        }
+        "fig7_forwarding" => {
+            let recorder = Recorder::new(1 << 16);
+            plexus_fwd_traced(&Link::ethernet(), 64, 5, Some(&recorder));
+            Some((
+                recorder,
+                Scenario {
+                    ring: 1 << 16,
+                    detail: 16,
+                    app_domain: None,
+                },
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn usage() {
+    eprintln!("usage: plexus-profile [-o DIR] [--stdout] SCENARIO...");
+    eprintln!("       plexus-profile --list");
+    eprintln!();
+    eprintln!("scenarios:");
+    for (name, help) in SCENARIOS {
+        eprintln!("  {name:<16} {help}");
+    }
+}
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from("results");
+    let mut to_stdout = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for (name, help) in SCENARIOS {
+                    println!("{name:<16} {help}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--stdout" => to_stdout = true,
+            "-o" | "--out" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("-o needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                out_dir = PathBuf::from(dir);
+            }
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for raw in &names {
+        let name = raw
+            .trim_start_matches("examples/")
+            .trim_end_matches(".rs")
+            .to_string();
+        let Some((recorder, scenario)) = run_scenario(&name) else {
+            eprintln!("unknown scenario: {raw} (try --list)");
+            failed = true;
+            continue;
+        };
+        let profile = Profile::build(&recorder);
+        if !profile.truncation.clean() {
+            eprintln!(
+                "{name}: warning: ring (capacity {}) wrapped — {} records dropped, \
+                 {} orphan packets; durations for orphans are excluded from aggregates",
+                scenario.ring,
+                profile.truncation.dropped_records,
+                profile.truncation.orphan_packets.len()
+            );
+        }
+        let waterfall: Option<Waterfall> = match scenario.app_domain {
+            Some(domain) => match pingpong_waterfall(&profile, domain) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    eprintln!("{name}: no waterfall: {e}");
+                    failed = true;
+                    None
+                }
+            },
+            None => None,
+        };
+        let body = profile_json(&profile, waterfall.as_ref(), scenario.detail);
+        if let Err(e) = json::validate(&body) {
+            eprintln!("{name}: internal error: emitted profile JSON invalid: {e}");
+            failed = true;
+        }
+        let flame = folded(&profile);
+        if to_stdout {
+            println!("{body}");
+            print!("{flame}");
+        } else {
+            if let Err(e) = fs::create_dir_all(&out_dir) {
+                eprintln!("cannot create {}: {e}", out_dir.display());
+                return ExitCode::FAILURE;
+            }
+            let profile_path = out_dir.join(format!("{name}.profile.json"));
+            let flame_path = out_dir.join(format!("{name}.folded"));
+            match (
+                fs::write(&profile_path, &body),
+                fs::write(&flame_path, &flame),
+            ) {
+                (Ok(()), Ok(())) => {
+                    eprintln!(
+                        "{name}: {} packets ({} records) -> {} + {}",
+                        profile.packets.len(),
+                        recorder.recorded(),
+                        profile_path.display(),
+                        flame_path.display()
+                    );
+                }
+                (a, b) => {
+                    if let Err(e) = a.and(b) {
+                        eprintln!("{name}: write failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

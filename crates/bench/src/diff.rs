@@ -1,0 +1,310 @@
+//! Bench regression gate: compares a freshly generated `BENCH_*.json`
+//! report against a committed golden and produces a machine-readable
+//! verdict.
+//!
+//! The golden file is authoritative for both the expected values *and*
+//! the per-metric tolerance (`tol_pct`, stamped by
+//! [`crate::report::BenchReport`]): latency fields (`mean_us`, `p50_us`,
+//! `p99_us`) and scalar `value`s may deviate by at most that relative
+//! percentage; `samples` and every entry under `counts` must match
+//! exactly (the simulation is deterministic — a changed count is a
+//! behaviour change, not noise). Metrics present in the golden but
+//! missing from the fresh run fail; metrics only in the fresh run are
+//! reported as informational and do not fail the gate, so adding a
+//! metric does not require touching the golden in the same change.
+
+use plexus_trace::json::{self, Value};
+
+/// One compared quantity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Check {
+    /// `"<metric>.<field>"` or `"counts.<name>"`.
+    pub name: String,
+    /// Golden value.
+    pub golden: f64,
+    /// Fresh value (`None` when the metric/field disappeared).
+    pub fresh: Option<f64>,
+    /// Relative deviation in percent (0 for exact-match fields that
+    /// matched).
+    pub dev_pct: f64,
+    /// Allowed deviation in percent (0 for exact-match fields).
+    pub tol_pct: f64,
+    /// Whether the check passed.
+    pub ok: bool,
+}
+
+/// The verdict for one golden/fresh report pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffReport {
+    /// Bench name from the golden file.
+    pub bench: String,
+    /// Every comparison performed.
+    pub checks: Vec<Check>,
+    /// Metric names present only in the fresh report (informational).
+    pub new_metrics: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when every check passed.
+    pub fn ok(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// Failed checks only.
+    pub fn failures(&self) -> Vec<&Check> {
+        self.checks.iter().filter(|c| !c.ok).collect()
+    }
+
+    /// Renders the verdict as JSON (deterministic ordering: checks appear
+    /// in golden-document order).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"bench\": \"{}\", \"ok\": {}, \"checks\": [",
+            json::escape(&self.bench),
+            self.ok()
+        );
+        for (i, c) in self.checks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"name\": \"{}\", \"golden\": {:.3}, \"fresh\": {}, \
+                 \"dev_pct\": {:.3}, \"tol_pct\": {:.3}, \"ok\": {}}}",
+                json::escape(&c.name),
+                c.golden,
+                match c.fresh {
+                    Some(f) => format!("{f:.3}"),
+                    None => String::from("null"),
+                },
+                c.dev_pct,
+                c.tol_pct,
+                c.ok
+            ));
+        }
+        out.push_str("\n], \"new_metrics\": [");
+        for (i, m) in self.new_metrics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", json::escape(m)));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+fn metric_name(m: &Value) -> String {
+    m.get("name")
+        .and_then(Value::as_str)
+        .unwrap_or("<unnamed>")
+        .to_string()
+}
+
+fn rel_dev_pct(golden: f64, fresh: f64) -> f64 {
+    if golden == 0.0 {
+        if fresh == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ((fresh - golden) / golden).abs() * 100.0
+    }
+}
+
+/// Compares two parsed `BENCH_*.json` documents. `default_tol_pct`
+/// applies to golden metrics that predate the `tol_pct` field.
+pub fn diff_reports(
+    golden: &Value,
+    fresh: &Value,
+    default_tol_pct: f64,
+) -> Result<DiffReport, String> {
+    let bench = golden
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or("golden: missing \"bench\"")?
+        .to_string();
+    let fresh_bench = fresh
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or("fresh: missing \"bench\"")?;
+    if bench != fresh_bench {
+        return Err(format!(
+            "bench name mismatch: golden \"{bench}\" vs fresh \"{fresh_bench}\""
+        ));
+    }
+
+    let golden_metrics = golden
+        .get("metrics")
+        .and_then(Value::as_arr)
+        .ok_or("golden: missing \"metrics\"")?;
+    let empty: Vec<Value> = Vec::new();
+    let fresh_metrics = fresh
+        .get("metrics")
+        .and_then(Value::as_arr)
+        .unwrap_or(&empty);
+
+    let mut checks = Vec::new();
+    for gm in golden_metrics {
+        let name = metric_name(gm);
+        let tol = gm
+            .get("tol_pct")
+            .and_then(Value::as_f64)
+            .unwrap_or(default_tol_pct);
+        let fm = fresh_metrics.iter().find(|m| metric_name(m) == name);
+
+        // Tolerance-checked fields.
+        for field in ["mean_us", "p50_us", "p99_us", "value"] {
+            let Some(gv) = gm.get(field).and_then(Value::as_f64) else {
+                continue;
+            };
+            let fv = fm.and_then(|m| m.get(field)).and_then(Value::as_f64);
+            let (dev, ok) = match fv {
+                Some(fv) => {
+                    let dev = rel_dev_pct(gv, fv);
+                    (dev, dev <= tol)
+                }
+                None => (f64::INFINITY, false),
+            };
+            checks.push(Check {
+                name: format!("{name}.{field}"),
+                golden: gv,
+                fresh: fv,
+                dev_pct: if dev.is_finite() { dev } else { 999.999 },
+                tol_pct: tol,
+                ok,
+            });
+        }
+        // Exact fields: sample counts.
+        if let Some(gv) = gm.get("samples").and_then(Value::as_f64) {
+            let fv = fm.and_then(|m| m.get("samples")).and_then(Value::as_f64);
+            checks.push(Check {
+                name: format!("{name}.samples"),
+                golden: gv,
+                fresh: fv,
+                dev_pct: 0.0,
+                tol_pct: 0.0,
+                ok: fv == Some(gv),
+            });
+        }
+    }
+
+    // Event counts: exact.
+    if let Some(Value::Obj(golden_counts)) = golden.get("counts") {
+        for (name, gv) in golden_counts {
+            let Some(gv) = gv.as_f64() else { continue };
+            let fv = fresh
+                .get("counts")
+                .and_then(|c| c.get(name))
+                .and_then(Value::as_f64);
+            checks.push(Check {
+                name: format!("counts.{name}"),
+                golden: gv,
+                fresh: fv,
+                dev_pct: 0.0,
+                tol_pct: 0.0,
+                ok: fv == Some(gv),
+            });
+        }
+    }
+
+    let new_metrics = fresh_metrics
+        .iter()
+        .map(metric_name)
+        .filter(|n| !golden_metrics.iter().any(|g| &metric_name(g) == n))
+        .collect();
+
+    Ok(DiffReport {
+        bench,
+        checks,
+        new_metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::DEFAULT_TOL_PCT;
+    use plexus_trace::json::parse;
+
+    const GOLDEN: &str = r#"{"bench": "fig5", "metrics": [
+        {"name": "rtt", "mean_us": 100.0, "p50_us": 100.0, "p99_us": 120.0, "samples": 50, "tol_pct": 2.0},
+        {"name": "cpu", "value": 40.0, "unit": "percent", "tol_pct": 5.0}
+    ], "counts": {"rounds": 50}}"#;
+
+    #[test]
+    fn identical_reports_pass() {
+        let g = parse(GOLDEN).unwrap();
+        let d = diff_reports(&g, &g, DEFAULT_TOL_PCT).unwrap();
+        assert!(d.ok(), "{:?}", d.failures());
+        assert!(d.new_metrics.is_empty());
+        plexus_trace::json::validate(&d.to_json()).expect("verdict JSON valid");
+    }
+
+    #[test]
+    fn deviation_beyond_tolerance_fails() {
+        let g = parse(GOLDEN).unwrap();
+        // mean_us drifts 3% (> 2% tol); cpu drifts 4% (< 5% tol).
+        let fresh = parse(
+            r#"{"bench": "fig5", "metrics": [
+            {"name": "rtt", "mean_us": 103.0, "p50_us": 100.0, "p99_us": 120.0, "samples": 50, "tol_pct": 2.0},
+            {"name": "cpu", "value": 41.6, "unit": "percent", "tol_pct": 5.0}
+        ], "counts": {"rounds": 50}}"#,
+        )
+        .unwrap();
+        let d = diff_reports(&g, &fresh, DEFAULT_TOL_PCT).unwrap();
+        assert!(!d.ok());
+        let failures = d.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "rtt.mean_us");
+        assert!((failures[0].dev_pct - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_and_samples_must_match_exactly() {
+        let g = parse(GOLDEN).unwrap();
+        let fresh = parse(
+            r#"{"bench": "fig5", "metrics": [
+            {"name": "rtt", "mean_us": 100.0, "p50_us": 100.0, "p99_us": 120.0, "samples": 49, "tol_pct": 2.0},
+            {"name": "cpu", "value": 40.0, "unit": "percent", "tol_pct": 5.0}
+        ], "counts": {"rounds": 51}}"#,
+        )
+        .unwrap();
+        let d = diff_reports(&g, &fresh, DEFAULT_TOL_PCT).unwrap();
+        let names: Vec<&str> = d.failures().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["rtt.samples", "counts.rounds"]);
+    }
+
+    #[test]
+    fn missing_metric_fails_and_new_metric_is_informational() {
+        let g = parse(GOLDEN).unwrap();
+        let fresh = parse(
+            r#"{"bench": "fig5", "metrics": [
+            {"name": "cpu", "value": 40.0, "unit": "percent", "tol_pct": 5.0},
+            {"name": "extra", "value": 1.0, "unit": "x", "tol_pct": 2.0}
+        ], "counts": {"rounds": 50}}"#,
+        )
+        .unwrap();
+        let d = diff_reports(&g, &fresh, DEFAULT_TOL_PCT).unwrap();
+        assert!(!d.ok());
+        assert!(d.failures().iter().all(|c| c.name.starts_with("rtt.")));
+        assert_eq!(d.new_metrics, vec!["extra"]);
+    }
+
+    #[test]
+    fn golden_without_tol_uses_the_default() {
+        let g = parse(r#"{"bench": "old", "metrics": [{"name": "m", "value": 100.0, "unit": "x"}], "counts": {}}"#).unwrap();
+        let fresh = parse(r#"{"bench": "old", "metrics": [{"name": "m", "value": 101.0, "unit": "x"}], "counts": {}}"#).unwrap();
+        let d = diff_reports(&g, &fresh, DEFAULT_TOL_PCT).unwrap();
+        assert!(d.ok(), "1% drift within the 2% default");
+        let d = diff_reports(&g, &fresh, 0.5).unwrap();
+        assert!(!d.ok(), "1% drift beyond an 0.5% default");
+    }
+
+    #[test]
+    fn mismatched_bench_names_error() {
+        let g = parse(r#"{"bench": "a", "metrics": [], "counts": {}}"#).unwrap();
+        let f = parse(r#"{"bench": "b", "metrics": [], "counts": {}}"#).unwrap();
+        assert!(diff_reports(&g, &f, DEFAULT_TOL_PCT).is_err());
+    }
+}

@@ -195,8 +195,23 @@ fn run_plexus_echo(
 }
 
 fn plexus_fwd(link: &Link, payload: usize, rounds: u32) -> f64 {
+    plexus_fwd_traced(link, payload, rounds, None)
+}
+
+/// The Plexus in-kernel forwarding scenario with a flight recorder
+/// attached, so `plexus-profile` can attribute the forwarder's cycles.
+/// Returns the mean round-trip in µs.
+pub fn plexus_fwd_traced(
+    link: &Link,
+    payload: usize,
+    rounds: u32,
+    recorder: Option<&Rc<plexus_trace::Recorder>>,
+) -> f64 {
     let mut world = World::new();
     let (client, fwd, backend) = plexus_triple(&mut world, link);
+    if let Some(rec) = recorder {
+        world.install_recorder(rec);
+    }
     let fext = fwd
         .link_extension(&forwarder_extension_spec("fwd"))
         .unwrap();

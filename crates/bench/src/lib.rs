@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod client_video;
+pub mod diff;
 pub mod fwd_latency;
 pub mod http_latency;
 pub mod report;

@@ -19,6 +19,10 @@ fn q(s: &str) -> String {
     format!("\"{}\"", json::escape(s))
 }
 
+/// Default regression tolerance (percent relative deviation) stamped on
+/// every metric; `plexus-bench-diff` reads it back from the golden file.
+pub const DEFAULT_TOL_PCT: f64 = 2.0;
+
 /// One measured quantity. Sample-based metrics carry mean/p50/p99 in
 /// simulated microseconds; scalar metrics carry a single value.
 struct Metric {
@@ -29,6 +33,9 @@ struct Metric {
     samples: u64,
     /// Scalar value + unit, e.g. CPU utilization in percent.
     scalar: Option<(f64, &'static str)>,
+    /// Allowed relative deviation (percent) before `plexus-bench-diff`
+    /// flags a regression against this metric in a golden file.
+    tol_pct: f64,
 }
 
 /// A machine-readable benchmark result.
@@ -70,6 +77,7 @@ impl BenchReport {
             )),
             samples: sorted.len() as u64,
             scalar: None,
+            tol_pct: DEFAULT_TOL_PCT,
         });
     }
 
@@ -80,6 +88,7 @@ impl BenchReport {
             latency: Some((mean_us, mean_us, mean_us)),
             samples: 1,
             scalar: None,
+            tol_pct: DEFAULT_TOL_PCT,
         });
     }
 
@@ -91,12 +100,27 @@ impl BenchReport {
             latency: None,
             samples: 0,
             scalar: Some((value, unit)),
+            tol_pct: DEFAULT_TOL_PCT,
         });
     }
 
     /// Adds an event count.
     pub fn count(&mut self, name: &str, value: u64) {
         self.counts.push((name.to_string(), value));
+    }
+
+    /// Overrides the regression tolerance for the named metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no metric with that name was added — a typo here would
+    /// otherwise silently leave the default tolerance in place.
+    pub fn tol(&mut self, metric: &str, tol_pct: f64) {
+        self.metrics
+            .iter_mut()
+            .find(|m| m.name == metric)
+            .unwrap_or_else(|| panic!("no metric named {metric}"))
+            .tol_pct = tol_pct;
     }
 
     /// Renders the report as JSON (deterministic: fixed key order, fixed
@@ -119,7 +143,7 @@ impl BenchReport {
             if let Some((value, unit)) = m.scalar {
                 out.push_str(&format!(", \"value\": {value:.3}, \"unit\": {}", q(unit)));
             }
-            out.push('}');
+            out.push_str(&format!(", \"tol_pct\": {:.1}}}", m.tol_pct));
         }
         out.push_str("], \"counts\": {");
         for (i, (name, value)) in self.counts.iter().enumerate() {
@@ -176,6 +200,9 @@ mod tests {
         assert!(a.contains("\"bench\": \"unit_test\""));
         assert!(a.contains("\"p99_us\": 400.000"));
         assert!(a.contains("\"rounds\": 4"));
+        assert!(a.contains("\"tol_pct\": 2.0"), "default tolerance stamped");
+        r.tol("cpu", 5.0);
+        assert!(r.to_json().contains("\"tol_pct\": 5.0"));
     }
 
     #[test]

@@ -64,6 +64,19 @@ pub fn video_server_utilization(
     config: VideoConfig,
     seconds: u64,
 ) -> VideoSample {
+    video_server_utilization_traced(system, streams, config, seconds, None)
+}
+
+/// [`video_server_utilization`] with a flight recorder attached to every
+/// CPU, NIC, and the engine, so `plexus-profile` can attribute the
+/// server's cycles per layer and domain.
+pub fn video_server_utilization_traced(
+    system: VideoSystem,
+    streams: usize,
+    config: VideoConfig,
+    seconds: u64,
+    recorder: Option<&Rc<plexus_trace::Recorder>>,
+) -> VideoSample {
     let mut world = World::new();
     let server_machine = world.add_machine("video-server");
     server_machine.set_disk(Disk::video_era());
@@ -81,6 +94,9 @@ pub fn video_server_utilization(
         SimDuration::from_micros(2),
         false,
     );
+    if let Some(rec) = recorder {
+        world.install_recorder(rec);
+    }
 
     // Client sinks: the monolithic stack absorbs the frames; no process is
     // blocked, so datagrams land in the socket backlog at no extra cost —

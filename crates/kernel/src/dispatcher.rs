@@ -621,8 +621,7 @@ impl Dispatcher {
     }
 
     /// Installs a handler described by a [`HandlerSpec`] — the single
-    /// installation entry point (the old `install_thread{,_owned}` /
-    /// `install_interrupt{,_owned}` quartet are deprecated shims over it).
+    /// installation entry point.
     ///
     /// When the spec's guard is a verified program with an extractable
     /// demux key, the handler is also entered into the event's hash index,
@@ -721,101 +720,6 @@ impl Dispatcher {
             removed: Cell::new(false),
         }));
         id
-    }
-
-    /// Installs a thread-mode handler: each raise spawns a kernel thread
-    /// that runs `handler`. Both guard forms are accepted here — the
-    /// handler already pays thread costs, and thread-mode closures are how
-    /// trusted in-kernel code filters its own events.
-    #[deprecated(note = "use Dispatcher::install with HandlerSpec::new")]
-    pub fn install_thread<T, F>(
-        &self,
-        event: Event<T>,
-        guard: Option<Guard<T>>,
-        handler: F,
-    ) -> HandlerId
-    where
-        T: 'static,
-        F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
-    {
-        self.install(event, HandlerSpec::new(handler).guard_opt(guard))
-    }
-
-    /// Thread-mode install with an explicit owning domain.
-    #[deprecated(note = "use Dispatcher::install with HandlerSpec::new(...).owner(...)")]
-    pub fn install_thread_owned<T, F>(
-        &self,
-        event: Event<T>,
-        guard: Option<Guard<T>>,
-        handler: F,
-        owner: &str,
-    ) -> HandlerId
-    where
-        T: 'static,
-        F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
-    {
-        self.install(
-            event,
-            HandlerSpec::new(handler).guard_opt(guard).owner(owner),
-        )
-    }
-
-    /// Installs an interrupt-mode handler from a certified [`Ephemeral`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `guard` is a [`Guard::Closure`] (see
-    /// [`Dispatcher::install`]).
-    #[deprecated(note = "use Dispatcher::install with HandlerSpec::ephemeral(...).interrupt()")]
-    pub fn install_interrupt<T, F>(
-        &self,
-        event: Event<T>,
-        guard: Option<Guard<T>>,
-        handler: Ephemeral<F>,
-        time_limit: Option<SimDuration>,
-    ) -> HandlerId
-    where
-        T: 'static,
-        F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
-    {
-        self.install(
-            event,
-            HandlerSpec::ephemeral(handler)
-                .guard_opt(guard)
-                .interrupt()
-                .time_limit(time_limit),
-        )
-    }
-
-    /// Interrupt-mode install with an explicit owning domain.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `guard` is a [`Guard::Closure`] (see
-    /// [`Dispatcher::install`]).
-    #[deprecated(
-        note = "use Dispatcher::install with HandlerSpec::ephemeral(...).interrupt().owner(...)"
-    )]
-    pub fn install_interrupt_owned<T, F>(
-        &self,
-        event: Event<T>,
-        guard: Option<Guard<T>>,
-        handler: Ephemeral<F>,
-        time_limit: Option<SimDuration>,
-        owner: &str,
-    ) -> HandlerId
-    where
-        T: 'static,
-        F: Fn(&mut RaiseCtx<'_>, &T) + 'static,
-    {
-        self.install(
-            event,
-            HandlerSpec::ephemeral(handler)
-                .guard_opt(guard)
-                .interrupt()
-                .time_limit(time_limit)
-                .owner(owner),
-        )
     }
 
     /// Removes a handler (and its demux-index buckets). Returns `false` if
@@ -1029,8 +933,9 @@ impl Dispatcher {
             outcome.invoked += 1;
 
             let owner_label = rec.as_ref().map(|r| r.intern(&entry.owner));
+            let mut span = 0u64;
             if let (Some(r), Some(lbl), Some(owner)) = (&rec, ev_label, owner_label) {
-                r.handler_enter(ctx.lease.now().as_nanos(), lbl, owner);
+                span = r.handler_enter(ctx.lease.now().as_nanos(), lbl, owner);
             }
 
             let mark = ctx.lease.mark();
@@ -1055,7 +960,7 @@ impl Dispatcher {
             if let (Some(r), Some(lbl), Some(owner)) = (&rec, ev_label, owner_label) {
                 // Exit is stamped after any termination rollback, so the
                 // span's duration reflects what was actually charged.
-                r.handler_exit(ctx.lease.now().as_nanos(), lbl, owner);
+                r.handler_exit(ctx.lease.now().as_nanos(), lbl, owner, span);
                 if terminated {
                     r.handler_terminated(ctx.lease.now().as_nanos(), lbl, owner);
                 }
@@ -1480,33 +1385,43 @@ mod tests {
         d.install(ev, HandlerSpec::new(|_, _: &u32| {}).interrupt());
     }
 
-    /// The four deprecated install entry points still work for one PR
-    /// cycle; this is the only place they may be called.
+    /// Every combination the old shim quartet covered (thread/interrupt ×
+    /// default/explicit owner, with guards and time limits) goes through
+    /// the one `install` entry point.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_install_shims_still_work() {
+    fn unified_install_covers_every_former_shim_shape() {
         let (mut engine, cpu) = ctx_parts();
         let d = Dispatcher::new();
         let ev = d.define_event::<UdpArg>("Udp.Shimmed");
         let hits = Rc::new(Cell::new(0u32));
         let h = hits.clone();
-        d.install_thread(ev, None, move |_, _| h.set(h.get() + 1));
-        let h = hits.clone();
-        d.install_thread_owned(ev, None, move |_, _| h.set(h.get() + 1), "ext-a");
-        let h = hits.clone();
-        d.install_interrupt(
+        d.install(
             ev,
-            Some(Guard::verified(port_program(53))),
-            Ephemeral::certify(move |_: &mut RaiseCtx, _: &UdpArg| h.set(h.get() + 1)),
-            None,
+            HandlerSpec::new(move |_, _: &UdpArg| h.set(h.get() + 1)),
         );
         let h = hits.clone();
-        d.install_interrupt_owned(
+        d.install(
             ev,
-            None,
-            Ephemeral::certify(move |_: &mut RaiseCtx, _: &UdpArg| h.set(h.get() + 1)),
-            Some(SimDuration::from_micros(10)),
-            "ext-b",
+            HandlerSpec::new(move |_, _: &UdpArg| h.set(h.get() + 1)).owner("ext-a"),
+        );
+        let h = hits.clone();
+        d.install(
+            ev,
+            HandlerSpec::ephemeral(Ephemeral::certify(move |_: &mut RaiseCtx, _: &UdpArg| {
+                h.set(h.get() + 1)
+            }))
+            .guard(Guard::verified(port_program(53)))
+            .interrupt(),
+        );
+        let h = hits.clone();
+        d.install(
+            ev,
+            HandlerSpec::ephemeral(Ephemeral::certify(move |_: &mut RaiseCtx, _: &UdpArg| {
+                h.set(h.get() + 1)
+            }))
+            .interrupt()
+            .time_limit(Some(SimDuration::from_micros(10)))
+            .owner("ext-b"),
         );
         let mut lease = cpu.begin(SimTime::ZERO);
         let mut ctx = RaiseCtx {
@@ -1514,7 +1429,7 @@ mod tests {
             lease: &mut lease,
         };
         let out = d.raise(&mut ctx, ev, &UdpArg { dst_port: 53 });
-        assert_eq!(out.invoked, 4, "all four shims installed live handlers");
+        assert_eq!(out.invoked, 4, "all four install shapes are live");
         assert_eq!(hits.get(), 4);
     }
 

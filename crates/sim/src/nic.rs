@@ -412,6 +412,20 @@ impl Nic {
         stats.tx_wire_bytes += self.profile.wire_bytes(frame.len()) as u64;
         self.stats.set(stats);
 
+        if let Some(rec) = self.recorder.borrow().as_ref() {
+            // Stamped at ready_at — the last instant of driver CPU work —
+            // so it stays monotone within the packet's record stream; the
+            // wire phases ride along as durations.
+            rec.packet_tx(
+                ready_at.as_nanos(),
+                self.profile.name,
+                frame.len(),
+                start.saturating_since(ready_at).as_nanos(),
+                ser.as_nanos(),
+                self.medium.propagation.as_nanos(),
+            );
+        }
+
         if let Some(cap) = self.medium.capture.borrow_mut().as_mut() {
             cap.push(CapturedFrame {
                 at: end,

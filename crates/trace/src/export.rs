@@ -47,23 +47,46 @@ pub fn chrome_trace(rec: &Recorder) -> String {
                 "i",
                 String::from("{}"),
             ),
-            TraceEvent::HandlerEnter { event, domain } => (
+            TraceEvent::HandlerEnter {
+                event,
+                domain,
+                span,
+            } => (
                 format!("{} [{}]", rec.name(event), rec.name(domain)),
                 "handler",
                 "B",
-                String::from("{}"),
+                format!("{{\"span\": {span}}}"),
             ),
-            TraceEvent::HandlerExit { event, domain } => (
+            TraceEvent::HandlerExit {
+                event,
+                domain,
+                span,
+            } => (
                 format!("{} [{}]", rec.name(event), rec.name(domain)),
                 "handler",
                 "E",
-                String::from("{}"),
+                format!("{{\"span\": {span}}}"),
             ),
             TraceEvent::Drop { layer, reason } => (
                 format!("drop {}: {}", rec.name(layer), rec.name(reason)),
                 "drop",
                 "i",
                 String::from("{}"),
+            ),
+            TraceEvent::PacketTx {
+                nic,
+                bytes,
+                wait_ns,
+                ser_ns,
+                prop_ns,
+            } => (
+                format!("packet tx ({})", rec.name(nic)),
+                "packet",
+                "i",
+                format!(
+                    "{{\"bytes\": {bytes}, \"wait_ns\": {wait_ns}, \
+                     \"ser_ns\": {ser_ns}, \"prop_ns\": {prop_ns}}}"
+                ),
             ),
             TraceEvent::TimerFire => (String::from("timer"), "timer", "i", String::from("{}")),
             TraceEvent::Crossing { dir, bytes } => (
@@ -180,8 +203,9 @@ mod tests {
         let ev = rec.intern("udp_recv");
         let dom = rec.intern("rtt-extension");
         rec.guard_eval(1_300, ev, GuardKind::Verified, true);
-        rec.handler_enter(1_600, ev, dom);
-        rec.handler_exit(5_600, ev, dom);
+        let span = rec.handler_enter(1_600, ev, dom);
+        rec.packet_tx(4_000, "Ethernet", 60, 0, 500, 1_000);
+        rec.handler_exit(5_600, ev, dom, span);
         rec.crossing(6_000, CrossDir::KernelToUser, 8);
         rec.packet_done();
         rec.packet_drop(9_000, "ip", "no_route");
@@ -202,6 +226,9 @@ mod tests {
             "udp_recv [rtt-extension]",
             "\"ph\": \"B\"",
             "\"ph\": \"E\"",
+            "\"span\": 0",
+            "packet tx (Ethernet)",
+            "\"ser_ns\": 500",
             "drop ip: no_route",
             "crossing kernel->user",
             "timer",

@@ -1,6 +1,7 @@
-//! Minimal JSON utilities: string escaping for the exporters and a
-//! well-formedness validator so tests and the CLI can self-check emitted
-//! output without a JSON dependency (the workspace is offline).
+//! Minimal JSON utilities: string escaping for the exporters, a
+//! well-formedness validator, and a small document parser so tools like
+//! `plexus-bench-diff` can read reports back without a JSON dependency
+//! (the workspace is offline).
 
 /// Escapes `s` for inclusion inside a JSON string literal (no surrounding
 /// quotes added).
@@ -20,18 +21,86 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-/// Checks that `s` is one well-formed JSON value. Returns the byte offset
-/// and message of the first error.
-pub fn validate(s: &str) -> Result<(), String> {
+/// A parsed JSON value. Object members keep their document order (our
+/// emitters are deterministic, so order carries meaning in tests).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish integer kinds).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object; `None` for other kinds or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an unsigned integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `s` as one JSON document. Returns the byte offset and message
+/// of the first error.
+pub fn parse(s: &str) -> Result<Value, String> {
     let b = s.as_bytes();
     let mut p = Parser { b, pos: 0 };
     p.skip_ws();
-    p.value()?;
+    let v = p.value()?;
     p.skip_ws();
     if p.pos != b.len() {
         return Err(format!("trailing data at byte {}", p.pos));
     }
-    Ok(())
+    Ok(v)
+}
+
+/// Checks that `s` is one well-formed JSON value. Returns the byte offset
+/// and message of the first error.
+pub fn validate(s: &str) -> Result<(), String> {
+    parse(s).map(|_| ())
 }
 
 struct Parser<'a> {
@@ -72,101 +141,148 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<(), String> {
+    fn value(&mut self) -> Result<Value, String> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Value::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
     }
 
-    fn object(&mut self) -> Result<(), String> {
+    fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
         self.skip_ws();
+        let mut members = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Obj(members));
         }
         loop {
             self.skip_ws();
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
-            self.value()?;
+            let val = self.value()?;
+            members.push((key, val));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Value::Obj(members));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
             }
         }
     }
 
-    fn array(&mut self) -> Result<(), String> {
+    fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
         self.skip_ws();
+        let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Arr(items));
         }
         loop {
             self.skip_ws();
-            self.value()?;
+            items.push(self.value()?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<(), String> {
+    fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
+        let mut out = String::new();
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(out);
                 }
                 Some(b'\\') => {
                     self.pos += 1;
                     match self.peek() {
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
-                            self.pos += 1;
-                        }
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
                         Some(b'u') => {
                             self.pos += 1;
-                            for _ in 0..4 {
-                                match self.peek() {
-                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
-                                    _ => return Err(self.err("bad \\u escape")),
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by \uXXXX low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                self.literal("\\u")
+                                    .map_err(|_| self.err("lone high surrogate"))?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("bad low surrogate"));
                                 }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("bad \\u escape")),
                             }
+                            continue;
                         }
                         _ => return Err(self.err("bad escape")),
                     }
+                    self.pos += 1;
                 }
                 Some(c) if c < 0x20 => return Err(self.err("raw control char in string")),
-                Some(_) => self.pos += 1,
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe).
+                    let rest = &self.b[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
             }
         }
     }
 
-    fn number(&mut self) -> Result<(), String> {
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            match self.peek() {
+                Some(c) if c.is_ascii_hexdigit() => {
+                    cp = cp * 16 + (c as char).to_digit(16).expect("hex digit");
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("bad \\u escape")),
+            }
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
@@ -203,7 +319,10 @@ impl Parser<'_> {
                 return Err(self.err("expected exponent digits"));
             }
         }
-        Ok(())
+        let text = std::str::from_utf8(&self.b[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("number out of range"))
     }
 }
 
@@ -235,5 +354,40 @@ mod tests {
     fn escape_round_trips_through_validate() {
         let s = format!("{{\"k\": \"{}\"}}", escape("a\"b\\c\nd\te\u{1}"));
         assert!(validate(&s).is_ok(), "{s}");
+    }
+
+    #[test]
+    fn parse_builds_the_document_tree() {
+        let v = parse(r#"{"name": "fig5", "metrics": [{"mean_us": 18.253, "n": 3}]}"#).unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("fig5"));
+        let metrics = v.get("metrics").and_then(Value::as_arr).unwrap();
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(
+            metrics[0].get("mean_us").and_then(Value::as_f64),
+            Some(18.253)
+        );
+        assert_eq!(metrics[0].get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_unescapes_strings() {
+        let v = parse(r#""a\"b\\c\ndAé""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\u{41}\u{e9}"));
+        // Escape then parse is identity.
+        let original = "tabs\tquotes\" and \\ and control\u{2} é";
+        let doc = format!("\"{}\"", escape(original));
+        assert_eq!(parse(&doc).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn parse_handles_surrogate_pairs_and_rejects_lone_ones() {
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("\u{1f600}"));
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap().as_str(),
+            Some("\u{1f600}")
+        );
+        assert!(parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(parse(r#""\ude00""#).is_err(), "lone low surrogate");
     }
 }

@@ -31,7 +31,9 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flame;
 pub mod json;
+pub mod profile;
 
 mod recorder;
 mod registry;
@@ -110,6 +112,11 @@ pub enum TraceEvent {
         event: Label,
         /// Interned owning domain (extension or kernel subsystem).
         domain: Label,
+        /// Span-correlation ID, unique per recorder. The matching
+        /// [`TraceEvent::HandlerExit`] carries the same value, so the
+        /// profiler can pair enter/exit records even when ring wraparound
+        /// has dropped part of the stream.
+        span: u64,
     },
     /// A handler finished executing.
     HandlerExit {
@@ -117,6 +124,8 @@ pub enum TraceEvent {
         event: Label,
         /// Interned owning domain.
         domain: Label,
+        /// Span-correlation ID matching the enter record.
+        span: u64,
     },
     /// A packet (or handler) was dropped/terminated.
     Drop {
@@ -124,6 +133,24 @@ pub enum TraceEvent {
         layer: Label,
         /// Interned reason.
         reason: Label,
+    },
+    /// A frame was handed to a NIC's transmitter. Timestamped at the
+    /// instant the driver finished its CPU work (`ready_at`); the wire
+    /// costs that follow are carried as explicit durations so the profiler
+    /// can account queueing, serialization, and propagation separately
+    /// from CPU time.
+    PacketTx {
+        /// Interned NIC/device name.
+        nic: Label,
+        /// Frame length in bytes.
+        bytes: u32,
+        /// Time the frame waited for the transmitter (ring backlog or a
+        /// busy half-duplex medium) before serialization started.
+        wait_ns: u64,
+        /// Serialization time on the wire.
+        ser_ns: u64,
+        /// One-way propagation to the receiving NIC(s).
+        prop_ns: u64,
     },
     /// A cancelable timer fired in the engine.
     TimerFire,

@@ -45,6 +45,7 @@ pub struct Recorder {
     interner: RefCell<Interner>,
     next_seq: Cell<u64>,
     next_packet: Cell<u64>,
+    next_span: Cell<u64>,
     current_packet: Cell<Option<u64>>,
 }
 
@@ -57,6 +58,7 @@ impl Recorder {
             interner: RefCell::new(Interner::default()),
             next_seq: Cell::new(0),
             next_packet: Cell::new(0),
+            next_span: Cell::new(0),
             current_packet: Cell::new(None),
         })
     }
@@ -175,16 +177,35 @@ impl Recorder {
         self.count(Scope::Guard, event, metric, 1);
     }
 
-    /// A handler began executing.
-    pub fn handler_enter(&self, at_ns: u64, event: Label, domain: Label) {
-        self.push(at_ns, TraceEvent::HandlerEnter { event, domain });
+    /// A handler began executing. Returns the span-correlation ID the
+    /// caller must hand back to [`Recorder::handler_exit`] so the profiler
+    /// can pair the records even across ring wraparound.
+    pub fn handler_enter(&self, at_ns: u64, event: Label, domain: Label) -> u64 {
+        let span = self.next_span.get();
+        self.next_span.set(span + 1);
+        self.push(
+            at_ns,
+            TraceEvent::HandlerEnter {
+                event,
+                domain,
+                span,
+            },
+        );
         self.count(Scope::Handler, event, "invocations", 1);
         self.count(Scope::Domain, domain, "invocations", 1);
+        span
     }
 
-    /// A handler finished executing.
-    pub fn handler_exit(&self, at_ns: u64, event: Label, domain: Label) {
-        self.push(at_ns, TraceEvent::HandlerExit { event, domain });
+    /// A handler finished executing; `span` is the ID its enter returned.
+    pub fn handler_exit(&self, at_ns: u64, event: Label, domain: Label, span: u64) {
+        self.push(
+            at_ns,
+            TraceEvent::HandlerExit {
+                event,
+                domain,
+                span,
+            },
+        );
     }
 
     /// An over-budget ephemeral handler was terminated (§3.3).
@@ -207,6 +228,36 @@ impl Recorder {
         let reason = self.intern(reason);
         self.push(at_ns, TraceEvent::Drop { layer, reason });
         self.count(Scope::Drop, reason, "count", 1);
+    }
+
+    /// A frame was handed to a NIC's transmitter at `at_ns` (the instant
+    /// the driver's CPU work finished); the wire costs follow as explicit
+    /// durations. Attributed to the packet currently in flight, if any —
+    /// for a forwarded or echoed frame that is the packet being answered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn packet_tx(
+        &self,
+        at_ns: u64,
+        nic: &str,
+        bytes: usize,
+        wait_ns: u64,
+        ser_ns: u64,
+        prop_ns: u64,
+    ) {
+        let nic = self.intern(nic);
+        self.push(
+            at_ns,
+            TraceEvent::PacketTx {
+                nic,
+                bytes: bytes as u32,
+                wait_ns,
+                ser_ns,
+                prop_ns,
+            },
+        );
+        self.count(Scope::Packet, nic, "tx_frames", 1);
+        self.count(Scope::Packet, nic, "tx_bytes", bytes as u64);
+        self.count(Scope::Packet, nic, "tx_wait_ns", wait_ns);
     }
 
     /// A cancelable engine timer fired.
@@ -252,16 +303,20 @@ mod tests {
         let p0 = rec.packet_arrival(100, "Ethernet", 60);
         let ev = rec.intern("eth_recv");
         let dom = rec.intern("kernel");
-        rec.handler_enter(150, ev, dom);
+        let span = rec.handler_enter(150, ev, dom);
+        assert_eq!(span, 0, "span IDs start at zero");
+        assert_eq!(rec.handler_enter(160, ev, dom), 1, "span IDs are dense");
+        rec.handler_exit(170, ev, dom, 1);
+        rec.handler_exit(180, ev, dom, span);
         rec.packet_done();
         let p1 = rec.packet_arrival(900, "Ethernet", 61);
         rec.packet_done();
         assert_eq!((p0, p1), (0, 1));
         let evs = rec.events();
-        assert_eq!(evs.len(), 3);
+        assert_eq!(evs.len(), 6);
         assert_eq!(evs[0].packet, Some(0));
         assert_eq!(evs[1].packet, Some(0), "handler attributed to packet 0");
-        assert_eq!(evs[2].packet, Some(1));
+        assert_eq!(evs[5].packet, Some(1));
         assert_eq!(evs[1].at_ns, 150);
         // Counters landed.
         let key = CounterKey {

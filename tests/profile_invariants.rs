@@ -1,0 +1,172 @@
+//! End-to-end invariants of the cycle-accounting profiler (`trace::profile`).
+//!
+//! The two load-bearing properties:
+//!
+//! 1. **Attribution invariant** — per packet, the attribution slices tile
+//!    the window between the packet's first and last record exactly:
+//!    every simulated nanosecond is charged to exactly one
+//!    `(layer, domain, handler)` triple, none twice, none lost.
+//! 2. **Waterfall exactness** — for the ping-pong scenarios, each round's
+//!    waterfall segments sum to the *measured* RTT (the number the Figure
+//!    5 benchmark reports), not an approximation of it.
+
+use std::rc::Rc;
+
+use plexus::trace::flame::folded;
+use plexus::trace::profile::{pingpong_waterfall, profile_json, Profile, Slice};
+use plexus::trace::{json, Recorder};
+use plexus_bench::udp_rtt::{udp_rtt_traced, Link};
+
+const ROUNDS: u32 = 20;
+
+fn traced_run(interrupt: bool) -> (Vec<u64>, Rc<Recorder>) {
+    let recorder = Recorder::new(1 << 16);
+    let rtts = udp_rtt_traced(interrupt, &Link::ethernet(), 8, ROUNDS, &recorder);
+    (rtts, recorder)
+}
+
+#[test]
+fn waterfall_segments_sum_to_the_measured_rtt_exactly() {
+    for interrupt in [true, false] {
+        let (rtts, recorder) = traced_run(interrupt);
+        assert_eq!(rtts.len(), ROUNDS as usize);
+        let profile = Profile::build(&recorder);
+        assert!(profile.truncation.clean(), "ring must not wrap in this run");
+        let waterfall =
+            pingpong_waterfall(&profile, "rtt-bench").expect("ping-pong waterfall builds");
+        assert_eq!(waterfall.rounds.len(), ROUNDS as usize);
+        for (round, measured) in waterfall.rounds.iter().zip(&rtts) {
+            assert_eq!(
+                round.rtt_ns, *measured,
+                "round {} (interrupt={interrupt}): waterfall RTT must be the \
+                 measured RTT, not an approximation",
+                round.round
+            );
+            let segment_sum: u64 = round.segments.iter().map(|s| s.ns).sum();
+            assert_eq!(
+                segment_sum, round.rtt_ns,
+                "round {} (interrupt={interrupt}): segments must sum to the RTT \
+                 exactly; segments: {:?}",
+                round.round, round.segments
+            );
+        }
+    }
+}
+
+#[test]
+fn every_simulated_nanosecond_is_attributed_exactly_once() {
+    let (_, recorder) = traced_run(true);
+    let profile = Profile::build(&recorder);
+    assert!(!profile.packets.is_empty());
+    for pkt in &profile.packets {
+        assert!(!pkt.orphan);
+        // Slices tile [first_ns, last_ns]: contiguous, in order, no gaps.
+        let mut cursor = pkt.first_ns;
+        for s in &pkt.slices {
+            assert_eq!(
+                s.start_ns, cursor,
+                "packet {}: slice gap/overlap",
+                pkt.packet
+            );
+            assert!(s.end_ns >= s.start_ns);
+            cursor = s.end_ns;
+        }
+        assert_eq!(
+            cursor, pkt.last_ns,
+            "packet {}: window not covered",
+            pkt.packet
+        );
+        assert_eq!(pkt.attributed_ns(), pkt.last_ns - pkt.first_ns);
+    }
+}
+
+#[test]
+fn span_trees_conserve_time_between_self_and_children() {
+    let (_, recorder) = traced_run(true);
+    let profile = Profile::build(&recorder);
+    fn check(span: &plexus::trace::profile::Span) {
+        assert!(span.complete, "no truncated spans in a clean run");
+        assert_eq!(span.total_ns, span.exit_ns - span.enter_ns);
+        let child_sum: u64 = span.children.iter().map(|c| c.total_ns).sum();
+        assert_eq!(span.child_ns, child_sum);
+        assert_eq!(span.self_ns, span.total_ns - span.child_ns);
+        for c in &span.children {
+            assert!(c.enter_ns >= span.enter_ns && c.exit_ns <= span.exit_ns);
+            check(c);
+        }
+    }
+    let mut spans = 0;
+    for pkt in &profile.packets {
+        for s in &pkt.spans {
+            check(s);
+            spans += 1;
+        }
+    }
+    assert!(spans > 0, "the run must produce handler spans");
+}
+
+#[test]
+fn aggregate_and_folded_cover_all_attributed_time() {
+    let (_, recorder) = traced_run(true);
+    let profile = Profile::build(&recorder);
+    let attributed: u64 = profile.packets.iter().map(|p| p.attributed_ns()).sum();
+    let aggregate_total: u64 = profile.aggregate().iter().map(|s| s.total_ns).sum();
+    assert_eq!(aggregate_total, attributed);
+    let folded_total: u64 = folded(&profile)
+        .lines()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(folded_total, attributed);
+}
+
+#[test]
+fn profile_json_validates_and_wire_time_telescopes() {
+    let (_, recorder) = traced_run(true);
+    let profile = Profile::build(&recorder);
+    let waterfall = pingpong_waterfall(&profile, "rtt-bench").unwrap();
+    let body = profile_json(&profile, Some(&waterfall), 64);
+    json::validate(&body).expect("profile JSON well-formed");
+    assert!(body.contains("\"schema\": \"plexus.profile.v1\""));
+    assert!(body.contains("\"waterfall\""));
+
+    // The wire phases telescope: a reply frame's handover instant plus its
+    // wait + serialize + propagate equals the next packet's arrival.
+    for pair in profile.packets.windows(2) {
+        let (req, rep) = (&pair[0], &pair[1]);
+        if rep.packet != req.packet + 1 || req.packet % 2 != 0 {
+            continue;
+        }
+        let tx = req.txs.first().expect("request chain transmits the reply");
+        assert_eq!(
+            tx.at_ns + tx.wait_ns + tx.ser_ns + tx.prop_ns,
+            rep.first_ns,
+            "packets {}->{}: handover + wire phases must equal next arrival",
+            req.packet,
+            rep.packet
+        );
+    }
+}
+
+#[test]
+fn guard_and_dispatch_cost_is_separated_from_handler_bodies() {
+    let (_, recorder) = traced_run(true);
+    let profile = Profile::build(&recorder);
+    let kernel_overhead: u64 = profile
+        .packets
+        .iter()
+        .flat_map(|p| &p.slices)
+        .filter(|s: &&Slice| {
+            s.at.domain == "kernel" && matches!(s.at.handler.as_str(), "guard" | "dispatch")
+        })
+        .map(Slice::ns)
+        .sum();
+    let app_time: u64 = profile
+        .packets
+        .iter()
+        .flat_map(|p| &p.slices)
+        .filter(|s: &&Slice| s.at.domain == "rtt-bench")
+        .map(Slice::ns)
+        .sum();
+    assert!(kernel_overhead > 0, "demux/guard work must be visible");
+    assert!(app_time > 0, "the extension's own time must be visible");
+}

@@ -7,6 +7,8 @@
 use std::rc::Rc;
 
 use plexus::trace::export::{chrome_trace, stats_json};
+use plexus::trace::flame::folded;
+use plexus::trace::profile::{pingpong_waterfall, profile_json, Profile};
 use plexus::trace::{json, CounterKey, Recorder, Scope, TraceEvent};
 use plexus_bench::udp_rtt::{udp_rtt_traced, Link};
 
@@ -131,6 +133,25 @@ fn packet_ids_thread_from_nic_into_events() {
         attributed > 0,
         "no guard/handler events attributed to packets"
     );
+}
+
+#[test]
+fn profile_and_flamegraph_are_byte_identical_across_runs() {
+    let (a, _) = traced_run(true);
+    let (b, _) = traced_run(true);
+    let (pa, pb) = (Profile::build(&a), Profile::build(&b));
+    assert_eq!(pa, pb, "profiles derived from identical runs match");
+
+    let (wa, wb) = (
+        pingpong_waterfall(&pa, "rtt-bench").expect("waterfall builds"),
+        pingpong_waterfall(&pb, "rtt-bench").expect("waterfall builds"),
+    );
+    let json_a = profile_json(&pa, Some(&wa), 64);
+    let json_b = profile_json(&pb, Some(&wb), 64);
+    assert_eq!(json_a, json_b, "profile JSON is byte-identical");
+    json::validate(&json_a).expect("profile JSON well-formed");
+    assert_eq!(folded(&pa), folded(&pb), "folded stacks are byte-identical");
+    assert!(!folded(&pa).is_empty());
 }
 
 #[test]
