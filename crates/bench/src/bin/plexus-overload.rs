@@ -1,0 +1,108 @@
+//! Overload/throughput sweep: open-loop UDP load from 0.1x to 4x of line
+//! rate against the per-packet and coalesced receive paths, for a UDP
+//! echo server and the §5.2 in-kernel UDP forwarder.
+//!
+//! Per load point: goodput, latency percentiles, and a drop-cause
+//! breakdown (generator tx-ring shed, DUT rx-ring shed, no-handler).
+//!
+//! Run with `cargo run -p plexus-bench --bin plexus-overload`.
+
+use plexus_bench::overload::{sweep, LoadPoint, RxMode, Workload, MEASURE, PAYLOAD};
+use plexus_bench::report::{self, BenchReport};
+use plexus_bench::table;
+use plexus_bench::udp_rtt::Link;
+
+fn percentile_us(samples_ns: &[u64], q: f64) -> f64 {
+    let mut v = samples_ns.to_vec();
+    v.sort_unstable();
+    let rank = ((q / 100.0) * v.len() as f64).ceil() as usize;
+    v[rank.clamp(1, v.len()) - 1] as f64 / 1000.0
+}
+
+fn add_point(report: &mut BenchReport, w: Workload, m: RxMode, p: &LoadPoint) {
+    let key = format!("{}.{}.{}", w.key(), m.key(), p.label());
+    report.latency_from_ns(&format!("{key}/latency"), &p.latency_ns);
+    report.scalar(&format!("{key}/goodput"), p.goodput_pps, "pps");
+    report.count(&format!("{key}/sent"), p.sent);
+    report.count(&format!("{key}/completed"), p.completed);
+    report.count(&format!("{key}/gen_tx_ring_drops"), p.gen_tx_ring_drops);
+    report.count(&format!("{key}/rx_ring_drops"), p.rx_ring_drops);
+    report.count(&format!("{key}/rx_no_handler"), p.rx_no_handler);
+    report.count(&format!("{key}/rx_interrupts"), p.rx_interrupts);
+    report.count(&format!("{key}/rx_frames"), p.rx_frames);
+    report.count(&format!("{key}/rx_ring_highwater"), p.rx_ring_highwater);
+}
+
+fn render(points: &[LoadPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label(),
+                p.sent.to_string(),
+                format!("{:.0}", p.goodput_pps),
+                format!("{:.0}", percentile_us(&p.latency_ns, 50.0)),
+                format!("{:.0}", percentile_us(&p.latency_ns, 99.0)),
+                p.gen_tx_ring_drops.to_string(),
+                p.rx_ring_drops.to_string(),
+                format!("{:.1}", p.frames_per_interrupt()),
+                p.rx_ring_highwater.to_string(),
+            ]
+        })
+        .collect();
+    table::render(
+        &[
+            "load",
+            "offered",
+            "goodput/s",
+            "p50 (us)",
+            "p99 (us)",
+            "tx shed",
+            "rx shed",
+            "frm/irq",
+            "ring hi",
+        ],
+        &rows,
+    )
+}
+
+fn main() {
+    let link = Link::t3();
+    println!(
+        "Overload sweep: {} B UDP payload over {}, {} ms window per point",
+        PAYLOAD,
+        link.profile.name,
+        MEASURE.as_micros() / 1000
+    );
+    println!();
+
+    let mut report = BenchReport::new("overload");
+    for workload in [Workload::UdpEcho, Workload::UdpForward] {
+        let what = match workload {
+            Workload::UdpEcho => "UDP echo (round trip at generator)",
+            Workload::UdpForward => "UDP forwarder (one-way at backend)",
+        };
+        for mode in [RxMode::PerPacket, RxMode::Coalesced] {
+            let how = match mode {
+                RxMode::PerPacket => "per-packet interrupts",
+                RxMode::Coalesced => "rx ring + coalescing",
+            };
+            println!("{what} — {how}:");
+            let points = sweep(workload, mode, &link);
+            println!("{}", render(&points));
+            for p in &points {
+                add_point(&mut report, workload, mode, p);
+            }
+        }
+    }
+    println!("The per-packet path pays the full driver fixed cost and interrupt");
+    println!("entry/exit per frame and queues its backlog on the CPU without bound:");
+    println!("past saturation the p99 stretches toward the whole measurement window.");
+    println!("The coalesced path amortizes those costs across each drained batch and");
+    println!("sheds overload at the bounded rx ring, so goodput rises and the p99");
+    println!("stays within ring-depth service times.");
+
+    report.count("payload_bytes", PAYLOAD as u64);
+    report.count("measure_window_us", MEASURE.as_micros());
+    report::emit(&report);
+}

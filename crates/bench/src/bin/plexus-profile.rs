@@ -28,6 +28,7 @@ use std::process::ExitCode;
 
 use plexus_apps::video::VideoConfig;
 use plexus_bench::fwd_latency::plexus_fwd_traced;
+use plexus_bench::overload::{run_point_traced, RxMode, Workload};
 use plexus_bench::udp_rtt::{udp_rtt_traced, Link};
 use plexus_bench::video_cpu::{video_server_utilization_traced, VideoSystem};
 use plexus_trace::flame::folded;
@@ -51,6 +52,10 @@ const SCENARIOS: &[(&str, &str)] = &[
     (
         "fig7_forwarding",
         "TCP echo through the in-kernel forwarder, 5 rounds (Figure 7)",
+    ),
+    (
+        "overload",
+        "UDP echo at 1/4 line rate on the coalesced rx path (overload sweep point)",
     ),
 ];
 
@@ -103,6 +108,24 @@ fn run_scenario(name: &str) -> Option<(std::rc::Rc<Recorder>, Scenario)> {
                 Scenario {
                     ring: 1 << 16,
                     detail: 16,
+                    app_domain: None,
+                },
+            ))
+        }
+        "overload" => {
+            let recorder = Recorder::new(1 << 18);
+            run_point_traced(
+                Workload::UdpEcho,
+                RxMode::Coalesced,
+                &Link::t3(),
+                (1, 4),
+                Some(&recorder),
+            );
+            Some((
+                recorder,
+                Scenario {
+                    ring: 1 << 18,
+                    detail: 8,
                     app_domain: None,
                 },
             ))

@@ -11,6 +11,7 @@ pub mod client_video;
 pub mod diff;
 pub mod fwd_latency;
 pub mod http_latency;
+pub mod overload;
 pub mod report;
 pub mod table;
 pub mod tcp_tput;

@@ -21,7 +21,6 @@ use plexus_kernel::dispatcher::{HandlerId, RaiseCtx};
 use plexus_kernel::domain::LinkedExtension;
 use plexus_net::ether::EtherType;
 use plexus_net::ip::{encapsulate as ip_encapsulate, proto, IpHeader};
-use plexus_net::mbuf::Mbuf;
 use plexus_net::tcp::{Actions, Tcb, TcpSegment, TcpState};
 use plexus_sim::engine::TimerHandle;
 use plexus_sim::time::SimDuration;
@@ -102,6 +101,9 @@ impl TcpManager {
         );
         let s = shared.clone();
         let m = mgr.clone();
+        // Scratch buffer reused across segments: parsing needs contiguous
+        // bytes, but the allocation should not recur per packet.
+        let scratch = std::cell::RefCell::new(Vec::new());
         shared.install_layer(
             shared.events.ip_recv,
             Some(guard.guard()),
@@ -109,10 +111,13 @@ impl TcpManager {
                 let model = ctx.lease.model().clone();
                 ctx.lease.charge(model.tcp_proc);
                 ctx.lease.charge(model.checksum(ev.payload.total_len()));
-                let bytes = ev.payload.to_vec();
+                let mut bytes = scratch.borrow_mut();
+                bytes.clear();
+                ev.payload.copy_into(0, ev.payload.total_len(), &mut bytes);
                 let Some(segment) = TcpSegment::parse(ev.src, ev.dst, &bytes) else {
                     return;
                 };
+                drop(bytes);
                 m.segments_in.set(m.segments_in.get() + 1);
                 let arg = TcpRecv {
                     src: ev.src,
@@ -505,8 +510,7 @@ impl TcpConn {
             ctx.lease.charge(model.tcp_proc);
             ctx.lease
                 .charge(model.checksum(seg.payload.len() + plexus_net::tcp::TCP_HDR_LEN));
-            let bytes = seg.to_bytes(self.local_ip, rip);
-            let payload = Mbuf::from_payload(64, &bytes);
+            let payload = seg.to_mbuf(self.local_ip, rip, 64);
             self.manager.shared.raise_ip_send(
                 ctx,
                 IpSendReq {

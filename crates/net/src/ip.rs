@@ -263,14 +263,18 @@ impl Reassembler {
     /// `(header, payload)`. Fragments are held until their group completes,
     /// at which point the reassembled `(header, payload)` is returned.
     pub fn offer(&mut self, dgram: &Mbuf, now_ns: u64) -> Option<(IpHeader, Mbuf)> {
-        let bytes = dgram.to_vec();
+        // Only the header is inspected up front: copy at most the largest
+        // legal IP header instead of flattening the whole datagram (the
+        // receive path offers every packet, so this runs per arrival).
+        let mut bytes = Vec::with_capacity(60);
+        dgram.copy_into(0, dgram.total_len().min(60), &mut bytes);
         let v: IpView = plexus_kernel::view::view(&bytes)?;
         if !v.checksum_ok() || v.version() != 4 {
             return None;
         }
         let hlen = v.header_len();
         let data_len = v.total_len().checked_sub(hlen)?;
-        if bytes.len() < hlen + data_len {
+        if dgram.total_len() < hlen + data_len {
             return None;
         }
         let hdr = IpHeader {
@@ -297,9 +301,9 @@ impl Reassembler {
             born_ns: now_ns,
         });
         let off = v.frag_offset();
-        group
-            .pieces
-            .push((off, bytes[hlen..hlen + data_len].to_vec()));
+        let mut piece = Vec::with_capacity(data_len);
+        dgram.copy_into(hlen, data_len, &mut piece);
+        group.pieces.push((off, piece));
         if !v.more_fragments() {
             group.total = Some(off + data_len);
         }
@@ -503,6 +507,26 @@ mod tests {
         let (h, p) = r.offer(&dgram, 0).expect("whole datagram");
         assert_eq!(h.protocol, proto::ICMP);
         assert_eq!(p.to_vec(), b"ping");
+    }
+
+    #[test]
+    fn offer_fast_path_allocates_no_clusters() {
+        // The pre-parse header peek is a bounded stack-of-the-Vec copy and
+        // the non-fragment result is a range view sharing the input's
+        // storage — offering a whole datagram must not touch the cluster
+        // pool. This pins the removal of the old full `to_vec()` flatten.
+        let hdr = IpHeader::simple(addr(1), addr(2), proto::UDP, 11);
+        let dgram = encapsulate(&hdr, Mbuf::from_payload(64, &[5u8; 900]));
+        let mut r = Reassembler::new();
+        let before = crate::mbuf::cluster_pool_stats();
+        let (_, p) = r.offer(&dgram, 0).expect("whole datagram");
+        let after = crate::mbuf::cluster_pool_stats();
+        assert_eq!(p.total_len(), 900);
+        assert_eq!(
+            after.allocated + after.reused + after.unpooled,
+            before.allocated + before.reused + before.unpooled,
+            "fast-path offer must not allocate cluster storage"
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! explicit copy-on-write when the cluster is shared — the Rust rendering
 //! of Figure 4's `GoodPacketRecv`.
 
+use std::cell::RefCell;
 use std::rc::Rc;
+
+use plexus_trace::{Recorder, Scope};
 
 /// Bytes of storage in a small mbuf cluster.
 pub const MLEN: usize = 128;
@@ -77,10 +80,184 @@ thread_local! {
     static ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
-fn new_cluster(size: usize) -> Rc<Vec<u8>> {
+/// Counters for the cluster free-list pool. All values are cumulative
+/// since the pool was last reset.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Clusters allocated fresh from the heap.
+    pub allocated: u64,
+    /// Clusters handed out from a free list (no heap allocation).
+    pub reused: u64,
+    /// Clusters returned to a free list at drop.
+    pub recycled: u64,
+    /// Clusters not recycled because another `Rc` holder was still live
+    /// when the owning mbuf dropped.
+    pub shared_at_drop: u64,
+    /// Clusters not recycled because they are not a pool size class or the
+    /// free list was full.
+    pub unpooled: u64,
+}
+
+/// Upper bound on retained clusters per size class; beyond this, retired
+/// clusters fall back to the heap so an overload burst cannot pin memory.
+const POOL_CAP: usize = 1024;
+
+struct Pool {
+    enabled: bool,
+    small: Vec<Rc<Vec<u8>>>,
+    large: Vec<Rc<Vec<u8>>>,
+    stats: PoolStats,
+    recorder: Option<Rc<Recorder>>,
+}
+
+impl Pool {
+    fn count(&self, metric: &'static str, delta: u64) {
+        if let Some(rec) = &self.recorder {
+            let label = rec.intern("mbuf-pool");
+            rec.count(Scope::App, label, metric, delta);
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool {
+        enabled: true,
+        small: Vec::new(),
+        large: Vec::new(),
+        stats: PoolStats::default(),
+        recorder: None,
+    });
+}
+
+/// Enables or disables the cluster pool (default: enabled). Disabling
+/// drops the free lists. Returns the previous setting.
+pub fn set_cluster_pool_enabled(on: bool) -> bool {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let was = p.enabled;
+        p.enabled = on;
+        if !on {
+            p.small.clear();
+            p.large.clear();
+        }
+        was
+    })
+}
+
+/// Whether the cluster pool is enabled.
+pub fn cluster_pool_enabled() -> bool {
+    POOL.with(|p| p.borrow().enabled)
+}
+
+/// Snapshot of the pool counters.
+pub fn cluster_pool_stats() -> PoolStats {
+    POOL.with(|p| p.borrow().stats)
+}
+
+/// Clears the free lists and zeroes the counters (leaves enablement and
+/// any installed recorder as-is). Benchmarks call this between phases so
+/// "allocations after warmup" is well-defined.
+pub fn reset_cluster_pool() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.small.clear();
+        p.large.clear();
+        p.stats = PoolStats::default();
+    })
+}
+
+/// Mirrors the pool counters into `recorder`'s registry as they change
+/// (`Scope::App`, label `mbuf-pool`, metrics `cluster.alloc` /
+/// `cluster.reuse` / `cluster.recycled`). Pass `None` to detach.
+pub fn set_cluster_pool_recorder(recorder: Option<Rc<Recorder>>) {
+    POOL.with(|p| p.borrow_mut().recorder = recorder)
+}
+
+/// Rounds a requested cluster size up to its pool size class. Requests
+/// beyond `MCLBYTES` are allocated exactly and bypass the pool.
+fn class_for(min: usize) -> usize {
+    if min <= MLEN {
+        MLEN
+    } else if min <= MCLBYTES {
+        MCLBYTES
+    } else {
+        min
+    }
+}
+
+/// Allocates (or reuses) a zero-filled cluster of at least `min` bytes.
+/// The returned `Rc` is uniquely held.
+fn new_cluster(min: usize) -> Rc<Vec<u8>> {
+    let size = class_for(min);
+    let pooled = POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if !p.enabled {
+            return None;
+        }
+        let hit = match size {
+            MLEN => p.small.pop(),
+            MCLBYTES => p.large.pop(),
+            _ => None,
+        };
+        if let Some(mut cluster) = hit {
+            Rc::get_mut(&mut cluster)
+                .expect("pooled cluster is uniquely held")
+                .fill(0);
+            p.stats.reused += 1;
+            p.count("cluster.reuse", 1);
+            Some(cluster)
+        } else {
+            None
+        }
+    });
+    if let Some(cluster) = pooled {
+        return cluster;
+    }
     #[cfg(test)]
     ALLOCS.with(|a| a.set(a.get() + 1));
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.stats.allocated += 1;
+        p.count("cluster.alloc", 1);
+    });
     Rc::new(vec![0u8; size])
+}
+
+/// Mutable access to a freshly obtained (uniquely held) cluster.
+fn cluster_mut(cluster: &mut Rc<Vec<u8>>) -> &mut Vec<u8> {
+    Rc::get_mut(cluster).expect("fresh cluster is uniquely held")
+}
+
+/// Offers a retired cluster back to the pool. Only accepted when this is
+/// the *last* reference (respecting `Rc` sharing: a cluster still viewed
+/// by another mbuf must not be handed out again) and the size is a pool
+/// class with free-list room.
+fn retire_cluster(cluster: Rc<Vec<u8>>) {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if !p.enabled {
+            return;
+        }
+        if Rc::strong_count(&cluster) != 1 {
+            p.stats.shared_at_drop += 1;
+            return;
+        }
+        let pooled_class = matches!(cluster.len(), MLEN | MCLBYTES);
+        let room = match cluster.len() {
+            MLEN => p.small.len() < POOL_CAP,
+            _ => p.large.len() < POOL_CAP,
+        };
+        if !pooled_class || !room {
+            p.stats.unpooled += 1;
+            return;
+        }
+        p.stats.recycled += 1;
+        p.count("cluster.recycled", 1);
+        match cluster.len() {
+            MLEN => p.small.push(cluster),
+            _ => p.large.push(cluster),
+        }
+    })
 }
 
 impl Mbuf {
@@ -104,24 +281,21 @@ impl Mbuf {
         let mut segments = Vec::new();
         let first_capacity = MCLBYTES.max(leading + 1) - leading;
         let first_len = payload.len().min(first_capacity);
-        let mut cluster = vec![0u8; (leading + first_len).max(MLEN)];
-        cluster[leading..leading + first_len].copy_from_slice(&payload[..first_len]);
-        #[cfg(test)]
-        ALLOCS.with(|a| a.set(a.get() + 1));
+        let mut cluster = new_cluster(leading + first_len);
+        cluster_mut(&mut cluster)[leading..leading + first_len]
+            .copy_from_slice(&payload[..first_len]);
         segments.push(Segment {
-            cluster: Rc::new(cluster),
+            cluster,
             off: leading,
             len: first_len,
         });
         let mut rest = &payload[first_len..];
         while !rest.is_empty() {
             let n = rest.len().min(MCLBYTES);
-            let mut cluster = vec![0u8; n];
-            cluster.copy_from_slice(&rest[..n]);
-            #[cfg(test)]
-            ALLOCS.with(|a| a.set(a.get() + 1));
+            let mut cluster = new_cluster(n);
+            cluster_mut(&mut cluster)[..n].copy_from_slice(&rest[..n]);
             segments.push(Segment {
-                cluster: Rc::new(cluster),
+                cluster,
                 off: 0,
                 len: n,
             });
@@ -233,8 +407,8 @@ impl Mbuf {
             s.len += n;
             return &mut s.bytes_mut()[..n];
         }
-        let size = n.max(MLEN);
-        let cluster = new_cluster(size);
+        let cluster = new_cluster(n);
+        let size = cluster.len();
         self.segments.insert(
             0,
             Segment {
@@ -262,7 +436,8 @@ impl Mbuf {
                 n = 0;
             } else {
                 n -= s.len;
-                self.segments.remove(0);
+                let seg = self.segments.remove(0);
+                retire_cluster(seg.cluster);
             }
         }
         self.segments.retain(|s| s.len > 0);
@@ -282,7 +457,9 @@ impl Mbuf {
                 n = 0;
             } else {
                 n -= last.len;
-                self.segments.pop();
+                if let Some(seg) = self.segments.pop() {
+                    retire_cluster(seg.cluster);
+                }
             }
         }
         self.segments.retain(|s| s.len > 0);
@@ -299,29 +476,29 @@ impl Mbuf {
         }
         // Gather the first n bytes into a fresh head cluster, keeping the
         // remainder of the chain.
-        let mut gathered = Vec::with_capacity(n.max(MLEN));
-        gathered.resize(LEADING_SPACE, 0);
+        let mut cluster = new_cluster(LEADING_SPACE + n);
+        let mut filled = LEADING_SPACE;
         let mut need = n;
         while need > 0 {
             let s = &mut self.segments[0];
             let take = s.len.min(need);
-            gathered.extend_from_slice(&s.bytes()[..take]);
+            cluster_mut(&mut cluster)[filled..filled + take].copy_from_slice(&s.bytes()[..take]);
+            filled += take;
             if take == s.len {
-                self.segments.remove(0);
+                let seg = self.segments.remove(0);
+                retire_cluster(seg.cluster);
             } else {
                 s.off += take;
                 s.len -= take;
             }
             need -= take;
         }
-        #[cfg(test)]
-        ALLOCS.with(|a| a.set(a.get() + 1));
         self.segments.insert(
             0,
             Segment {
                 off: LEADING_SPACE,
                 len: n,
-                cluster: Rc::new(gathered),
+                cluster,
             },
         );
         true
@@ -354,6 +531,33 @@ impl Mbuf {
             }
         }
         true
+    }
+
+    /// Appends `len` bytes starting at `off` onto `out` without building
+    /// an intermediate packet copy (BSD `m_copydata` into a growing
+    /// buffer). The segment walk is the same as [`Mbuf::read_at`]'s; this
+    /// is the hot-path alternative to `to_vec()` when the caller already
+    /// owns a reusable buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn copy_into(&self, mut off: usize, mut len: usize, out: &mut Vec<u8>) {
+        assert!(off + len <= self.total_len(), "copy_into out of bounds");
+        out.reserve(len);
+        for s in self.segments() {
+            if len == 0 {
+                break;
+            }
+            if off >= s.len() {
+                off -= s.len();
+                continue;
+            }
+            let take = (s.len() - off).min(len);
+            out.extend_from_slice(&s[off..off + take]);
+            len -= take;
+            off = 0;
+        }
     }
 
     /// Writes `data` at offset `off`, copy-on-write on shared clusters.
@@ -420,6 +624,17 @@ impl Clone for Mbuf {
     /// copy-on-write.
     fn clone(&self) -> Self {
         self.share()
+    }
+}
+
+impl Drop for Mbuf {
+    /// Offers the chain's clusters back to the free-list pool. A cluster
+    /// is recycled only when this mbuf held the last reference; clusters
+    /// still shared with a live mbuf are left to that holder.
+    fn drop(&mut self) {
+        for seg in self.segments.drain(..) {
+            retire_cluster(seg.cluster);
+        }
     }
 }
 
@@ -589,5 +804,123 @@ mod tests {
         m.pkthdr_mut().rcvif = Some(2);
         let s = m.share();
         assert_eq!(s.pkthdr().unwrap().rcvif, Some(2));
+    }
+
+    #[test]
+    fn copy_into_matches_to_vec_across_segments() {
+        let data: Vec<u8> = (0..=255).cycle().take(4500).map(|x| x as u8).collect();
+        let m = Mbuf::from_payload(LEADING_SPACE, &data);
+        assert!(m.segment_count() >= 2);
+        let mut out = Vec::new();
+        m.copy_into(0, m.total_len(), &mut out);
+        assert_eq!(out, m.to_vec());
+        out.clear();
+        m.copy_into(1000, 2000, &mut out);
+        assert_eq!(out, &data[1000..3000]);
+        // Appending: copy_into must not clobber what's already there.
+        let mut out = vec![0xFF];
+        m.copy_into(0, 4, &mut out);
+        assert_eq!(out, vec![0xFF, data[0], data[1], data[2], data[3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_into out of bounds")]
+    fn copy_into_past_end_panics() {
+        let m = Mbuf::from_payload(0, &[1, 2, 3]);
+        let mut out = Vec::new();
+        m.copy_into(2, 2, &mut out);
+    }
+
+    #[test]
+    fn dropped_clusters_are_recycled_and_reused() {
+        reset_cluster_pool();
+        let m = Mbuf::from_payload(LEADING_SPACE, &[7u8; 32]);
+        let before = allocs();
+        drop(m);
+        assert_eq!(cluster_pool_stats().recycled, 1);
+        // The next same-class allocation comes from the free list, zeroed.
+        let m2 = Mbuf::from_payload(LEADING_SPACE, &[0u8; 8]);
+        assert_eq!(allocs(), before, "reuse must not hit the heap");
+        assert_eq!(cluster_pool_stats().reused, 1);
+        assert_eq!(m2.to_vec(), vec![0u8; 8]);
+        // And no stale bytes from the previous tenant are visible.
+        let mut probe = Mbuf::from_payload(0, &[0u8; 0]);
+        drop(m2);
+        probe.prepend(4).copy_from_slice(&[0, 0, 0, 0]);
+        assert_eq!(probe.to_vec(), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn shared_clusters_are_never_handed_out_while_a_holder_is_live() {
+        reset_cluster_pool();
+        let m = Mbuf::from_payload(LEADING_SPACE, &[9u8; 16]);
+        let holder = m.share();
+        drop(m);
+        // The cluster is still referenced: it must NOT enter the pool.
+        assert_eq!(cluster_pool_stats().recycled, 0);
+        assert_eq!(cluster_pool_stats().shared_at_drop, 1);
+        let before = allocs();
+        let fresh = Mbuf::from_payload(LEADING_SPACE, &[1u8; 4]);
+        assert_eq!(allocs(), before + 1, "allocation must be fresh");
+        // The live holder's bytes are untouched.
+        assert_eq!(holder.to_vec(), vec![9u8; 16]);
+        drop(fresh);
+        drop(holder); // Last reference: now it recycles.
+        assert_eq!(cluster_pool_stats().recycled, 2);
+    }
+
+    #[test]
+    fn pooled_and_unpooled_runs_build_identical_packets() {
+        let build = || {
+            let mut m = Mbuf::from_payload(
+                LEADING_SPACE,
+                &(0..200).map(|x| x as u8).collect::<Vec<u8>>(),
+            );
+            m.prepend(8).copy_from_slice(&[0xAA; 8]);
+            m.trim_front(3);
+            m.trim_back(5);
+            let r = m.range(10, 100);
+            let mut out = m.to_vec();
+            out.extend(r.to_vec());
+            out
+        };
+        reset_cluster_pool();
+        let pooled: Vec<Vec<u8>> = (0..8).map(|_| build()).collect();
+        let was = set_cluster_pool_enabled(false);
+        let unpooled: Vec<Vec<u8>> = (0..8).map(|_| build()).collect();
+        set_cluster_pool_enabled(was);
+        assert_eq!(pooled, unpooled, "pooling must not change packet bytes");
+    }
+
+    #[test]
+    fn steady_state_churn_performs_zero_allocations_after_warmup() {
+        reset_cluster_pool();
+        let churn = || {
+            let mut m = Mbuf::from_payload(LEADING_SPACE, &[0x42u8; 512]);
+            m.prepend(42).fill(0x11);
+            m.trim_front(42);
+            drop(m);
+        };
+        churn(); // Warmup populates the free lists.
+        let before = allocs();
+        for _ in 0..100 {
+            churn();
+        }
+        assert_eq!(allocs(), before, "steady-state churn must recycle");
+        assert!(cluster_pool_stats().reused >= 100);
+    }
+
+    #[test]
+    fn disabled_pool_neither_recycles_nor_reuses() {
+        reset_cluster_pool();
+        let was = set_cluster_pool_enabled(false);
+        let m = Mbuf::from_payload(0, &[1u8; 16]);
+        drop(m);
+        let before = allocs();
+        let _m2 = Mbuf::from_payload(0, &[2u8; 16]);
+        assert_eq!(allocs(), before + 1);
+        assert_eq!(cluster_pool_stats().recycled, 0);
+        assert_eq!(cluster_pool_stats().reused, 0);
+        set_cluster_pool_enabled(was);
     }
 }

@@ -18,6 +18,7 @@ use plexus_kernel::view::{be16, be32, put_be16, put_be32, WireView};
 
 use crate::checksum::Checksum;
 use crate::ip::proto;
+use crate::mbuf::Mbuf;
 
 /// TCP header length (no options on the wire after the SYN's MSS option is
 /// folded into [`Tcb::mss`]; we keep headers fixed-size for simplicity).
@@ -151,6 +152,46 @@ impl TcpSegment {
         let sum = c.finish();
         put_be16(&mut b, 16, sum);
         b
+    }
+
+    /// Serializes straight into an mbuf with `leading` spare bytes ahead of
+    /// the TCP header for lower-layer encapsulation. The payload is copied
+    /// once (into the mbuf) instead of the twice [`TcpSegment::to_bytes`] +
+    /// `Mbuf::from_payload` would cost, and the checksum streams over the
+    /// mbuf chain in place.
+    pub fn to_mbuf(&self, src: Ipv4Addr, dst: Ipv4Addr, leading: usize) -> Mbuf {
+        let opt_len = if self.mss.is_some() && self.flags.syn {
+            4
+        } else {
+            0
+        };
+        let hdr_len = TCP_HDR_LEN + opt_len;
+        let len = hdr_len + self.payload.len();
+        let mut m = Mbuf::from_payload(leading + hdr_len, &self.payload);
+        let b = m.prepend(hdr_len);
+        put_be16(b, 0, self.src_port);
+        put_be16(b, 2, self.dst_port);
+        put_be32(b, 4, self.seq);
+        put_be32(b, 8, self.ack);
+        b[12] = ((hdr_len / 4) as u8) << 4;
+        b[13] = self.flags.to_wire();
+        put_be16(b, 14, self.window);
+        if opt_len > 0 {
+            b[TCP_HDR_LEN] = 2; // Kind: MSS.
+            b[TCP_HDR_LEN + 1] = 4; // Length.
+            put_be16(b, TCP_HDR_LEN + 2, self.mss.expect("checked"));
+        }
+        let mut c = Checksum::new();
+        c.add(&src.octets())
+            .add(&dst.octets())
+            .add_u16(proto::TCP as u16)
+            .add_u16(len as u16);
+        for seg in m.segments() {
+            c.add(seg);
+        }
+        let sum = c.finish();
+        m.write_at(16, &sum.to_be_bytes());
+        m
     }
 
     /// Parses and verifies the checksum. `None` on malformed/corrupt input.
@@ -991,6 +1032,37 @@ mod tests {
         assert!(TcpSegment::parse(ip(1), ip(2), &bad).is_none());
         // Wrong pseudo-header (spoofed address) rejected.
         assert!(TcpSegment::parse(ip(7), ip(2), &bytes).is_none());
+    }
+
+    #[test]
+    fn to_mbuf_matches_to_bytes_exactly() {
+        for mss in [None, Some(1460u16)] {
+            let seg = TcpSegment {
+                src_port: 7,
+                dst_port: 9,
+                seq: 0x1000,
+                ack: 0x2000,
+                flags: if mss.is_some() {
+                    TcpFlags::SYN
+                } else {
+                    TcpFlags::FIN_ACK
+                },
+                window: 8192,
+                mss,
+                payload: (0..200u8).collect(),
+            };
+            let bytes = seg.to_bytes(ip(1), ip(2));
+            let m = seg.to_mbuf(ip(1), ip(2), 64);
+            assert_eq!(m.to_vec(), bytes, "mss={mss:?}");
+            // The leading space really is there for lower layers.
+            let mut m2 = seg.to_mbuf(ip(1), ip(2), 64);
+            m2.prepend(64);
+            // And the wire form still parses + verifies.
+            assert_eq!(
+                TcpSegment::parse(ip(1), ip(2), &m.to_vec()).expect("valid"),
+                seg
+            );
+        }
     }
 
     #[test]

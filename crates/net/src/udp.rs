@@ -133,15 +133,26 @@ pub fn decapsulate(
     config: UdpConfig,
     packet: &Mbuf,
 ) -> Option<UdpDatagram> {
-    let bytes = packet.to_vec();
-    let v: UdpView = plexus_kernel::view::view(&bytes)?;
+    // Only the 8-byte header needs to be contiguous; the checksum walks
+    // the mbuf chain in place rather than flattening the datagram.
+    let mut hdr_bytes = Vec::with_capacity(UDP_HDR_LEN);
+    packet.copy_into(0, packet.total_len().min(UDP_HDR_LEN), &mut hdr_bytes);
+    let v: UdpView = plexus_kernel::view::view(&hdr_bytes)?;
     let udp_len = v.len();
-    if udp_len < UDP_HDR_LEN || udp_len > bytes.len() {
+    if udp_len < UDP_HDR_LEN || udp_len > packet.total_len() {
         return None;
     }
     if config.checksum && v.checksum_field() != 0 {
         let mut c = pseudo_header_sum(src, dst, udp_len);
-        c.add(&bytes[..udp_len]);
+        let mut remaining = udp_len;
+        for seg in packet.segments() {
+            let take = seg.len().min(remaining);
+            c.add(&seg[..take]);
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+        }
         if c.finish() != 0 {
             return None;
         }
@@ -190,6 +201,28 @@ mod tests {
         // Corruption is NOT caught — the §1.1 trade-off, made explicit.
         d.write_at(10, &[0xFF]);
         assert!(decapsulate(ip(1), ip(2), nocheck, &d).is_some());
+    }
+
+    #[test]
+    fn decapsulate_handles_chains_and_padding_without_cluster_allocs() {
+        // Build a datagram whose bytes span several mbuf segments with odd
+        // boundaries, then add trailing link-layer padding beyond udp_len:
+        // the in-place checksum walk must stop at udp_len and the whole
+        // parse must not allocate cluster storage (header peek is a small
+        // Vec, payload is a range view).
+        let payload = Mbuf::from_payload(64, &[0xA5u8; 301]);
+        let mut d = encapsulate(ip(1), ip(2), 40000, 53, UdpConfig::default(), payload);
+        d.append(Mbuf::from_payload(0, &[0u8; 17])); // Ethernet-style pad.
+        let before = crate::mbuf::cluster_pool_stats();
+        let got = decapsulate(ip(1), ip(2), UdpConfig::default(), &d).expect("valid");
+        let after = crate::mbuf::cluster_pool_stats();
+        assert_eq!(got.src_port, 40000);
+        assert_eq!(got.payload.to_vec(), vec![0xA5u8; 301]);
+        assert_eq!(
+            after.allocated + after.reused + after.unpooled,
+            before.allocated + before.reused + before.unpooled,
+            "decapsulate must not allocate cluster storage"
+        );
     }
 
     #[test]

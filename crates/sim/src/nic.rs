@@ -13,9 +13,10 @@
 //! hardware in non-promiscuous mode — the `net`/`core` crates do that.
 
 use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::rc::{Rc, Weak};
 
-use plexus_trace::Recorder;
+use plexus_trace::{Recorder, Scope};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,6 +60,20 @@ pub struct NicProfile {
     /// [`NicStats::tx_ring_drops`]). Real rings are bounded; an offered
     /// load far above line rate must shed, not queue forever.
     pub tx_ring_frames: usize,
+    /// Receive-ring depth (symmetric to `tx_ring_frames`), used only in
+    /// coalesced mode: frames arriving while the driver is busy queue
+    /// here; overflow sheds with the `rx_ring_drop` reason (counted in
+    /// [`NicStats::rx_ring_drops`]) so overload degrades instead of
+    /// queueing forever.
+    pub rx_ring_frames: usize,
+    /// Most frames one receive interrupt drains from the rx ring
+    /// (coalesced mode).
+    pub rx_batch: usize,
+    /// Driver CPU cost for each frame *after the first* in a drained
+    /// batch. The first frame of every interrupt pays the full
+    /// `rx_fixed`; coalescing amortizes only the fixed part — per-byte
+    /// PIO costs are still charged per frame.
+    pub rx_per_frame: SimDuration,
 }
 
 impl NicProfile {
@@ -79,6 +94,9 @@ impl NicProfile {
             dma_setup: SimDuration::ZERO,
             mtu: 1500,
             tx_ring_frames: 128,
+            rx_ring_frames: 128,
+            rx_batch: 16,
+            rx_per_frame: SimDuration::from_micros(10),
         }
     }
 
@@ -88,6 +106,7 @@ impl NicProfile {
             name: "Ethernet (fast driver)",
             tx_fixed: SimDuration::from_micros(32),
             rx_fixed: SimDuration::from_micros(31),
+            rx_per_frame: SimDuration::from_micros(6),
             ..NicProfile::ethernet_lance()
         }
     }
@@ -110,6 +129,9 @@ impl NicProfile {
             dma_setup: SimDuration::ZERO,
             mtu: 9180,
             tx_ring_frames: 128,
+            rx_ring_frames: 128,
+            rx_batch: 16,
+            rx_per_frame: SimDuration::from_micros(8),
         }
     }
 
@@ -119,6 +141,7 @@ impl NicProfile {
             name: "Fore ATM (fast driver)",
             tx_fixed: SimDuration::from_micros(28),
             rx_fixed: SimDuration::from_micros(31),
+            rx_per_frame: SimDuration::from_micros(6),
             ..NicProfile::fore_atm_tca100()
         }
     }
@@ -139,6 +162,9 @@ impl NicProfile {
             dma_setup: SimDuration::from_micros(8),
             mtu: 4470,
             tx_ring_frames: 128,
+            rx_ring_frames: 128,
+            rx_batch: 16,
+            rx_per_frame: SimDuration::from_micros(6),
         }
     }
 
@@ -169,6 +195,18 @@ impl NicProfile {
     /// CPU cost the receiving driver pays for a `len`-byte frame.
     pub fn rx_cpu_cost(&self, len: usize) -> SimDuration {
         self.rx_fixed + self.pio_read_per_byte.times(len as u64)
+    }
+
+    /// CPU cost for one frame of a coalesced batch. The first frame of an
+    /// interrupt pays the full [`rx_cpu_cost`](Self::rx_cpu_cost); later
+    /// frames pay only `rx_per_frame` plus the per-byte PIO tax (bytes
+    /// still have to cross the bus once per frame).
+    pub fn rx_cpu_cost_coalesced(&self, len: usize, first: bool) -> SimDuration {
+        if first {
+            self.rx_cpu_cost(len)
+        } else {
+            self.rx_per_frame + self.pio_read_per_byte.times(len as u64)
+        }
     }
 }
 
@@ -292,6 +330,17 @@ impl Medium {
 /// Receive callback: invoked (via the engine) when a frame arrives.
 pub type RxHandler = Box<dyn Fn(&mut Engine, Frame)>;
 
+/// Batched receive callback (coalesced mode): one interrupt hands the
+/// driver every frame drained from the rx ring. Returns the instant the
+/// driver finished its CPU work for the whole batch — the NIC stays
+/// "busy" until then, so frames arriving in the meantime queue on the
+/// ring instead of raising their own interrupts.
+///
+/// Per-frame recorder bookkeeping ([`Recorder::packet_arrival`] /
+/// `packet_done`) is the glue's responsibility in this mode, because only
+/// the glue knows when each frame's CPU work actually starts.
+pub type RxBatchHandler = Box<dyn Fn(&mut Engine, Vec<Frame>) -> SimTime>;
+
 /// Counters a NIC keeps about its own traffic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NicStats {
@@ -309,6 +358,13 @@ pub struct NicStats {
     pub tx_oversize: u64,
     /// Frames dropped because the transmit ring was full.
     pub tx_ring_drops: u64,
+    /// Frames shed because the receive ring was full (coalesced mode).
+    pub rx_ring_drops: u64,
+    /// Receive interrupts taken. In per-frame mode this equals
+    /// `rx_frames`; with coalescing it is the number of ring drains.
+    pub rx_interrupts: u64,
+    /// Highest rx-ring occupancy observed (coalesced mode).
+    pub rx_ring_highwater: u64,
 }
 
 /// A simulated network interface attached to one [`Medium`].
@@ -317,6 +373,10 @@ pub struct Nic {
     medium: Rc<Medium>,
     tx_free_at: Cell<SimTime>,
     rx_handler: RefCell<Option<RxHandler>>,
+    rx_batch_handler: RefCell<Option<RxBatchHandler>>,
+    rx_ring: RefCell<VecDeque<Frame>>,
+    rx_busy_until: Cell<SimTime>,
+    rx_drain_pending: Cell<bool>,
     stats: Cell<NicStats>,
     recorder: RefCell<Option<Rc<Recorder>>>,
     id: usize,
@@ -331,6 +391,10 @@ impl Nic {
             medium: medium.clone(),
             tx_free_at: Cell::new(SimTime::ZERO),
             rx_handler: RefCell::new(None),
+            rx_batch_handler: RefCell::new(None),
+            rx_ring: RefCell::new(VecDeque::new()),
+            rx_busy_until: Cell::new(SimTime::ZERO),
+            rx_drain_pending: Cell::new(false),
             stats: Cell::new(NicStats::default()),
             recorder: RefCell::new(None),
             id,
@@ -363,12 +427,28 @@ impl Nic {
     }
 
     /// Installs the receive handler (the driver's interrupt entry point).
-    /// Replaces any previous handler.
+    /// Replaces any previous handler and switches the NIC back to
+    /// per-frame interrupts if a batch handler was installed.
     pub fn set_rx_handler<F>(&self, handler: F)
     where
         F: Fn(&mut Engine, Frame) + 'static,
     {
         *self.rx_handler.borrow_mut() = Some(Box::new(handler));
+        *self.rx_batch_handler.borrow_mut() = None;
+    }
+
+    /// Installs a batched receive handler, switching the NIC to
+    /// interrupt-coalescing mode: a frame arriving while the driver is
+    /// busy joins the bounded rx ring instead of raising its own
+    /// interrupt, and each interrupt drains up to
+    /// [`NicProfile::rx_batch`] queued frames. Replaces any per-frame
+    /// handler.
+    pub fn set_rx_batch_handler<F>(&self, handler: F)
+    where
+        F: Fn(&mut Engine, Vec<Frame>) -> SimTime + 'static,
+    {
+        *self.rx_batch_handler.borrow_mut() = Some(Box::new(handler));
+        *self.rx_handler.borrow_mut() = None;
     }
 
     /// Hands a frame to the adapter at `ready_at` (when the driver finished
@@ -456,6 +536,10 @@ impl Nic {
     }
 
     fn deliver(self: Rc<Self>, engine: &mut Engine, frame: Frame) {
+        if self.rx_batch_handler.borrow().is_some() {
+            self.deliver_coalesced(engine, frame);
+            return;
+        }
         let mut stats = self.stats.get();
         // Take the handler out while it runs so a handler that reinstalls
         // itself doesn't alias the `RefCell` borrow.
@@ -464,6 +548,7 @@ impl Nic {
             Some(h) => {
                 stats.rx_frames += 1;
                 stats.rx_bytes += frame.len() as u64;
+                stats.rx_interrupts += 1;
                 self.stats.set(stats);
                 // Assign the per-packet ID here, at the moment the frame
                 // reaches the host: everything the rx chain records until
@@ -484,8 +569,131 @@ impl Nic {
             None => {
                 stats.rx_no_handler += 1;
                 self.stats.set(stats);
+                // Stamp a packet ID even though nobody will process the
+                // frame: the drop then lands in the recorder's per-packet
+                // vocabulary instead of surfacing as an orphaned record.
+                let rec = self.recorder.borrow().clone();
+                if let Some(rec) = &rec {
+                    rec.packet_arrival(engine.now().as_nanos(), self.profile.name, frame.len());
+                }
                 self.record_drop(engine.now(), "rx_no_handler");
+                if let Some(rec) = &rec {
+                    rec.packet_done();
+                }
             }
+        }
+    }
+
+    /// Coalesced-mode delivery: interrupt immediately when the driver is
+    /// idle, otherwise queue on the bounded rx ring (shedding with the
+    /// `rx_ring_drop` reason on overflow).
+    fn deliver_coalesced(self: Rc<Self>, engine: &mut Engine, frame: Frame) {
+        let now = engine.now();
+        let driver_busy = now < self.rx_busy_until.get()
+            || self.rx_drain_pending.get()
+            || !self.rx_ring.borrow().is_empty();
+        if !driver_busy {
+            self.run_rx_interrupt(engine, vec![frame]);
+            return;
+        }
+        let occupancy = {
+            let mut ring = self.rx_ring.borrow_mut();
+            if ring.len() >= self.profile.rx_ring_frames {
+                drop(ring);
+                let mut stats = self.stats.get();
+                stats.rx_ring_drops += 1;
+                self.stats.set(stats);
+                // Shed frames still get a packet ID so the drop is
+                // attributed, not orphaned.
+                let rec = self.recorder.borrow().clone();
+                if let Some(rec) = &rec {
+                    rec.packet_arrival(now.as_nanos(), self.profile.name, frame.len());
+                    rec.packet_drop(now.as_nanos(), self.profile.name, "rx_ring_drop");
+                    rec.packet_done();
+                }
+                return;
+            }
+            ring.push_back(frame);
+            ring.len() as u64
+        };
+        let mut stats = self.stats.get();
+        if occupancy > stats.rx_ring_highwater {
+            let delta = occupancy - stats.rx_ring_highwater;
+            stats.rx_ring_highwater = occupancy;
+            self.stats.set(stats);
+            // Exported as a counter that only ever grows up to the
+            // high-water mark, so its value *is* the high-water mark.
+            if let Some(rec) = self.recorder.borrow().as_ref() {
+                let nic = rec.intern(self.profile.name);
+                rec.count(Scope::Packet, nic, "rx.ring_highwater", delta);
+            }
+        } else {
+            self.stats.set(stats);
+        }
+        if !self.rx_drain_pending.get() {
+            self.rx_drain_pending.set(true);
+            let at = self.rx_busy_until.get().max(now);
+            let me = self.clone();
+            engine.schedule_at(at, move |eng| me.drain_rx_ring(eng));
+        }
+    }
+
+    fn drain_rx_ring(self: Rc<Self>, engine: &mut Engine) {
+        self.rx_drain_pending.set(false);
+        let batch: Vec<Frame> = {
+            let mut ring = self.rx_ring.borrow_mut();
+            let n = ring.len().min(self.profile.rx_batch.max(1));
+            ring.drain(..n).collect()
+        };
+        if batch.is_empty() {
+            return;
+        }
+        self.run_rx_interrupt(engine, batch);
+    }
+
+    /// Takes one receive interrupt for `frames`, invokes the batch
+    /// handler, and reschedules a drain if the ring refilled while the
+    /// driver worked.
+    fn run_rx_interrupt(self: &Rc<Self>, engine: &mut Engine, frames: Vec<Frame>) {
+        let mut stats = self.stats.get();
+        stats.rx_interrupts += 1;
+        stats.rx_frames += frames.len() as u64;
+        stats.rx_bytes += frames.iter().map(|f| f.len() as u64).sum::<u64>();
+        self.stats.set(stats);
+        if let Some(rec) = self.recorder.borrow().as_ref() {
+            let nic = rec.intern(self.profile.name);
+            rec.count(Scope::Packet, nic, "rx.interrupts", 1);
+            if frames.len() > 1 {
+                rec.count(
+                    Scope::Packet,
+                    nic,
+                    "rx.coalesced_frames",
+                    frames.len() as u64 - 1,
+                );
+            }
+            let hist = rec.intern("nic.rx_frames_per_interrupt");
+            rec.record_latency(hist, frames.len() as u64);
+        }
+        let handler = self.rx_batch_handler.borrow_mut().take();
+        let Some(h) = handler else {
+            // Mode switched away mid-flight; count the frames as unhandled.
+            let mut stats = self.stats.get();
+            stats.rx_no_handler += frames.len() as u64;
+            self.stats.set(stats);
+            return;
+        };
+        let done = h(engine, frames).max(engine.now());
+        {
+            let mut slot = self.rx_batch_handler.borrow_mut();
+            if slot.is_none() {
+                *slot = Some(h);
+            }
+        }
+        self.rx_busy_until.set(done);
+        if !self.rx_ring.borrow().is_empty() && !self.rx_drain_pending.get() {
+            self.rx_drain_pending.set(true);
+            let me = self.clone();
+            engine.schedule_at(done, move |eng| me.drain_rx_ring(eng));
         }
     }
 }
@@ -708,6 +916,180 @@ mod ring_tests {
         }
         assert_eq!(a.stats().tx_ring_drops, 0);
         assert_eq!(a.stats().tx_frames, 100);
+    }
+}
+
+#[cfg(test)]
+mod coalesce_tests {
+    use super::*;
+    use plexus_trace::TraceEvent;
+    use std::cell::RefCell as StdRefCell;
+
+    fn pair(profile: NicProfile) -> (Rc<Nic>, Rc<Nic>) {
+        let medium = Medium::new(SimDuration::ZERO, false);
+        (
+            Nic::new(NicProfile::dec_t3(), &medium),
+            Nic::new(profile, &medium),
+        )
+    }
+
+    #[test]
+    fn idle_driver_interrupts_immediately_per_frame() {
+        let (a, b) = pair(NicProfile::dec_t3());
+        let batches: Rc<StdRefCell<Vec<usize>>> = Rc::new(StdRefCell::new(Vec::new()));
+        let bt = batches.clone();
+        b.set_rx_batch_handler(move |eng, frames| {
+            bt.borrow_mut().push(frames.len());
+            eng.now() // instantly done: the driver is never busy
+        });
+        let mut engine = Engine::new();
+        a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 500]);
+        engine.run();
+        let now = engine.now();
+        a.transmit(&mut engine, now, vec![0u8; 500]);
+        engine.run();
+        assert_eq!(*batches.borrow(), vec![1, 1]);
+        assert_eq!(b.stats().rx_interrupts, 2);
+        assert_eq!(b.stats().rx_frames, 2);
+        assert_eq!(b.stats().rx_ring_highwater, 0, "ring never used");
+    }
+
+    #[test]
+    fn busy_driver_coalesces_queued_frames_into_one_interrupt() {
+        let (a, b) = pair(NicProfile::dec_t3());
+        let batches: Rc<StdRefCell<Vec<usize>>> = Rc::new(StdRefCell::new(Vec::new()));
+        let bt = batches.clone();
+        b.set_rx_batch_handler(move |eng, frames| {
+            bt.borrow_mut().push(frames.len());
+            // Slow driver: 5 ms per interrupt regardless of batch size.
+            eng.now() + SimDuration::from_micros(5_000)
+        });
+        let mut engine = Engine::new();
+        for _ in 0..9 {
+            a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 1000]);
+        }
+        engine.run();
+        // The first frame interrupts alone; the other eight arrive while
+        // the driver is busy and drain in one coalesced interrupt.
+        assert_eq!(*batches.borrow(), vec![1, 8]);
+        let stats = b.stats();
+        assert_eq!(stats.rx_interrupts, 2);
+        assert_eq!(stats.rx_frames, 9);
+        assert_eq!(stats.rx_ring_highwater, 8);
+        assert_eq!(stats.rx_ring_drops, 0);
+    }
+
+    #[test]
+    fn rx_batch_caps_frames_per_interrupt() {
+        let mut profile = NicProfile::dec_t3();
+        profile.rx_batch = 4;
+        let (a, b) = pair(profile);
+        let batches: Rc<StdRefCell<Vec<usize>>> = Rc::new(StdRefCell::new(Vec::new()));
+        let bt = batches.clone();
+        b.set_rx_batch_handler(move |eng, frames| {
+            bt.borrow_mut().push(frames.len());
+            eng.now() + SimDuration::from_micros(5_000)
+        });
+        let mut engine = Engine::new();
+        for _ in 0..9 {
+            a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 1000]);
+        }
+        engine.run();
+        assert_eq!(*batches.borrow(), vec![1, 4, 4]);
+        assert_eq!(b.stats().rx_interrupts, 3);
+    }
+
+    #[test]
+    fn overflowing_the_rx_ring_sheds_with_rx_ring_drop() {
+        let mut profile = NicProfile::dec_t3();
+        profile.rx_ring_frames = 4;
+        profile.rx_batch = 4;
+        let (a, b) = pair(profile);
+        let rec = Recorder::new(4096);
+        b.set_recorder(Some(rec.clone()));
+        b.set_rx_batch_handler(move |eng, _| eng.now() + SimDuration::from_micros(100_000));
+        let mut engine = Engine::new();
+        for _ in 0..20 {
+            a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 1000]);
+        }
+        engine.run();
+        let stats = b.stats();
+        // One immediate interrupt, four queued, fifteen shed.
+        assert_eq!(stats.rx_frames, 5);
+        assert_eq!(stats.rx_ring_drops, 15);
+        assert_eq!(stats.rx_ring_highwater, 4);
+        // Every shed frame got its own packet ID and an attributed drop.
+        let drops: Vec<_> = rec
+            .events()
+            .iter()
+            .filter(|r| {
+                matches!(&r.event, TraceEvent::Drop { reason, .. }
+                    if rec.name(*reason) == "rx_ring_drop")
+            })
+            .map(|r| r.packet)
+            .collect();
+        assert_eq!(drops.len(), 15);
+        assert!(drops.iter().all(Option::is_some), "drops must carry IDs");
+    }
+
+    #[test]
+    fn coalesced_delivery_preserves_arrival_order() {
+        let (a, b) = pair(NicProfile::dec_t3());
+        let seen: Rc<StdRefCell<Vec<u8>>> = Rc::new(StdRefCell::new(Vec::new()));
+        let s = seen.clone();
+        b.set_rx_batch_handler(move |eng, frames| {
+            for f in &frames {
+                s.borrow_mut().push(f[0]);
+            }
+            eng.now() + SimDuration::from_micros(1_000)
+        });
+        let mut engine = Engine::new();
+        for i in 0..12u8 {
+            a.transmit(&mut engine, SimTime::ZERO, vec![i; 200]);
+        }
+        engine.run();
+        let order = seen.borrow().clone();
+        assert_eq!(order, (0..12).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn installing_a_plain_handler_switches_back_to_per_frame_mode() {
+        let (a, b) = pair(NicProfile::dec_t3());
+        b.set_rx_batch_handler(|eng, _| eng.now());
+        let count = Rc::new(Cell::new(0u64));
+        let c = count.clone();
+        b.set_rx_handler(move |_, _| c.set(c.get() + 1));
+        let mut engine = Engine::new();
+        a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 100]);
+        engine.run();
+        assert_eq!(count.get(), 1);
+        assert_eq!(b.stats().rx_interrupts, 1);
+    }
+
+    #[test]
+    fn no_handler_drop_is_stamped_with_a_packet_id() {
+        let (a, b) = pair(NicProfile::dec_t3());
+        let rec = Recorder::new(256);
+        b.set_recorder(Some(rec.clone()));
+        let mut engine = Engine::new();
+        a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 64]);
+        engine.run();
+        assert_eq!(b.stats().rx_no_handler, 1);
+        let events = rec.events();
+        let arrival = events
+            .iter()
+            .find(|r| matches!(r.event, TraceEvent::PacketArrival { .. }))
+            .expect("arrival recorded");
+        let drop = events
+            .iter()
+            .find(|r| {
+                matches!(&r.event, TraceEvent::Drop { reason, .. }
+                    if rec.name(*reason) == "rx_no_handler")
+            })
+            .expect("drop recorded");
+        assert!(arrival.packet.is_some());
+        assert_eq!(drop.packet, arrival.packet, "drop attributed to the frame");
+        assert_eq!(rec.current_packet(), None, "packet closed after the drop");
     }
 }
 

@@ -254,11 +254,24 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(c) if c < 0x20 => return Err(self.err("raw control char in string")),
-                Some(_) => {
-                    // Copy one UTF-8 scalar (input is a &str, so slicing
-                    // at char boundaries is safe).
-                    let rest = &self.b[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
+                Some(c) if c < 0x80 => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                Some(lead) => {
+                    // Multibyte UTF-8: the lead byte fixes the scalar's
+                    // width, so only those bytes are re-checked — never
+                    // the whole tail of the document (validating the rest
+                    // per character made parsing quadratic, which on a
+                    // multi-megabyte chrome trace never finished).
+                    let len = match lead {
+                        0xF0.. => 4,
+                        0xE0.. => 3,
+                        _ => 2,
+                    };
+                    let end = (self.pos + len).min(self.b.len());
+                    let s = std::str::from_utf8(&self.b[self.pos..end])
+                        .map_err(|_| self.err("bad utf-8"))?;
                     let c = s.chars().next().expect("peeked non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -378,6 +391,23 @@ mod tests {
         let original = "tabs\tquotes\" and \\ and control\u{2} é";
         let doc = format!("\"{}\"", escape(original));
         assert_eq!(parse(&doc).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn megabyte_documents_parse_in_linear_time() {
+        // Regression guard for the quadratic string scan: a document this
+        // size hung for minutes before the per-scalar decode; linear
+        // parsing finishes instantly even unoptimized.
+        let member = format!("\"k\": \"{}é\"", "x".repeat(1023));
+        let doc = format!(
+            "[{}]",
+            std::iter::repeat_n(format!("{{{member}}}"), 1024)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        assert!(doc.len() > 1 << 20);
+        let v = parse(&doc).expect("well-formed");
+        assert_eq!(v.as_arr().map(<[Value]>::len), Some(1024));
     }
 
     #[test]

@@ -636,4 +636,107 @@ mod demux_equivalence {
             );
         }
     }
+
+    // -----------------------------------------------------------------------
+    // Batched raise: a batch of N packets must be observationally identical
+    // to N individual raises — same per-packet outcomes, same handler
+    // invocation order, same flight-recorder records (timestamps aside;
+    // amortizing the fixed dispatch charge is the whole point).
+    // -----------------------------------------------------------------------
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn batched_raise_equals_individual_raises(
+            guards in proptest::collection::vec(guard_kind(), 0..10),
+            packets in proptest::collection::vec((0u16..8, 0u16..8), 1..20),
+            initial_set in proptest::collection::vec(0u16..8, 0..4),
+        ) {
+            use plexus::trace::Recorder;
+
+            let shared = PortSet::new();
+            for p in &initial_set {
+                shared.insert(*p);
+            }
+            let single = Dispatcher::new();
+            let batched = Dispatcher::new();
+            single.enable_trace(256);
+            batched.enable_trace(256);
+
+            let log_one: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+            let log_bat: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+            let ev_one = single.define_event::<Dgram>("Udp.Batch");
+            let ev_bat = batched.define_event::<Dgram>("Udp.Batch");
+            for (i, kind) in guards.iter().enumerate() {
+                let l = log_one.clone();
+                single.install(
+                    ev_one,
+                    HandlerSpec::new(move |_, _: &Dgram| l.borrow_mut().push(i))
+                        .guard_opt(build_guard(kind, &shared)),
+                );
+                let l = log_bat.clone();
+                batched.install(
+                    ev_bat,
+                    HandlerSpec::new(move |_, _: &Dgram| l.borrow_mut().push(i))
+                        .guard_opt(build_guard(kind, &shared)),
+                );
+            }
+
+            // Separate CPUs with separate recorders, so the two record
+            // streams can be compared end to end.
+            let cpu_one = Cpu::new(CostModel::alpha_3000_400());
+            let cpu_bat = Cpu::new(CostModel::alpha_3000_400());
+            let rec_one = Recorder::new(4096);
+            let rec_bat = Recorder::new(4096);
+            cpu_one.set_recorder(Some(rec_one.clone()));
+            cpu_bat.set_recorder(Some(rec_bat.clone()));
+
+            let mut engine = Engine::new();
+            let mut outs_one = Vec::new();
+            let mut outs_bat = Vec::new();
+            {
+                let mut lease = cpu_one.begin(SimTime::ZERO);
+                let mut ctx = RaiseCtx { engine: &mut engine, lease: &mut lease };
+                for (src_port, dst_port) in &packets {
+                    let pkt = Dgram { src_port: *src_port, dst_port: *dst_port };
+                    outs_one.push(single.raise(&mut ctx, ev_one, &pkt));
+                }
+            }
+            {
+                let mut lease = cpu_bat.begin(SimTime::ZERO);
+                let mut ctx = RaiseCtx { engine: &mut engine, lease: &mut lease };
+                let mut batch = batched.batch(ev_bat);
+                for (src_port, dst_port) in &packets {
+                    let pkt = Dgram { src_port: *src_port, dst_port: *dst_port };
+                    outs_bat.push(batch.raise(&mut ctx, &pkt));
+                }
+            }
+
+            prop_assert_eq!(outs_one, outs_bat, "per-packet outcomes diverge");
+            prop_assert_eq!(
+                &*log_one.borrow(),
+                &*log_bat.borrow(),
+                "same handlers in the same order"
+            );
+            // Dispatcher trace rings agree modulo timestamps.
+            let strip = |d: &Dispatcher| -> Vec<(String, u32, u32)> {
+                d.trace()
+                    .into_iter()
+                    .map(|e| (e.event, e.invoked, e.rejected))
+                    .collect()
+            };
+            prop_assert_eq!(strip(&single), strip(&batched), "trace rings diverge");
+            // Flight-recorder streams agree modulo timestamps: same records
+            // (guard evals, verdicts, handler spans) for the same packets.
+            let records = |r: &Recorder| -> Vec<(Option<u64>, plexus::trace::TraceEvent)> {
+                r.events().into_iter().map(|e| (e.packet, e.event)).collect()
+            };
+            prop_assert_eq!(
+                records(&rec_one),
+                records(&rec_bat),
+                "recorder streams diverge"
+            );
+        }
+    }
 }
