@@ -22,6 +22,18 @@ use plexus_net::ether::{EtherType, MacAddr};
 
 use crate::types::mac_to_u64;
 
+/// Declared worst-case cycle ceiling for EtherType demux guards (an
+/// EthType test plus at most a two-address destination check).
+pub(crate) const ETHER_GUARD_CYCLES: u32 = 8;
+
+/// Declared ceiling for transport-node guards: protocol number, optional
+/// locality test, and a single pinned-port (or NotInSet carve-out) test.
+pub(crate) const TRANSPORT_GUARD_CYCLES: u32 = 16;
+
+/// Declared ceiling for transport guards enumerating a claimed port list
+/// (`Test::one_of`); covers a few dozen ports.
+pub(crate) const MULTIPORT_GUARD_CYCLES: u32 = 32;
+
 /// The destination port of a transport header at the head of an IP
 /// payload: bytes 2..4 of both the UDP and the TCP header.
 pub(crate) const TRANSPORT_DST_PORT: Operand = Operand::Pay {
@@ -132,6 +144,28 @@ pub(crate) fn build(program: FilterProgram, policy: &Policy) -> GuardSpec {
     }
 }
 
+/// [`build`] plus a declared worst-case cycle ceiling: the manager states
+/// up front how expensive its guard shape may get, and the verifier's
+/// static bound must prove it. A violation is a manager bug (the guard
+/// shape grew past what its site declared), caught at build time rather
+/// than at interrupt-admission time — every declared ceiling is itself
+/// within [`plexus_kernel::DEFAULT_INTERRUPT_CYCLE_BUDGET`], so a guard
+/// passing this check always admits at interrupt level.
+pub(crate) fn build_bounded(
+    program: FilterProgram,
+    policy: &Policy,
+    declared_max_cycles: u32,
+) -> GuardSpec {
+    let spec = build(program, policy);
+    let bound = spec.program.static_bound();
+    assert!(
+        bound <= declared_max_cycles,
+        "manager-built guard's static worst-case bound is {bound} cycles, \
+         over its site's declared ceiling of {declared_max_cycles}"
+    );
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +211,89 @@ mod tests {
         assert!(
             special_bind.key().is_some(),
             "special binding (proto + local dst + pinned port) must index"
+        );
+    }
+
+    /// The admission-control acceptance claim: every guard shape the
+    /// managers install fits its site's declared cycle ceiling (checked
+    /// by `build_bounded`, which panics otherwise), and every ceiling is
+    /// within the dispatcher's default interrupt budget — so all thirteen
+    /// manager sites admit at interrupt level.
+    #[test]
+    fn manager_guard_shapes_fit_their_declared_ceilings() {
+        const {
+            assert!(ETHER_GUARD_CYCLES <= plexus_kernel::DEFAULT_INTERRUPT_CYCLE_BUDGET);
+            assert!(TRANSPORT_GUARD_CYCLES <= plexus_kernel::DEFAULT_INTERRUPT_CYCLE_BUDGET);
+            assert!(MULTIPORT_GUARD_CYCLES <= plexus_kernel::DEFAULT_INTERRUPT_CYCLE_BUDGET);
+        }
+
+        let mac = MacAddr([2, 0, 0, 0, 0, 7]);
+        build_bounded(
+            ether_type_program(EtherType::ARP, None),
+            &Policy::new(),
+            ETHER_GUARD_CYCLES,
+        );
+        build_bounded(
+            ether_type_program(EtherType::IPV4, Some(mac)),
+            &Policy::new(),
+            ETHER_GUARD_CYCLES,
+        );
+        build_bounded(
+            transport_over_ip(1, None, None, vec![]),
+            &Policy::new(),
+            TRANSPORT_GUARD_CYCLES,
+        );
+        build_bounded(
+            transport_over_ip(
+                17,
+                None,
+                Some(Test::NotInSet {
+                    op: TRANSPORT_DST_PORT,
+                    set: 0,
+                }),
+                vec![PortSet::new()],
+            ),
+            &Policy::new(),
+            TRANSPORT_GUARD_CYCLES,
+        );
+        build_bounded(
+            transport_over_ip(
+                6,
+                Some(Ipv4Addr::new(10, 0, 0, 1)),
+                Some(Test::eq(TRANSPORT_DST_PORT, 53)),
+                vec![],
+            ),
+            &Policy::new(),
+            TRANSPORT_GUARD_CYCLES,
+        );
+        // A claimed-port list at the multi-port ceiling's working size.
+        build_bounded(
+            transport_over_ip(
+                6,
+                None,
+                Some(Test::one_of(
+                    TRANSPORT_DST_PORT,
+                    (1u64..=20).collect::<Vec<_>>(),
+                )),
+                vec![],
+            ),
+            &Policy::new(),
+            MULTIPORT_GUARD_CYCLES,
+        );
+        // The per-connection 4-tuple shape.
+        build_bounded(
+            conjunction(
+                EventKind::TcpRecv,
+                &[
+                    Test::eq(Operand::Field(Field::TcpDstPort), 80),
+                    Test::eq(Operand::Field(Field::TcpDstAddr), 1),
+                    Test::eq(Operand::Field(Field::TcpSrcAddr), 2),
+                    Test::eq(Operand::Field(Field::TcpSrcPort), 4242),
+                ],
+                vec![],
+            ),
+            &Policy::new(),
+            TRANSPORT_GUARD_CYCLES,
         );
     }
 }

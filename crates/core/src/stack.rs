@@ -633,9 +633,10 @@ impl PlexusStack {
 
     fn install_arp(shared: &Rc<StackShared>) {
         let s = shared.clone();
-        let guard = guards::build(
+        let guard = guards::build_bounded(
             guards::ether_type_program(EtherType::ARP, None),
             &Policy::new(),
+            guards::ETHER_GUARD_CYCLES,
         )
         .guard();
         shared.install_layer(
@@ -672,9 +673,10 @@ impl PlexusStack {
     /// `Ip.PacketRecv`; plus the `Ip.PacketSend` output handler.
     fn install_ip(shared: &Rc<StackShared>) {
         let s = shared.clone();
-        let guard = guards::build(
+        let guard = guards::build_bounded(
             guards::ether_type_program(EtherType::IPV4, None),
             &Policy::new(),
+            guards::ETHER_GUARD_CYCLES,
         )
         .guard();
         shared.install_layer(
@@ -724,9 +726,10 @@ impl PlexusStack {
 
     fn install_icmp(shared: &Rc<StackShared>) {
         let s = shared.clone();
-        let guard = guards::build(
+        let guard = guards::build_bounded(
             guards::transport_over_ip(ip::proto::ICMP, None, None, vec![]),
             &Policy::new(),
+            guards::TRANSPORT_GUARD_CYCLES,
         )
         .guard();
         shared.install_layer(
@@ -861,8 +864,12 @@ impl PlexusStack {
                 FieldKey::Field(Field::EthDst),
                 [mac_to_u64(my_mac), mac_to_u64(MacAddr::BROADCAST)],
             );
-        let guard =
-            guards::build(guards::ether_type_program(ethertype, Some(my_mac)), &policy).guard();
+        let guard = guards::build_bounded(
+            guards::ether_type_program(ethertype, Some(my_mac)),
+            &policy,
+            guards::ETHER_GUARD_CYCLES,
+        )
+        .guard();
         let id = self.shared.install_app(
             self.shared.events.eth_recv,
             Some(guard),

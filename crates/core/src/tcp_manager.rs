@@ -87,7 +87,7 @@ impl TcpManager {
         // The standard TCP implementation node: all TCP except ports owned
         // by special implementations (§3.1's two-implementations example).
         // The destination port is bytes 2..4 of the TCP header.
-        let guard = guards::build(
+        let guard = guards::build_bounded(
             guards::transport_over_ip(
                 proto::TCP,
                 None,
@@ -98,6 +98,7 @@ impl TcpManager {
                 vec![special_ports],
             ),
             &Policy::new(),
+            guards::TRANSPORT_GUARD_CYCLES,
         );
         let s = shared.clone();
         let m = mgr.clone();
@@ -180,7 +181,7 @@ impl TcpManager {
         // so that check moved into the handler below; the policy proves
         // the listener only ever sees its own port (§3.1).
         let policy = Policy::new().require_eq(FieldKey::Field(Field::TcpDstPort), u64::from(port));
-        let guard = guards::build(
+        let guard = guards::build_bounded(
             conjunction(
                 EventKind::TcpRecv,
                 &[
@@ -191,6 +192,7 @@ impl TcpManager {
                 vec![],
             ),
             &policy,
+            guards::TRANSPORT_GUARD_CYCLES,
         );
         let on_accept: ConnCallback = Rc::new(on_accept);
         let mgr2 = self.clone();
@@ -294,7 +296,7 @@ impl TcpManager {
         let policy = Policy::new()
             .require_eq(FieldKey::Field(Field::IpProto), u64::from(proto::TCP))
             .require_in(guards::TRANSPORT_DST_PORT_KEY, claimed.iter().copied());
-        let guard = guards::build(
+        let guard = guards::build_bounded(
             guards::transport_over_ip(
                 proto::TCP,
                 None,
@@ -302,6 +304,7 @@ impl TcpManager {
                 vec![],
             ),
             &policy,
+            guards::MULTIPORT_GUARD_CYCLES,
         );
         Ok(self.shared.install_layer(
             self.shared.events.ip_recv,
@@ -333,7 +336,7 @@ impl TcpManager {
         let policy = Policy::new()
             .require_eq(FieldKey::Field(Field::IpProto), u64::from(proto::TCP))
             .require_eq(guards::TRANSPORT_DST_PORT_KEY, u64::from(port));
-        let guard = guards::build(
+        let guard = guards::build_bounded(
             guards::transport_over_ip(
                 proto::TCP,
                 None,
@@ -341,6 +344,7 @@ impl TcpManager {
                 vec![],
             ),
             &policy,
+            guards::TRANSPORT_GUARD_CYCLES,
         );
         Ok(self.shared.install_layer(
             self.shared.events.ip_recv,
@@ -422,7 +426,11 @@ impl TcpConn {
             policy = policy.require_eq(FieldKey::Field(field), value);
             tests.push(Test::eq(Operand::Field(field), value));
         }
-        let guard = guards::build(conjunction(EventKind::TcpRecv, &tests, vec![]), &policy);
+        let guard = guards::build_bounded(
+            conjunction(EventKind::TcpRecv, &tests, vec![]),
+            &policy,
+            guards::TRANSPORT_GUARD_CYCLES,
+        );
         let c = conn.clone();
         let id = mgr.shared.install_layer(
             mgr.shared.events.tcp_recv,

@@ -75,7 +75,7 @@ impl UdpManager {
 
         // Standard UDP node: IP payloads whose protocol is UDP and whose
         // destination port is not claimed by a special implementation.
-        let guard = guards::build(
+        let guard = guards::build_bounded(
             guards::transport_over_ip(
                 proto::UDP,
                 None,
@@ -86,6 +86,7 @@ impl UdpManager {
                 vec![special_ports],
             ),
             &Policy::new(),
+            guards::TRANSPORT_GUARD_CYCLES,
         );
         let s = shared.clone();
         let m = mgr.clone();
@@ -195,7 +196,7 @@ impl UdpManager {
                     FieldKey::Field(Field::UdpDstAddr),
                     guards::local_dst_values(my_ip),
                 );
-            let guard = guards::build(
+            let guard = guards::build_bounded(
                 conjunction(
                     EventKind::UdpRecv,
                     &[
@@ -208,6 +209,7 @@ impl UdpManager {
                     vec![],
                 ),
                 &policy,
+                guards::TRANSPORT_GUARD_CYCLES,
             );
             self.shared.install_app(
                 self.shared.events.udp_recv,
@@ -228,7 +230,7 @@ impl UdpManager {
                     FieldKey::Field(Field::IpDst),
                     guards::local_dst_values(my_ip),
                 );
-            let guard = guards::build(
+            let guard = guards::build_bounded(
                 guards::transport_over_ip(
                     proto::UDP,
                     Some(my_ip),
@@ -236,6 +238,7 @@ impl UdpManager {
                     vec![],
                 ),
                 &policy,
+                guards::TRANSPORT_GUARD_CYCLES,
             );
             let wrapped = wrap_special_udp(config, handler);
             self.shared.install_app(
@@ -279,7 +282,7 @@ impl UdpManager {
         let policy = Policy::new()
             .require_eq(FieldKey::Field(Field::IpProto), u64::from(proto::UDP))
             .require_eq(guards::TRANSPORT_DST_PORT_KEY, u64::from(port));
-        let guard = guards::build(
+        let guard = guards::build_bounded(
             guards::transport_over_ip(
                 proto::UDP,
                 None,
@@ -287,6 +290,7 @@ impl UdpManager {
                 vec![],
             ),
             &policy,
+            guards::TRANSPORT_GUARD_CYCLES,
         );
         let old_dst = self.shared.ip;
         Ok(self.shared.install_layer(

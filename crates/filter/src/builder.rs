@@ -8,7 +8,8 @@
 //! exactly what the verifier's value-range analysis understands — a guard
 //! built with `conjunction` proves its own policy compliance.
 
-use crate::ir::{EventKind, Field, FilterProgram, Insn, PortSet, Reg, SetId, Src, Width};
+use crate::ir::{EventKind, Field, FilterProgram, Insn, MapId, PortSet, Reg, SetId, Src, Width};
+use crate::state::StateMap;
 
 /// What a test examines: a typed field or raw payload bytes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +48,28 @@ pub enum Test {
         op: Operand,
         /// Which of the program's sets to probe.
         set: SetId,
+    },
+    /// The operand, masked, selects a token-bucket slot that must yield a
+    /// token — per-flow rate limiting *inside* the guard, so over-rate
+    /// packets are dropped before any handler (or thread) exists.
+    /// The map's capacity must exceed `mask` for the program to verify.
+    TakeToken {
+        /// What to load (the flow key).
+        op: Operand,
+        /// Mask applied to the loaded value to form the slot index.
+        mask: u64,
+        /// Which of the program's maps to draw from.
+        map: MapId,
+    },
+    /// The operand, masked, selects a counter slot to bump — per-flow
+    /// accounting in the guard. Never fails the conjunction.
+    Count {
+        /// What to load (the flow key).
+        op: Operand,
+        /// Mask applied to the loaded value to form the slot index.
+        mask: u64,
+        /// Which of the program's maps to bump.
+        map: MapId,
     },
 }
 
@@ -95,7 +118,23 @@ fn set_off(insn: &mut Insn, at: usize, target: usize) {
 /// with no backing entry) — these are builder-usage bugs, not packet-time
 /// conditions.
 pub fn conjunction(kind: EventKind, tests: &[Test], sets: Vec<PortSet>) -> FilterProgram {
+    conjunction_stateful(kind, tests, sets, Vec::new(), 0)
+}
+
+/// [`conjunction`] for guards that declare bounded state: the program
+/// carries `maps` under `state_budget` bytes, and tests may reference
+/// them ([`Test::TakeToken`], [`Test::Count`]).
+pub fn conjunction_stateful(
+    kind: EventKind,
+    tests: &[Test],
+    sets: Vec<PortSet>,
+    maps: Vec<StateMap>,
+    state_budget: u32,
+) -> FilterProgram {
     let r0 = Reg(0);
+    // Map results land in r1 so they never clobber the operand register
+    // mid-test.
+    let r1 = Reg(1);
     let mut insns: Vec<Insn> = Vec::new();
     let mut fixups: Vec<Fixup> = Vec::new();
 
@@ -157,6 +196,38 @@ pub fn conjunction(kind: EventKind, tests: &[Test], sets: Vec<PortSet>) -> Filte
                     off: 0,
                 });
             }
+            Test::TakeToken { op, mask, map } => {
+                assert!((*map as usize) < maps.len(), "Test::TakeToken names no map");
+                load(*op, &mut insns);
+                insns.push(Insn::And {
+                    dst: r0,
+                    src: Src::Imm(*mask),
+                });
+                insns.push(Insn::MTake {
+                    dst: r1,
+                    map: *map,
+                    idx: r0,
+                });
+                fixups.push(Fixup::ToFail(insns.len()));
+                insns.push(Insn::Jne {
+                    a: r1,
+                    b: Src::Imm(1),
+                    off: 0,
+                });
+            }
+            Test::Count { op, mask, map } => {
+                assert!((*map as usize) < maps.len(), "Test::Count names no map");
+                load(*op, &mut insns);
+                insns.push(Insn::And {
+                    dst: r0,
+                    src: Src::Imm(*mask),
+                });
+                insns.push(Insn::MBump {
+                    dst: r1,
+                    map: *map,
+                    idx: r0,
+                });
+            }
         }
     }
 
@@ -175,5 +246,11 @@ pub fn conjunction(kind: EventKind, tests: &[Test], sets: Vec<PortSet>) -> Filte
         }
     }
 
-    FilterProgram { kind, insns, sets }
+    FilterProgram {
+        kind,
+        insns,
+        sets,
+        maps,
+        state_budget,
+    }
 }

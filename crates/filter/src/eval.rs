@@ -53,24 +53,50 @@ pub fn read_field_key<P: Packet + ?Sized>(pkt: &P, key: FieldKey) -> Option<u64>
 
 /// Evaluates a verified guard against a packet. Total and fault-free: any
 /// runtime anomaly (kind mismatch, short payload, missing field) rejects.
+///
+/// Token-bucket maps see time 0; use [`eval_at`] when the program carries
+/// rate-limiting state.
 pub fn eval<P: Packet + ?Sized>(vp: &VerifiedProgram, pkt: &P) -> bool {
-    let program = vp.program();
+    run(vp.program(), pkt, 0).0
+}
+
+/// [`eval`] at simulated time `now_ns`, which drives token-bucket refill.
+pub fn eval_at<P: Packet + ?Sized>(vp: &VerifiedProgram, pkt: &P, now_ns: u64) -> bool {
+    run(vp.program(), pkt, now_ns).0
+}
+
+/// [`eval_at`] that also reports the cycles the evaluation actually spent
+/// — the measured side of the static-bound cross-check. For a verified
+/// program the cycle count never exceeds [`VerifiedProgram::static_bound`]
+/// (the dispatcher and the property suite assert exactly that).
+pub fn eval_metered<P: Packet + ?Sized>(vp: &VerifiedProgram, pkt: &P, now_ns: u64) -> (bool, u32) {
+    run(vp.program(), pkt, now_ns)
+}
+
+fn run<P: Packet + ?Sized>(program: &FilterProgram, pkt: &P, now_ns: u64) -> (bool, u32) {
+    let mut spent = 0u32;
     if pkt.kind() != program.kind {
-        return false;
+        return (false, spent);
     }
 
     let mut regs = [0u64; crate::ir::NUM_REGS];
     let mut pc = 0usize;
-    // Defense in depth: verification already bounds cost, but the
-    // interpreter carries its own fuel so even a bug in the verifier
-    // cannot produce an unbounded evaluation.
-    let mut fuel = MAX_COST;
+
+    // Any anomaly rejects, reporting the cycles spent so far.
+    macro_rules! bail {
+        () => {
+            return (false, spent)
+        };
+    }
 
     while pc < program.insns.len() {
         let insn = &program.insns[pc];
-        match fuel.checked_sub(insn.cost()) {
-            Some(rest) => fuel = rest,
-            None => return false,
+        spent = spent.saturating_add(insn.cost());
+        // Defense in depth: verification already bounds cost, but the
+        // interpreter carries its own fuel so even a bug in the verifier
+        // cannot produce an unbounded evaluation.
+        if spent > MAX_COST {
+            bail!();
         }
 
         let src = |s: &Src, regs: &[u64]| match s {
@@ -80,17 +106,17 @@ pub fn eval<P: Packet + ?Sized>(vp: &VerifiedProgram, pkt: &P) -> bool {
 
         match insn {
             Insn::Ld { dst, field } => {
-                let Some(slot) = regs.get_mut(dst.0 as usize) else {
-                    return false;
+                let Some(v) = pkt.field(*field) else {
+                    bail!();
                 };
-                match pkt.field(*field) {
-                    Some(v) => *slot = v,
-                    None => return false,
-                }
+                let Some(slot) = regs.get_mut(dst.0 as usize) else {
+                    bail!();
+                };
+                *slot = v;
             }
             Insn::LdImm { dst, imm } => {
                 let Some(slot) = regs.get_mut(dst.0 as usize) else {
-                    return false;
+                    bail!();
                 };
                 *slot = *imm;
             }
@@ -98,18 +124,18 @@ pub fn eval<P: Packet + ?Sized>(vp: &VerifiedProgram, pkt: &P) -> bool {
                 let start = *off as usize;
                 let end = start + width.bytes() as usize;
                 let Some(bytes) = pkt.head().get(start..end) else {
-                    return false;
+                    bail!();
                 };
                 let v = load_be(bytes, *width);
                 let Some(slot) = regs.get_mut(dst.0 as usize) else {
-                    return false;
+                    bail!();
                 };
                 *slot = v;
             }
             Insn::And { dst, src: s } | Insn::Or { dst, src: s } => {
-                let Some(b) = src(s, &regs) else { return false };
+                let Some(b) = src(s, &regs) else { bail!() };
                 let Some(slot) = regs.get_mut(dst.0 as usize) else {
-                    return false;
+                    bail!();
                 };
                 *slot = if matches!(insn, Insn::And { .. }) {
                     *slot & b
@@ -122,10 +148,10 @@ pub fn eval<P: Packet + ?Sized>(vp: &VerifiedProgram, pkt: &P) -> bool {
             | Insn::Jlt { a, b, off }
             | Insn::Jgt { a, b, off } => {
                 let Some(av) = regs.get(a.0 as usize).copied() else {
-                    return false;
+                    bail!();
                 };
                 let Some(bv) = src(b, &regs) else {
-                    return false;
+                    bail!();
                 };
                 let taken = match insn {
                     Insn::Jeq { .. } => av == bv,
@@ -139,10 +165,10 @@ pub fn eval<P: Packet + ?Sized>(vp: &VerifiedProgram, pkt: &P) -> bool {
             }
             Insn::JInSet { a, set, off } => {
                 let Some(av) = regs.get(a.0 as usize).copied() else {
-                    return false;
+                    bail!();
                 };
                 let Some(ports) = program.sets.get(*set as usize) else {
-                    return false;
+                    bail!();
                 };
                 let member = u16::try_from(av)
                     .map(|p| ports.contains(p))
@@ -152,13 +178,36 @@ pub fn eval<P: Packet + ?Sized>(vp: &VerifiedProgram, pkt: &P) -> bool {
                 }
             }
             Insn::Ja { off } => pc += *off as usize,
-            Insn::Accept => return true,
-            Insn::Reject => return false,
+            Insn::MBump { dst, map, idx }
+            | Insn::MLoad { dst, map, idx }
+            | Insn::MTake { dst, map, idx } => {
+                let Some(i) = regs.get(idx.0 as usize).copied() else {
+                    bail!();
+                };
+                let Some(m) = program.maps.get(*map as usize) else {
+                    bail!();
+                };
+                // The verifier proves the index in bounds and the op
+                // matched to the map kind; `None` here means a broken
+                // invariant, and rejecting is the safe answer.
+                let v = match insn {
+                    Insn::MBump { .. } => m.bump(i),
+                    Insn::MLoad { .. } => m.load(i),
+                    _ => m.take(i, now_ns).map(u64::from),
+                };
+                let Some(v) = v else { bail!() };
+                let Some(slot) = regs.get_mut(dst.0 as usize) else {
+                    bail!();
+                };
+                *slot = v;
+            }
+            Insn::Accept => return (true, spent),
+            Insn::Reject => bail!(),
         }
         pc += 1;
     }
     // Fell off the end: verified programs never do, reject defensively.
-    false
+    (false, spent)
 }
 
 /// Interprets a **raw, unverified** program with no safety checks: field
@@ -227,6 +276,25 @@ pub fn eval_unchecked<P: Packet + ?Sized>(program: &FilterProgram, pkt: &P) -> b
                 }
             }
             Insn::Ja { off } => pc += *off as usize,
+            Insn::MBump { dst, map, idx } => {
+                let i = regs[idx.0 as usize];
+                regs[dst.0 as usize] = program.maps[*map as usize]
+                    .bump(i)
+                    .unwrap_or_else(|| panic!("bump faulted on map #{map} index {i}"));
+            }
+            Insn::MLoad { dst, map, idx } => {
+                let i = regs[idx.0 as usize];
+                regs[dst.0 as usize] = program.maps[*map as usize]
+                    .load(i)
+                    .unwrap_or_else(|| panic!("load faulted on map #{map} index {i}"));
+            }
+            Insn::MTake { dst, map, idx } => {
+                let i = regs[idx.0 as usize];
+                let took = program.maps[*map as usize]
+                    .take(i, 0)
+                    .unwrap_or_else(|| panic!("take faulted on map #{map} index {i}"));
+                regs[dst.0 as usize] = u64::from(took);
+            }
             Insn::Accept => return true,
             Insn::Reject => return false,
         }

@@ -155,6 +155,9 @@ pub enum Src {
 /// Index into [`FilterProgram::sets`].
 pub type SetId = u16;
 
+/// Index into [`FilterProgram::maps`].
+pub type MapId = u16;
+
 /// One guard instruction. Jump targets are `pc + 1 + off` (forward only).
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[allow(missing_docs)] // field roles are given in each variant's doc line
@@ -181,6 +184,13 @@ pub enum Insn {
     JInSet { a: Reg, set: SetId, off: u16 },
     /// Unconditional forward jump.
     Ja { off: u16 },
+    /// `dst <- ++map[idx]` (saturating): bump a counter-map slot.
+    MBump { dst: Reg, map: MapId, idx: Reg },
+    /// `dst <- map[idx]`: read a map slot (count or token balance).
+    MLoad { dst: Reg, map: MapId, idx: Reg },
+    /// `dst <- take(map[idx])`: refill a token-bucket slot, take one
+    /// token; `dst` is 1 if a token was available, else 0.
+    MTake { dst: Reg, map: MapId, idx: Reg },
     /// Terminate: the guard matches.
     Accept,
     /// Terminate: the guard does not match.
@@ -193,6 +203,9 @@ impl Insn {
         match self {
             Insn::LdPay { .. } => 2,
             Insn::JInSet { .. } => 4,
+            Insn::MLoad { .. } => 4,
+            Insn::MBump { .. } => 6,
+            Insn::MTake { .. } => 8,
             _ => 1,
         }
     }
@@ -245,7 +258,8 @@ impl PortSet {
 }
 
 /// A complete guard program: typed against one event kind, with the shared
-/// port sets its `JInSet` instructions reference.
+/// port sets its `JInSet` instructions reference and the bounded state
+/// maps its map instructions address.
 #[derive(Clone, Debug)]
 pub struct FilterProgram {
     /// Event kind this program filters.
@@ -254,16 +268,39 @@ pub struct FilterProgram {
     pub insns: Vec<Insn>,
     /// Shared port sets addressed by [`SetId`].
     pub sets: Vec<PortSet>,
+    /// Declared state maps addressed by [`MapId`].
+    pub maps: Vec<crate::state::StateMap>,
+    /// Declared total state budget in bytes: verification fails unless the
+    /// maps' combined footprint fits (and the budget itself fits
+    /// [`crate::state::MAX_STATE_BYTES`]).
+    pub state_budget: u32,
 }
 
 impl FilterProgram {
-    /// A program over `kind` with no shared sets.
+    /// A program over `kind` with no shared sets and no state.
     pub fn new(kind: EventKind, insns: Vec<Insn>) -> FilterProgram {
         FilterProgram {
             kind,
             insns,
             sets: Vec::new(),
+            maps: Vec::new(),
+            state_budget: 0,
         }
+    }
+
+    /// Attaches declared state maps under a total byte budget (the
+    /// program "header" declaration the verifier checks against).
+    pub fn with_state(mut self, maps: Vec<crate::state::StateMap>, state_budget: u32) -> Self {
+        self.maps = maps;
+        self.state_budget = state_budget;
+        self
+    }
+
+    /// Combined footprint of the declared maps, in bytes.
+    pub fn state_bytes(&self) -> u32 {
+        self.maps
+            .iter()
+            .fold(0u32, |acc, m| acc.saturating_add(m.state_bytes()))
     }
 
     /// Total static cost (sound execution bound: forward-only control flow

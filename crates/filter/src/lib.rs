@@ -33,18 +33,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod builder;
+pub mod cost;
 pub mod eval;
 pub mod ir;
 pub mod spec;
+pub mod state;
 pub mod verify;
 
-pub use builder::{conjunction, Operand, Test};
-pub use eval::{eval, eval_unchecked, read_field_key, Packet};
+pub use absint::{Interval, Lint};
+pub use builder::{conjunction, conjunction_stateful, Operand, Test};
+pub use cost::{insn_cycles, structural_bound};
+pub use eval::{eval, eval_at, eval_metered, eval_unchecked, read_field_key, Packet};
 pub use ir::{
-    EventKind, Field, FilterProgram, Insn, PortSet, Reg, SetId, Src, Width, MAX_COST, MAX_INSNS,
-    NUM_REGS, PAY_WINDOW,
+    EventKind, Field, FilterProgram, Insn, MapId, PortSet, Reg, SetId, Src, Width, MAX_COST,
+    MAX_INSNS, NUM_REGS, PAY_WINDOW,
 };
+pub use state::{MapKind, StateMap, MAX_STATE_BYTES};
 pub use verify::{
     key_schema, verify, verify_with_policy, DemuxKey, FieldKey, FieldSpec, FilterReport, KeySpec,
     Policy, VerifiedProgram, VerifyError, MAX_ENUMERATED_KEYS,

@@ -22,6 +22,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use crate::absint::{self, Lint};
 use crate::ir::{
     EventKind, Field, FilterProgram, Insn, PortSet, Reg, SetId, Src, Width, MAX_COST, MAX_INSNS,
     NUM_REGS, PAY_WINDOW,
@@ -167,6 +168,42 @@ pub enum VerifyError {
         /// Values the field may hold at this accept (`None` = unbounded).
         proven: Option<BTreeSet<u64>>,
     },
+    /// A map instruction naming a map the program does not declare.
+    UnknownMap {
+        /// Instruction index.
+        at: usize,
+        /// The missing map id.
+        map: u16,
+    },
+    /// A map operation that does not fit the map's declared kind (e.g.
+    /// `MTake` on a counter map).
+    MapKindMismatch {
+        /// Instruction index.
+        at: usize,
+        /// The map id.
+        map: u16,
+        /// The map's declared kind name.
+        kind: &'static str,
+    },
+    /// A map access whose index is not provably below the map's capacity.
+    MapIndexOutOfBounds {
+        /// Instruction index.
+        at: usize,
+        /// The map id.
+        map: u16,
+        /// Largest index the interval analysis admits.
+        hi: u64,
+        /// The map's declared capacity.
+        capacity: u32,
+    },
+    /// Declared map state exceeding the program's byte budget (or a budget
+    /// exceeding the global [`crate::state::MAX_STATE_BYTES`] cap).
+    StateOverBudget {
+        /// Bytes the maps (or the budget itself) occupy.
+        bytes: u32,
+        /// The budget they must fit.
+        budget: u32,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -235,6 +272,31 @@ impl fmt::Display for VerifyError {
                     None => write!(f, "but is unconstrained"),
                 }
             }
+            VerifyError::UnknownMap { at, map } => {
+                write!(f, "insn {at}: references unknown state map #{map}")
+            }
+            VerifyError::MapKindMismatch { at, map, kind } => {
+                write!(
+                    f,
+                    "insn {at}: operation does not fit {kind} map #{map} \
+                     (bump needs a counter, take needs a bucket)"
+                )
+            }
+            VerifyError::MapIndexOutOfBounds {
+                at,
+                map,
+                hi,
+                capacity,
+            } => write!(
+                f,
+                "insn {at}: map #{map} index may reach {hi} but capacity is \
+                 {capacity}; mask or range-check the index below the capacity"
+            ),
+            VerifyError::StateOverBudget { bytes, budget } => write!(
+                f,
+                "declared map state {bytes} B exceeds budget {budget} B; \
+                 shrink map capacities or raise the declared budget"
+            ),
         }
     }
 }
@@ -283,6 +345,9 @@ impl std::error::Error for FilterReport {}
 pub struct VerifiedProgram {
     program: FilterProgram,
     cost: u32,
+    static_bound: u32,
+    state_bytes: u32,
+    lints: Vec<Lint>,
 }
 
 impl VerifiedProgram {
@@ -296,9 +361,32 @@ impl VerifiedProgram {
         self.program.kind
     }
 
-    /// The proven worst-case evaluation cost.
+    /// The proven worst-case evaluation cost (sum of all instruction
+    /// costs; kept for compatibility — [`VerifiedProgram::static_bound`]
+    /// is the tighter per-evaluation bound).
     pub fn cost(&self) -> u32 {
         self.cost
+    }
+
+    /// The static worst-case cycle bound: no evaluation of this program
+    /// on any packet spends more cycles than this ([`crate::absint`]'s
+    /// longest feasible path). The dispatcher admits interrupt-level
+    /// installs against this number, and `eval_metered` never reports
+    /// more.
+    pub fn static_bound(&self) -> u32 {
+        self.static_bound
+    }
+
+    /// Total bytes of declared map state, proven within the program's
+    /// budget.
+    pub fn state_bytes(&self) -> u32 {
+        self.state_bytes
+    }
+
+    /// Advisory lints found during verification (the program is still
+    /// valid).
+    pub fn lints(&self) -> &[Lint] {
+        &self.lints
     }
 }
 
@@ -334,14 +422,21 @@ pub fn verify_with_policy(
     }
 
     let structural_ok = check_structure(program, &mut report);
+    let mut abs = absint::Analysis::default();
     if structural_ok {
         analyze(program, policy, &mut report);
+        // Interval pass: static cycle bound, bounded-state proofs, lints.
+        abs = absint::analyze(program);
+        report.errors.append(&mut abs.errors);
     }
 
     if report.is_clean() {
         Ok(VerifiedProgram {
             program: program.clone(),
             cost,
+            static_bound: abs.bound,
+            state_bytes: abs.state_bytes,
+            lints: abs.lints,
         })
     } else {
         Err(report)
@@ -429,6 +524,17 @@ fn check_structure(program: &FilterProgram, report: &mut FilterReport) -> bool {
                 check_jump(at, *off, report);
             }
             Insn::Ja { off } => check_jump(at, *off, report),
+            Insn::MBump { dst, map, idx }
+            | Insn::MLoad { dst, map, idx }
+            | Insn::MTake { dst, map, idx } => {
+                check_reg(at, *dst, report);
+                check_reg(at, *idx, report);
+                if (*map as usize) >= program.maps.len() {
+                    report
+                        .errors
+                        .push(VerifyError::UnknownMap { at, map: *map });
+                }
+            }
             Insn::Accept | Insn::Reject => {}
         }
     }
@@ -736,6 +842,17 @@ fn analyze(program: &FilterProgram, policy: &Policy, report: &mut FilterReport) 
             Insn::Ja { off } => {
                 let target = at + 1 + *off as usize;
                 merge(&mut states[target], state);
+            }
+            Insn::MBump { dst, idx, .. }
+            | Insn::MLoad { dst, idx, .. }
+            | Insn::MTake { dst, idx, .. } => {
+                // The index must be written on every path; the result is
+                // runtime state, opaque to the value-set analysis (the
+                // interval pass models it more precisely).
+                read_reg(*idx, &state, report);
+                let mut next = state;
+                next.regs[dst.0 as usize] = RegVal::Unknown;
+                fall_through!(at, next);
             }
             Insn::Accept => {
                 for (key, allowed) in &policy.constraints {

@@ -48,7 +48,7 @@ pub type GuardFn<T> = Box<dyn Fn(&T) -> bool>;
 /// dispatcher's raise path needs no bound on `T`.
 pub struct VerifiedGuard<T> {
     program: Rc<VerifiedProgram>,
-    eval: fn(&VerifiedProgram, &T) -> bool,
+    eval: fn(&VerifiedProgram, &T, u64) -> (bool, u32),
     /// Extracted demux key, when the program's acceptance is statically
     /// bounded over its event kind's key schema (see
     /// [`plexus_filter::DemuxKey`]).
@@ -64,7 +64,7 @@ impl<T: Packet + 'static> VerifiedGuard<T> {
         let key = DemuxKey::extract(&program);
         VerifiedGuard {
             program,
-            eval: |p, arg| plexus_filter::eval(p, arg),
+            eval: |p, arg, now| plexus_filter::eval_metered(p, arg, now),
             key,
             read: |arg, k| plexus_filter::read_field_key(arg, k),
         }
@@ -72,9 +72,12 @@ impl<T: Packet + 'static> VerifiedGuard<T> {
 }
 
 impl<T> VerifiedGuard<T> {
-    /// Evaluates the guard against an event argument.
-    pub fn matches(&self, arg: &T) -> bool {
-        (self.eval)(&self.program, arg)
+    /// Evaluates the guard against an event argument at simulated time
+    /// `now_ns` (which drives token-bucket refill in stateful guards),
+    /// returning the verdict and the abstract cycles the evaluation spent
+    /// — never more than [`VerifiedProgram::static_bound`].
+    pub fn matches(&self, arg: &T, now_ns: u64) -> (bool, u32) {
+        (self.eval)(&self.program, arg, now_ns)
     }
 
     /// The verified program this guard runs.
@@ -245,6 +248,59 @@ pub enum HandlerMode {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct HandlerId(u64);
 
+/// Default per-event cycle budget for interrupt-mode installs, in the
+/// abstract guard cycles of [`plexus_filter::insn_cycles`]. A verified
+/// guard whose static worst-case bound exceeds the budget is rejected at
+/// install time — admission control, not runtime policing.
+pub const DEFAULT_INTERRUPT_CYCLE_BUDGET: u32 = 64;
+
+/// Why [`Dispatcher::try_install`] refused a handler.
+///
+/// [`Dispatcher::install`] panics with the same messages; callers that
+/// want to surface the diagnostic (protocol managers admitting extension
+/// filters) use `try_install` and keep the error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstallError {
+    /// An interrupt-mode spec whose handler was not certified via
+    /// [`HandlerSpec::ephemeral`].
+    UncertifiedInterrupt,
+    /// An interrupt-mode spec carrying a [`Guard::Closure`] — an
+    /// unverifiable predicate has no business running in interrupt
+    /// context.
+    ClosureGuardInterrupt,
+    /// An interrupt-mode spec whose verified guard's static worst-case
+    /// cycle bound exceeds the dispatcher's per-event interrupt budget.
+    GuardOverBudget {
+        /// The guard program's static worst-case bound, in cycles.
+        bound: u32,
+        /// The dispatcher's per-event interrupt cycle budget.
+        budget: u32,
+    },
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::UncertifiedInterrupt => {
+                write!(
+                    f,
+                    "interrupt-mode installs require a certified ephemeral handler"
+                )
+            }
+            InstallError::ClosureGuardInterrupt => write!(
+                f,
+                "interrupt-mode installs require a verified guard program (or no guard)"
+            ),
+            InstallError::GuardOverBudget { bound, budget } => write!(
+                f,
+                "interrupt-mode install rejected: guard worst-case bound is {bound} cycles \
+                 but the per-event interrupt budget is {budget}; simplify the filter or \
+                 install in thread mode"
+            ),
+        }
+    }
+}
+
 /// A typed, copyable capability to one event.
 ///
 /// Holding an `Event<T>` is the authority to raise it and install handlers
@@ -287,6 +343,11 @@ pub struct DispatchStats {
     pub verified_guard_rejects: u64,
     /// Ephemeral handlers terminated for exceeding their allotment.
     pub terminations: u64,
+    /// Demux-index hash probes charged (`CostModel::demux_probe`). Once
+    /// lumped into the guard-eval charge; split out so profiles can tell
+    /// a keyed lookup from a real guard evaluation. In a batch only the
+    /// first raise pays (and counts) the probe.
+    pub demux_probes: u64,
     /// Raises served through the demux index (one hash probe instead of a
     /// guard evaluation per indexed handler).
     pub demux_hits: u64,
@@ -305,7 +366,8 @@ impl fmt::Display for DispatchStats {
             f,
             "raises={} invocations={} guard_evals={} (verified {}) \
              guard_rejects={} (verified {}) terminations={} \
-             demux_hits={} demux_fallbacks={} demux_skipped={}",
+             demux_probes={} demux_hits={} demux_fallbacks={} \
+             demux_skipped={}",
             self.raises,
             self.invocations,
             self.guard_evals,
@@ -313,6 +375,7 @@ impl fmt::Display for DispatchStats {
             self.guard_rejects,
             self.verified_guard_rejects,
             self.terminations,
+            self.demux_probes,
             self.demux_hits,
             self.demux_fallbacks,
             self.demux_skipped
@@ -482,6 +545,7 @@ pub struct Dispatcher {
     stats: Cell<DispatchStats>,
     trace: RefCell<Option<TraceRing>>,
     demux_enabled: Cell<bool>,
+    interrupt_cycle_budget: Cell<u32>,
 }
 
 struct TraceRing {
@@ -509,12 +573,25 @@ impl Dispatcher {
             stats: Cell::new(DispatchStats::default()),
             trace: RefCell::new(None),
             demux_enabled: Cell::new(true),
+            interrupt_cycle_budget: Cell::new(DEFAULT_INTERRUPT_CYCLE_BUDGET),
         })
     }
 
     /// Operation counters.
     pub fn stats(&self) -> DispatchStats {
         self.stats.get()
+    }
+
+    /// Sets the per-event cycle budget interrupt-mode installs must fit
+    /// (default [`DEFAULT_INTERRUPT_CYCLE_BUDGET`]). Applies to installs
+    /// from this point on; already-admitted handlers are unaffected.
+    pub fn set_interrupt_cycle_budget(&self, cycles: u32) {
+        self.interrupt_cycle_budget.set(cycles);
+    }
+
+    /// The current per-event interrupt cycle budget.
+    pub fn interrupt_cycle_budget(&self) -> u32 {
+        self.interrupt_cycle_budget.get()
     }
 
     /// Enables or disables the hash-demultiplexing fast path (on by
@@ -630,34 +707,61 @@ impl Dispatcher {
     ///
     /// # Panics
     ///
-    /// For interrupt-mode specs: panics if the handler was not certified
-    /// via [`HandlerSpec::ephemeral`] (§3.3's evidence requirement), or if
-    /// the guard is a [`Guard::Closure`] — an unverifiable predicate has
-    /// no business running in interrupt context.
+    /// Panics with the [`InstallError`] message when
+    /// [`Dispatcher::try_install`] would refuse the spec: an interrupt-mode
+    /// handler not certified via [`HandlerSpec::ephemeral`] (§3.3's
+    /// evidence requirement), an interrupt-mode [`Guard::Closure`], or a
+    /// verified guard whose static worst-case bound exceeds the
+    /// per-event interrupt cycle budget.
     pub fn install<T: 'static>(&self, event: Event<T>, spec: HandlerSpec<T>) -> HandlerId {
+        self.try_install(event, spec)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Dispatcher::install`] that reports refusal instead of panicking —
+    /// the admission-control entry point for specs built from untrusted
+    /// extension input.
+    ///
+    /// Interrupt-mode admission requires, beyond certification and a
+    /// verified (or absent) guard, that the guard program's
+    /// [`VerifiedProgram::static_bound`] fits the dispatcher's per-event
+    /// interrupt cycle budget: the raising context is the network
+    /// interrupt, and the static bound is the proof the filter cannot
+    /// stall it.
+    pub fn try_install<T: 'static>(
+        &self,
+        event: Event<T>,
+        spec: HandlerSpec<T>,
+    ) -> Result<HandlerId, InstallError> {
         let mode = if spec.interrupt {
-            assert!(
-                spec.ephemeral,
-                "interrupt-mode installs require a certified ephemeral handler"
-            );
-            assert!(
-                !matches!(spec.guard, Some(Guard::Closure(_))),
-                "interrupt-mode installs require a verified guard program (or no guard)"
-            );
+            if !spec.ephemeral {
+                return Err(InstallError::UncertifiedInterrupt);
+            }
+            match &spec.guard {
+                Some(Guard::Closure(_)) => return Err(InstallError::ClosureGuardInterrupt),
+                Some(Guard::Verified(vg)) => {
+                    let bound = vg.program().static_bound();
+                    let budget = self.interrupt_cycle_budget.get();
+                    if bound > budget {
+                        return Err(InstallError::GuardOverBudget { bound, budget });
+                    }
+                }
+                None => {}
+            }
             HandlerMode::Interrupt {
                 time_limit: spec.time_limit,
             }
         } else {
             HandlerMode::Thread
         };
-        self.push_entry(
+        Ok(self.push_entry(
             event,
             spec.guard,
             spec.handler,
             mode,
             spec.ephemeral,
             &spec.owner,
-        )
+        ))
     }
 
     fn push_entry<T: 'static>(
@@ -849,12 +953,17 @@ impl Dispatcher {
         if self.demux_enabled.get() {
             let demux = table.demux.borrow();
             if demux.indexed > 0 {
-                // The probe is charged like a single guard evaluation —
-                // the index replaces N guard runs with one keyed lookup.
-                // In a batch only the first raise pays it: the bucket
-                // walk stays warm in cache for the rest.
+                // The probe costs one keyed lookup — the index replaces N
+                // guard runs with it. Charged and counted as its own
+                // `demux_probe`, not a guard evaluation. In a batch only
+                // the first raise pays it: the bucket walk stays warm in
+                // cache for the rest.
                 if charge_fixed {
-                    ctx.lease.charge(model.guard_eval);
+                    ctx.lease.charge(model.demux_probe);
+                    stats.demux_probes = stats.demux_probes.saturating_add(1);
+                    if let (Some(r), Some(lbl)) = (&rec, ev_label) {
+                        r.count(Scope::Event, lbl, "demux.probes", 1);
+                    }
                 }
                 read_fn = demux.read;
                 let read = demux.read.expect("indexed entries carry a reader");
@@ -940,7 +1049,17 @@ impl Dispatcher {
                     Guard::Closure(f) => (f(arg), GuardKind::Closure),
                     Guard::Verified(vg) => {
                         stats.verified_guard_evals = stats.verified_guard_evals.saturating_add(1);
-                        (vg.matches(arg), GuardKind::Verified)
+                        let (matched, measured) = vg.matches(arg, ctx.lease.now().as_nanos());
+                        if let (Some(r), Some(lbl)) = (&rec, ev_label) {
+                            // Static-bound cross-check: counters only, so
+                            // recorder presence never changes behavior.
+                            r.guard_cost(
+                                lbl,
+                                u64::from(measured),
+                                u64::from(vg.program().static_bound()),
+                            );
+                        }
+                        (matched, GuardKind::Verified)
                     }
                 };
                 if let (Some(r), Some(lbl)) = (&rec, ev_label) {
@@ -1343,8 +1462,8 @@ mod tests {
 
     /// A UdpRecv-shaped event argument for verified-guard tests.
     #[derive(Debug)]
-    struct UdpArg {
-        dst_port: u64,
+    pub(super) struct UdpArg {
+        pub(super) dst_port: u64,
     }
 
     impl plexus_filter::Packet for UdpArg {
@@ -1362,7 +1481,7 @@ mod tests {
         }
     }
 
-    fn port_program(port: u64) -> Rc<VerifiedProgram> {
+    pub(super) fn port_program(port: u64) -> Rc<VerifiedProgram> {
         let prog = plexus_filter::conjunction(
             plexus_filter::EventKind::UdpRecv,
             &[plexus_filter::Test::eq(
@@ -1471,6 +1590,139 @@ mod tests {
         let d = Dispatcher::new();
         let ev = d.define_event::<u32>("Uncertified");
         d.install(ev, HandlerSpec::new(|_, _: &u32| {}).interrupt());
+    }
+
+    /// A straight-line stateful guard whose worst-case bound (9 Count
+    /// tests × 8 cycles + Accept = 73) exceeds the default 64-cycle
+    /// interrupt budget while staying under the verifier's 96-cycle cap.
+    fn expensive_program() -> Rc<VerifiedProgram> {
+        let map = plexus_filter::StateMap::new("hits", plexus_filter::MapKind::Counter, 1);
+        let tests: Vec<plexus_filter::Test> = (0..9)
+            .map(|_| plexus_filter::Test::Count {
+                op: plexus_filter::Operand::Field(plexus_filter::Field::UdpDstPort),
+                mask: 0,
+                map: 0,
+            })
+            .collect();
+        let prog = plexus_filter::conjunction_stateful(
+            plexus_filter::EventKind::UdpRecv,
+            &tests,
+            Vec::new(),
+            vec![map],
+            8,
+        );
+        Rc::new(plexus_filter::verify(&prog).expect("verifies"))
+    }
+
+    #[test]
+    fn interrupt_admission_rejects_over_budget_guards() {
+        let d = Dispatcher::new();
+        let ev = d.define_event::<UdpArg>("Udp.Admitted");
+        let vp = expensive_program();
+        let bound = vp.static_bound();
+        assert!(bound > DEFAULT_INTERRUPT_CYCLE_BUDGET);
+        let err = d
+            .try_install(
+                ev,
+                HandlerSpec::ephemeral(Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}))
+                    .guard(Guard::verified(vp.clone()))
+                    .interrupt(),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InstallError::GuardOverBudget {
+                bound,
+                budget: DEFAULT_INTERRUPT_CYCLE_BUDGET
+            }
+        );
+        assert!(err.to_string().contains("interrupt budget"));
+        assert_eq!(d.handler_count(ev), 0, "a refused spec installs nothing");
+        // The same guard is fine in thread mode (no interrupt budget)...
+        d.install(
+            ev,
+            HandlerSpec::new(|_, _: &UdpArg| {}).guard(Guard::verified(vp.clone())),
+        );
+        // ...and admits at interrupt level once the budget covers it.
+        d.set_interrupt_cycle_budget(bound);
+        d.install(
+            ev,
+            HandlerSpec::ephemeral(Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}))
+                .guard(Guard::verified(vp))
+                .interrupt(),
+        );
+        assert_eq!(d.handler_count(ev), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-event interrupt budget")]
+    fn install_panics_on_over_budget_guard() {
+        let d = Dispatcher::new();
+        let ev = d.define_event::<UdpArg>("Udp.Strict.Budget");
+        d.set_interrupt_cycle_budget(2);
+        d.install(
+            ev,
+            HandlerSpec::ephemeral(Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}))
+                .guard(Guard::verified(port_program(53)))
+                .interrupt(),
+        );
+    }
+
+    #[test]
+    fn try_install_reports_refusals_without_panicking() {
+        let d = Dispatcher::new();
+        let ev = d.define_event::<UdpArg>("Udp.Tried");
+        assert_eq!(
+            d.try_install(ev, HandlerSpec::new(|_, _: &UdpArg| {}).interrupt())
+                .unwrap_err(),
+            InstallError::UncertifiedInterrupt
+        );
+        assert_eq!(
+            d.try_install(
+                ev,
+                HandlerSpec::ephemeral(Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}))
+                    .guard(Guard::closure(|arg: &UdpArg| arg.dst_port == 53))
+                    .interrupt(),
+            )
+            .unwrap_err(),
+            InstallError::ClosureGuardInterrupt
+        );
+        assert_eq!(d.handler_count(ev), 0);
+        let id = d
+            .try_install(
+                ev,
+                HandlerSpec::ephemeral(Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}))
+                    .guard(Guard::verified(port_program(53)))
+                    .interrupt(),
+            )
+            .expect("within budget");
+        assert!(d.uninstall(ev, id));
+    }
+
+    #[test]
+    fn demux_probes_are_counted_once_per_paid_probe() {
+        let (mut engine, cpu) = ctx_parts();
+        let d = Dispatcher::new();
+        let ev = d.define_event::<UdpArg>("Udp.Probed");
+        d.install(
+            ev,
+            HandlerSpec::new(|_, _: &UdpArg| {}).guard(Guard::verified(port_program(53))),
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        d.raise(&mut ctx, ev, &UdpArg { dst_port: 53 });
+        d.raise(&mut ctx, ev, &UdpArg { dst_port: 80 });
+        assert_eq!(d.stats().demux_probes, 2, "each lone raise pays a probe");
+        let mut batch = d.batch(ev);
+        batch.raise(&mut ctx, &UdpArg { dst_port: 53 });
+        batch.raise(&mut ctx, &UdpArg { dst_port: 53 });
+        batch.raise(&mut ctx, &UdpArg { dst_port: 53 });
+        let stats = d.stats();
+        assert_eq!(stats.demux_probes, 3, "a batch pays the probe once");
+        assert_eq!(stats.demux_hits, 5, "every raise still walks the buckets");
     }
 
     /// Every combination the old shim quartet covered (thread/interrupt ×
@@ -1612,10 +1864,10 @@ mod tests {
         let (_, cpu) = ctx_parts();
         let model = cpu.model().clone();
         let handler = model.thread_spawn + model.context_switch + model.dispatch_handler;
-        // Indexed: raise + probe (one guard_eval) + one real eval + handler.
+        // Indexed: raise + one probe + one real eval + handler.
         assert_eq!(
             run(true),
-            model.dispatch_raise + model.guard_eval * 2 + handler
+            model.dispatch_raise + model.demux_probe + model.guard_eval + handler
         );
         // Linear: raise + eight evals + handler.
         assert_eq!(
@@ -1961,6 +2213,52 @@ mod recorder_tests {
     }
 
     #[test]
+    fn verified_guard_evals_record_the_static_bound_cross_check() {
+        use super::tests::{port_program, UdpArg};
+        let mut engine = Engine::new();
+        let cpu = Cpu::new(CostModel::alpha_3000_400());
+        let rec = Recorder::new(64);
+        cpu.set_recorder(Some(rec.clone()));
+
+        let d = Dispatcher::new();
+        // Force the linear scan so both raises run the guard for real.
+        d.set_demux_enabled(false);
+        let ev = d.define_event::<UdpArg>("Udp.CrossChecked");
+        let vp = port_program(53);
+        let bound = u64::from(vp.static_bound());
+        d.install(
+            ev,
+            HandlerSpec::ephemeral(Ephemeral::certify(|_: &mut RaiseCtx, _: &UdpArg| {}))
+                .guard(Guard::verified(vp))
+                .interrupt(),
+        );
+        let mut lease = cpu.begin(SimTime::ZERO);
+        let mut ctx = RaiseCtx {
+            engine: &mut engine,
+            lease: &mut lease,
+        };
+        d.raise(&mut ctx, ev, &UdpArg { dst_port: 53 });
+        d.raise(&mut ctx, ev, &UdpArg { dst_port: 80 });
+        drop(lease);
+
+        let lbl = rec.intern("Udp.CrossChecked");
+        let get = |metric| {
+            rec.registry().get(CounterKey {
+                scope: Scope::Guard,
+                label: lbl,
+                metric,
+            })
+        };
+        assert_eq!(get("cycles.bound"), 2 * bound);
+        let measured = get("cycles.measured");
+        assert!(
+            measured >= 2 && measured <= 2 * bound,
+            "measured {measured} outside (0, 2×bound]"
+        );
+        assert_eq!(get("cycles.exceeded"), 0, "the static bound holds");
+    }
+
+    #[test]
     fn without_a_recorder_raise_behaves_identically() {
         // Costs and stats must not depend on whether tracing is on.
         let run = |with_recorder: bool| {
@@ -1996,6 +2294,7 @@ mod recorder_tests {
             verified_guard_evals: 4,
             verified_guard_rejects: 1,
             terminations: 3,
+            demux_probes: 5,
             demux_hits: 5,
             demux_fallbacks: 2,
             demux_skipped: 9,
@@ -2005,7 +2304,8 @@ mod recorder_tests {
             s,
             "raises=10 invocations=8 guard_evals=6 (verified 4) \
              guard_rejects=2 (verified 1) terminations=3 \
-             demux_hits=5 demux_fallbacks=2 demux_skipped=9"
+             demux_probes=5 demux_hits=5 demux_fallbacks=2 \
+             demux_skipped=9"
         );
         // Regression: the pre-demux counters keep their exact wording, so
         // anything parsing the old prefix keeps working.

@@ -39,6 +39,11 @@ pub struct CostModel {
     pub dispatch_handler: SimDuration,
     /// Per-guard cost of evaluating a guard predicate.
     pub guard_eval: SimDuration,
+    /// One demux-index hash probe on an indexed raise. Calibrated equal to
+    /// `guard_eval` (the index replaces N guard runs with one keyed
+    /// lookup), but charged and counted separately so profiles can tell a
+    /// probe from a real evaluation.
+    pub demux_probe: SimDuration,
     /// Entering an interrupt context (vector + register save).
     pub interrupt_entry: SimDuration,
     /// Leaving an interrupt context.
@@ -94,6 +99,7 @@ impl CostModel {
             dispatch_raise: ns(200),
             dispatch_handler: ns(400),
             guard_eval: ns(300),
+            demux_probe: ns(300),
             interrupt_entry: ns(4_000),
             interrupt_exit: ns(2_000),
             thread_spawn: ns(12_000),

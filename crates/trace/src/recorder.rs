@@ -177,6 +177,20 @@ impl Recorder {
         self.count(Scope::Guard, event, metric, 1);
     }
 
+    /// The static-bound cross-check for one verified-guard evaluation:
+    /// `measured` abstract cycles actually spent against the program's
+    /// static worst-case `bound`. Counters only (no ring record), so the
+    /// check adds nothing to ring pressure and its absence changes
+    /// nothing. A non-zero `cycles.exceeded` means the verifier's bound
+    /// was wrong — the invariant the profile suite asserts never happens.
+    pub fn guard_cost(&self, event: Label, measured: u64, bound: u64) {
+        self.count(Scope::Guard, event, "cycles.measured", measured);
+        self.count(Scope::Guard, event, "cycles.bound", bound);
+        if measured > bound {
+            self.count(Scope::Guard, event, "cycles.exceeded", 1);
+        }
+    }
+
     /// A handler began executing. Returns the span-correlation ID the
     /// caller must hand back to [`Recorder::handler_exit`] so the profiler
     /// can pair the records even across ring wraparound.

@@ -148,6 +148,57 @@ fn profile_json_validates_and_wire_time_telescopes() {
 }
 
 #[test]
+fn measured_guard_cycles_never_exceed_the_static_bound() {
+    use std::collections::BTreeMap;
+
+    use plexus::trace::{Label, Scope};
+
+    for interrupt in [true, false] {
+        let (_, recorder) = traced_run(interrupt);
+        // The dispatcher records, per verified-guard evaluation, the
+        // cycles the evaluator actually spent ("cycles.measured") next to
+        // the abstract interpreter's worst-case bound ("cycles.bound"),
+        // and bumps "cycles.exceeded" if a single evaluation ever beat
+        // its bound. The cross-check: that counter must not exist, and
+        // the measured total must stay under the accumulated bound.
+        let mut measured: BTreeMap<Label, u64> = BTreeMap::new();
+        let mut bound: BTreeMap<Label, u64> = BTreeMap::new();
+        let mut seen_guard_evals = false;
+        for (key, value) in recorder.registry().counters() {
+            if key.scope != Scope::Guard {
+                continue;
+            }
+            match key.metric {
+                "cycles.measured" => {
+                    seen_guard_evals = true;
+                    measured.insert(key.label, value);
+                }
+                "cycles.bound" => {
+                    bound.insert(key.label, value);
+                }
+                "cycles.exceeded" => {
+                    panic!("a verified guard evaluation exceeded its static bound");
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            seen_guard_evals,
+            "the stack's verified guards must record the cross-check"
+        );
+        for (label, m) in &measured {
+            let b = bound
+                .get(label)
+                .expect("every measured counter has a bound counter");
+            assert!(
+                m <= b,
+                "accumulated measured cycles {m} over accumulated bound {b}"
+            );
+        }
+    }
+}
+
+#[test]
 fn guard_and_dispatch_cost_is_separated_from_handler_bodies() {
     let (_, recorder) = traced_run(true);
     let profile = Profile::build(&recorder);

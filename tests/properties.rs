@@ -1,6 +1,10 @@
 //! Property-based tests (proptest) on the core data structures and
 //! protocol invariants.
 
+// The proptest! blocks below expand deeply enough to trip the default
+// recursion limit.
+#![recursion_limit = "256"]
+
 use std::net::Ipv4Addr;
 
 use proptest::prelude::*;
@@ -737,6 +741,196 @@ mod demux_equivalence {
                 records(&rec_bat),
                 "recorder streams diverge"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static verification vs. runtime: the abstract interpreter's worst-case
+// cycle bound must dominate every measured evaluation, and a verified
+// program's declared state maps must stay within their budget no matter
+// what packet stream hits them.
+// ---------------------------------------------------------------------------
+
+mod state_verification {
+    use proptest::prelude::*;
+    use std::rc::Rc;
+
+    use plexus::kernel::filter::{
+        conjunction_stateful, eval_metered, verify, EventKind, Field, MapKind, Operand, Packet,
+        StateMap, Test, MAX_COST,
+    };
+
+    /// Reuse the UDP-shaped event from the demux module's spirit; a local
+    /// copy keeps the modules independent.
+    struct Dgram {
+        src_port: u16,
+        dst_port: u16,
+    }
+
+    impl Packet for Dgram {
+        fn kind(&self) -> EventKind {
+            EventKind::UdpRecv
+        }
+        fn field(&self, field: Field) -> Option<u64> {
+            match field {
+                Field::UdpDstPort => Some(u64::from(self.dst_port)),
+                Field::UdpSrcPort => Some(u64::from(self.src_port)),
+                _ => None,
+            }
+        }
+        fn head(&self) -> &[u8] {
+            &[]
+        }
+    }
+
+    /// Slots in each generated map; masks are drawn below capacity so the
+    /// verifier's in-bounds proof goes through.
+    const CAP: u32 = 16;
+    /// Token-bucket capacity for generated bucket maps.
+    const TOKENS: u32 = 4;
+
+    /// The optional stateless prefix: at most one destination-port test.
+    /// (Two dst tests would either contradict or duplicate each other, and
+    /// the verifier rejects the resulting unreachable code outright.)
+    #[derive(Debug, Clone)]
+    enum DstTest {
+        None,
+        Eq(u16),
+        OneOf(Vec<u16>),
+    }
+
+    /// The stateful tail: token-bucket draws and counter bumps, any number
+    /// of them, with arbitrary in-capacity masks.
+    #[derive(Debug, Clone)]
+    enum GenTest {
+        TakeToken(u64),
+        Count(u64),
+    }
+
+    fn dst_test() -> impl Strategy<Value = DstTest> {
+        prop_oneof![
+            Just(DstTest::None),
+            (0u16..8).prop_map(DstTest::Eq),
+            proptest::collection::vec(0u16..8, 1..4).prop_map(DstTest::OneOf),
+        ]
+    }
+
+    fn gen_test() -> impl Strategy<Value = GenTest> {
+        prop_oneof![
+            (0u64..u64::from(CAP)).prop_map(GenTest::TakeToken),
+            (0u64..u64::from(CAP)).prop_map(GenTest::Count),
+        ]
+    }
+
+    fn build(
+        dst: &DstTest,
+        tests_tail: &[GenTest],
+    ) -> (Rc<plexus::kernel::filter::VerifiedProgram>, Vec<StateMap>) {
+        // Map 0: per-flow token buckets; map 1: per-flow counters. Budget
+        // is exactly the declared footprint, so the proof is tight.
+        let maps = vec![
+            StateMap::new(
+                "buckets",
+                MapKind::TokenBucket {
+                    tokens: TOKENS,
+                    refill_per_ms: 1,
+                },
+                CAP,
+            ),
+            StateMap::new("hits", MapKind::Counter, CAP),
+        ];
+        let budget: u32 = maps.iter().map(StateMap::state_bytes).sum();
+        let src = Operand::Field(Field::UdpSrcPort);
+        let dst_op = Operand::Field(Field::UdpDstPort);
+        let mut tests: Vec<Test> = match dst {
+            DstTest::None => vec![],
+            DstTest::Eq(p) => vec![Test::eq(dst_op, u64::from(*p))],
+            DstTest::OneOf(ports) => {
+                vec![Test::one_of(dst_op, ports.iter().map(|p| u64::from(*p)))]
+            }
+        };
+        tests.extend(tests_tail.iter().map(|t| match t {
+            GenTest::TakeToken(mask) => Test::TakeToken {
+                op: src,
+                mask: *mask,
+                map: 0,
+            },
+            GenTest::Count(mask) => Test::Count {
+                op: src,
+                mask: *mask,
+                map: 1,
+            },
+        }));
+        let program =
+            conjunction_stateful(EventKind::UdpRecv, &tests, Vec::new(), maps.clone(), budget);
+        let vp = verify(&program).expect("generated stateful guard verifies");
+        (Rc::new(vp), maps)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        // The measured cycles of every evaluation — accept or reject, at
+        // any simulated time — stay at or under the static bound the
+        // abstract interpreter derived at verification time.
+        #[test]
+        fn measured_eval_cost_never_exceeds_static_bound(
+            dst in dst_test(),
+            tests in proptest::collection::vec(gen_test(), 1..6),
+            packets in proptest::collection::vec((0u16..64, 0u16..8), 1..40),
+            gaps_us in proptest::collection::vec(0u64..2_000, 1..40),
+        ) {
+            let (vp, _maps) = build(&dst, &tests);
+            let bound = vp.static_bound();
+            prop_assert!(bound <= MAX_COST, "bound itself is within the global cap");
+            let mut now_ns = 0u64;
+            let mut gaps = gaps_us.iter().cycle();
+            for (src_port, dst_port) in packets {
+                now_ns += gaps.next().unwrap() * 1_000;
+                let pkt = Dgram { src_port, dst_port };
+                let (_, measured) = eval_metered(&vp, &pkt, now_ns);
+                prop_assert!(
+                    measured <= bound,
+                    "measured {measured} cycles over static bound {bound}"
+                );
+            }
+        }
+
+        // Map state stays bounded by declaration under arbitrary packet
+        // streams: the slot count never changes (capacity is the whole
+        // allocation), token balances never exceed the bucket capacity,
+        // and the declared footprint fits the verified budget.
+        #[test]
+        fn map_state_stays_within_declared_budget(
+            dst in dst_test(),
+            tests in proptest::collection::vec(gen_test(), 1..6),
+            packets in proptest::collection::vec((0u16..64, 0u16..8), 1..60),
+            gaps_us in proptest::collection::vec(0u64..2_000, 1..40),
+        ) {
+            let (vp, maps) = build(&dst, &tests);
+            prop_assert!(vp.state_bytes() <= vp.program().state_budget);
+            let mut now_ns = 0u64;
+            let mut gaps = gaps_us.iter().cycle();
+            for (src_port, dst_port) in packets {
+                now_ns += gaps.next().unwrap() * 1_000;
+                let pkt = Dgram { src_port, dst_port };
+                eval_metered(&vp, &pkt, now_ns);
+                // The evaluator mutates the program's own map clones;
+                // `maps` shares the backing slots.
+                for map in &maps {
+                    let snap = map.snapshot();
+                    prop_assert_eq!(snap.len() as u32, CAP, "slot count is fixed");
+                    if matches!(map.kind(), MapKind::TokenBucket { .. }) {
+                        for tokens in snap {
+                            prop_assert!(
+                                tokens <= u64::from(TOKENS),
+                                "bucket over capacity: {tokens}"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 }
