@@ -15,6 +15,10 @@
 //! Every timestamp comes from the simulated clock, so both files are
 //! byte-identical across runs.
 //!
+//! The scenario list is the shared registry in
+//! [`plexus_bench::scenarios`], the same one `plexus-trace` and
+//! `plexus-timeline` use.
+//!
 //! Usage:
 //!
 //! ```text
@@ -26,121 +30,18 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use plexus_apps::video::VideoConfig;
-use plexus_bench::fwd_latency::plexus_fwd_traced;
-use plexus_bench::overload::{run_point_traced, RxMode, Workload};
-use plexus_bench::udp_rtt::{udp_rtt_traced, Link};
-use plexus_bench::video_cpu::{video_server_utilization_traced, VideoSystem};
+use plexus_bench::scenarios;
 use plexus_trace::flame::folded;
+use plexus_trace::json;
 use plexus_trace::profile::{pingpong_waterfall, profile_json, Profile, Waterfall};
-use plexus_trace::{json, Recorder};
-
-/// The scenarios the CLI can replay, with one line of help each.
-const SCENARIOS: &[(&str, &str)] = &[
-    (
-        "udp_rtt",
-        "UDP echo ping-pong, interrupt-level handlers, Ethernet, 20 rounds (Figure 5)",
-    ),
-    (
-        "udp_rtt_thread",
-        "the same ping-pong with thread-mode delivery (Figure 5's other Plexus bar)",
-    ),
-    (
-        "fig6_video",
-        "video server at 15 streams over the T3 for 1 simulated second (Figure 6)",
-    ),
-    (
-        "fig7_forwarding",
-        "TCP echo through the in-kernel forwarder, 5 rounds (Figure 7)",
-    ),
-    (
-        "overload",
-        "UDP echo at 1/4 line rate on the coalesced rx path (overload sweep point)",
-    ),
-];
-
-/// Per-scenario run: ring capacity, how many packets keep full span/slice
-/// detail in the JSON (the cap is stated in the output, never silent),
-/// and the app domain that delimits ping-pong rounds (None: no waterfall).
-struct Scenario {
-    ring: usize,
-    detail: usize,
-    app_domain: Option<&'static str>,
-}
-
-fn run_scenario(name: &str) -> Option<(std::rc::Rc<Recorder>, Scenario)> {
-    match name {
-        "udp_rtt" | "udp_rtt_thread" => {
-            let recorder = Recorder::new(1 << 16);
-            udp_rtt_traced(name == "udp_rtt", &Link::ethernet(), 8, 20, &recorder);
-            Some((
-                recorder,
-                Scenario {
-                    ring: 1 << 16,
-                    detail: 64,
-                    app_domain: Some("rtt-bench"),
-                },
-            ))
-        }
-        "fig6_video" => {
-            let recorder = Recorder::new(1 << 18);
-            video_server_utilization_traced(
-                VideoSystem::Spin,
-                15,
-                VideoConfig::default(),
-                1,
-                Some(&recorder),
-            );
-            Some((
-                recorder,
-                Scenario {
-                    ring: 1 << 18,
-                    detail: 8,
-                    app_domain: None,
-                },
-            ))
-        }
-        "fig7_forwarding" => {
-            let recorder = Recorder::new(1 << 16);
-            plexus_fwd_traced(&Link::ethernet(), 64, 5, Some(&recorder));
-            Some((
-                recorder,
-                Scenario {
-                    ring: 1 << 16,
-                    detail: 16,
-                    app_domain: None,
-                },
-            ))
-        }
-        "overload" => {
-            let recorder = Recorder::new(1 << 18);
-            run_point_traced(
-                Workload::UdpEcho,
-                RxMode::Coalesced,
-                &Link::t3(),
-                (1, 4),
-                Some(&recorder),
-            );
-            Some((
-                recorder,
-                Scenario {
-                    ring: 1 << 18,
-                    detail: 8,
-                    app_domain: None,
-                },
-            ))
-        }
-        _ => None,
-    }
-}
 
 fn usage() {
     eprintln!("usage: plexus-profile [-o DIR] [--stdout] SCENARIO...");
     eprintln!("       plexus-profile --list");
     eprintln!();
     eprintln!("scenarios:");
-    for (name, help) in SCENARIOS {
-        eprintln!("  {name:<16} {help}");
+    for s in scenarios::SCENARIOS {
+        eprintln!("  {:<18} {}", s.name, s.help);
     }
 }
 
@@ -152,8 +53,8 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list" => {
-                for (name, help) in SCENARIOS {
-                    println!("{name:<16} {help}");
+                for s in scenarios::SCENARIOS {
+                    println!("{:<18} {}", s.name, s.help);
                 }
                 return ExitCode::SUCCESS;
             }
@@ -179,20 +80,19 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for raw in &names {
-        let name = raw
-            .trim_start_matches("examples/")
-            .trim_end_matches(".rs")
-            .to_string();
-        let Some((recorder, scenario)) = run_scenario(&name) else {
+        let Some(scenario) = scenarios::find(raw) else {
             eprintln!("unknown scenario: {raw} (try --list)");
             failed = true;
             continue;
         };
+        let name = scenario.name;
+        let recorder = scenario.run();
         let profile = Profile::build(&recorder);
         if !profile.truncation.clean() {
             eprintln!(
-                "{name}: warning: ring (capacity {}) wrapped — {} records dropped, \
-                 {} orphan packets; durations for orphans are excluded from aggregates",
+                "{name}: WARNING: ring (capacity {}) wrapped — {} records dropped, \
+                 {} orphan packets; durations for orphans are EXCLUDED from aggregates \
+                 (rerun with a larger ring for complete attribution)",
                 scenario.ring,
                 profile.truncation.dropped_records,
                 profile.truncation.orphan_packets.len()

@@ -1,0 +1,221 @@
+//! `plexus-timeline` — replay a scenario with the flight recorder on and
+//! emit the windowed time-series plus the cross-machine packet journeys.
+//!
+//! Completes the observability trio (`plexus-trace` dumps raw events,
+//! `plexus-profile` attributes cycles): this CLI folds the same ring
+//! along the *time* axis and the *packet* axis:
+//!
+//! * `<scenario>.timeline.json` — fixed simulated-time windows with
+//!   per-window goodput, drop counts by reason, rx-ring highwater,
+//!   interrupt rate, and nearest-rank p50/p99 latency; the per-window
+//!   p99 series pinpoints the simulated time at which a path saturates,
+//!   which whole-run aggregates hide.
+//! * `<scenario>.journeys.json` — per-journey hop ledgers: each frame's
+//!   path across machines with wire phases, rx-queue waits, and
+//!   per-layer processing segments that telescope to the measured
+//!   end-to-end time exactly.
+//! * `BENCH_timeline_<scenario>.json` — worst-window metrics (max
+//!   per-window p99, max drop-count window) for `plexus-bench-diff`, so
+//!   a transient regression fails CI even when the run-wide mean is
+//!   unchanged. The window *index* is gated exactly: a transient that
+//!   merely moves in time still fails.
+//!
+//! Every timestamp comes from the simulated clock, so all three files
+//! are byte-identical across runs.
+//!
+//! The scenario list is the shared registry in
+//! [`plexus_bench::scenarios`].
+//!
+//! Usage:
+//!
+//! ```text
+//! plexus-timeline [-o DIR] [--stdout] [--window NS] SCENARIO...
+//! plexus-timeline --list
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use plexus_bench::report::BenchReport;
+use plexus_bench::scenarios;
+use plexus_trace::journey::{self, journeys_json};
+use plexus_trace::json;
+use plexus_trace::profile::Profile;
+use plexus_trace::timeline::{self, timeline_json};
+
+fn usage() {
+    eprintln!("usage: plexus-timeline [-o DIR] [--stdout] [--window NS] SCENARIO...");
+    eprintln!("       plexus-timeline --list");
+    eprintln!();
+    eprintln!("  --window NS   override the scenario's window width (simulated ns)");
+    eprintln!();
+    eprintln!("scenarios:");
+    for s in scenarios::SCENARIOS {
+        eprintln!("  {:<18} {}", s.name, s.help);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from("results");
+    let mut to_stdout = false;
+    let mut window_override: Option<u64> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for s in scenarios::SCENARIOS {
+                    println!("{:<18} {}", s.name, s.help);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--stdout" => to_stdout = true,
+            "--window" => {
+                let Some(ns) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--window needs a positive nanosecond count");
+                    return ExitCode::from(2);
+                };
+                if ns == 0 {
+                    eprintln!("--window needs a positive nanosecond count");
+                    return ExitCode::from(2);
+                }
+                window_override = Some(ns);
+            }
+            "-o" | "--out" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("-o needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                out_dir = PathBuf::from(dir);
+            }
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for raw in &names {
+        let Some(scenario) = scenarios::find(raw) else {
+            eprintln!("unknown scenario: {raw} (try --list)");
+            failed = true;
+            continue;
+        };
+        let name = scenario.name;
+        let recorder = scenario.run();
+        let window_ns = window_override.unwrap_or(scenario.window_ns);
+        let tl = timeline::build(&recorder, window_ns);
+        let profile = Profile::build(&recorder);
+        let journeys = journey::build(&profile);
+        if tl.truncated_records > 0 {
+            eprintln!(
+                "{name}: WARNING: ring (capacity {}) wrapped — {} records overwritten; \
+                 early windows UNDER-REPORT (rerun with a larger ring for full coverage)",
+                scenario.ring, tl.truncated_records
+            );
+        }
+        if journeys.orphan_packets > 0 {
+            eprintln!(
+                "{name}: WARNING: {} orphan packets EXCLUDED from journeys — ring \
+                 wraparound ate their arrival records, so their journey tag is unknown",
+                journeys.orphan_packets
+            );
+        }
+
+        let mut report = BenchReport::new(&format!("timeline_{name}"));
+        if let Some(w) = tl.worst_p99_window() {
+            report.scalar_windowed("worst_p99_us", w.p99_ns as f64 / 1000.0, "us", w.index);
+        }
+        if let Some(w) = tl.worst_drop_window() {
+            report.scalar_windowed(
+                "worst_window_drops",
+                w.drop_count() as f64,
+                "drops",
+                w.index,
+            );
+        }
+        report.count("windows", tl.windows.len() as u64);
+        report.count(
+            "completions",
+            tl.windows.iter().map(|w| w.completions).sum(),
+        );
+        report.count("drops", tl.windows.iter().map(|w| w.drop_count()).sum());
+        report.count("journeys", journeys.journeys.len() as u64);
+        report.count("truncated_records", tl.truncated_records);
+        report.count("orphan_packets", journeys.orphan_packets);
+
+        let tl_body = timeline_json(&tl);
+        let jo_body = journeys_json(&journeys, scenario.detail);
+        let mut bench_body = report.to_json();
+        bench_body.push('\n');
+        for (kind, body) in [
+            ("timeline", &tl_body),
+            ("journeys", &jo_body),
+            ("bench", &bench_body),
+        ] {
+            if let Err(e) = json::validate(body) {
+                eprintln!("{name}: internal error: emitted {kind} JSON invalid: {e}");
+                failed = true;
+            }
+        }
+
+        if to_stdout {
+            print!("{tl_body}");
+            print!("{jo_body}");
+            print!("{bench_body}");
+        } else {
+            if let Err(e) = fs::create_dir_all(&out_dir) {
+                eprintln!("cannot create {}: {e}", out_dir.display());
+                return ExitCode::FAILURE;
+            }
+            let tl_path = out_dir.join(format!("{name}.timeline.json"));
+            let jo_path = out_dir.join(format!("{name}.journeys.json"));
+            let bench_path = out_dir.join(format!("BENCH_timeline_{name}.json"));
+            match (
+                fs::write(&tl_path, &tl_body),
+                fs::write(&jo_path, &jo_body),
+                fs::write(&bench_path, &bench_body),
+            ) {
+                (Ok(()), Ok(()), Ok(())) => {
+                    let worst = tl
+                        .worst_p99_window()
+                        .map_or(String::from("no samples"), |w| {
+                            format!(
+                                "worst p99 {} ns in window {} (t = {} ms)",
+                                w.p99_ns,
+                                w.index,
+                                w.index * window_ns / 1_000_000
+                            )
+                        });
+                    eprintln!(
+                        "{name}: {} windows of {} ms, {} journeys; {worst} -> {} + {} + {}",
+                        tl.windows.len(),
+                        window_ns / 1_000_000,
+                        journeys.journeys.len(),
+                        tl_path.display(),
+                        jo_path.display(),
+                        bench_path.display()
+                    );
+                }
+                (a, b, c) => {
+                    if let Err(e) = a.and(b).and(c) {
+                        eprintln!("{name}: write failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -15,6 +15,10 @@
 //! Because every timestamp comes from the simulated clock, running the
 //! same scenario twice produces byte-identical files.
 //!
+//! The scenario list is the shared registry in
+//! [`plexus_bench::scenarios`], the same one `plexus-profile` and
+//! `plexus-timeline` use.
+//!
 //! Usage:
 //!
 //! ```text
@@ -26,47 +30,17 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use plexus_bench::udp_rtt::{udp_rtt_traced, Link};
+use plexus_bench::scenarios;
 use plexus_trace::export::{chrome_trace, stats_json};
-use plexus_trace::{json, Recorder};
-
-/// Ring capacity for CLI runs: large enough that the scenarios below are
-/// captured without overwrites.
-const RING_CAPACITY: usize = 1 << 16;
-
-/// The scenarios the CLI can replay, with one line of help each.
-const SCENARIOS: &[(&str, &str)] = &[
-    (
-        "udp_rtt",
-        "UDP echo ping-pong (quickstart's protocol), interrupt-level handlers, Ethernet, 20 rounds",
-    ),
-    (
-        "udp_rtt_thread",
-        "the same ping-pong with thread-mode delivery (Figure 5's other Plexus bar)",
-    ),
-];
-
-fn run_scenario(name: &str) -> Option<std::rc::Rc<Recorder>> {
-    let recorder = Recorder::new(RING_CAPACITY);
-    match name {
-        "udp_rtt" => {
-            udp_rtt_traced(true, &Link::ethernet(), 8, 20, &recorder);
-        }
-        "udp_rtt_thread" => {
-            udp_rtt_traced(false, &Link::ethernet(), 8, 20, &recorder);
-        }
-        _ => return None,
-    }
-    Some(recorder)
-}
+use plexus_trace::json;
 
 fn usage() {
     eprintln!("usage: plexus-trace [-o DIR] [--stdout] SCENARIO...");
     eprintln!("       plexus-trace --list");
     eprintln!();
     eprintln!("scenarios:");
-    for (name, help) in SCENARIOS {
-        eprintln!("  {name:<16} {help}");
+    for s in scenarios::SCENARIOS {
+        eprintln!("  {:<18} {}", s.name, s.help);
     }
 }
 
@@ -78,8 +52,8 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list" => {
-                for (name, help) in SCENARIOS {
-                    println!("{name:<16} {help}");
+                for s in scenarios::SCENARIOS {
+                    println!("{:<18} {}", s.name, s.help);
                 }
                 return ExitCode::SUCCESS;
             }
@@ -105,16 +79,21 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for raw in &names {
-        // Accept `examples/udp_rtt`, `examples/udp_rtt.rs`, or bare names.
-        let name = raw
-            .trim_start_matches("examples/")
-            .trim_end_matches(".rs")
-            .to_string();
-        let Some(recorder) = run_scenario(&name) else {
+        let Some(scenario) = scenarios::find(raw) else {
             eprintln!("unknown scenario: {raw} (try --list)");
             failed = true;
             continue;
         };
+        let name = scenario.name;
+        let recorder = scenario.run();
+        if recorder.overwritten() > 0 {
+            eprintln!(
+                "{name}: WARNING: ring (capacity {}) wrapped — {} records overwritten; \
+                 the stats JSON carries a trace.truncated.records counter",
+                scenario.ring,
+                recorder.overwritten()
+            );
+        }
         let trace = chrome_trace(&recorder);
         let stats = stats_json(&recorder);
         for (kind, body) in [("trace", &trace), ("stats", &stats)] {

@@ -175,11 +175,16 @@ pub fn diff_reports(
                 ok,
             });
         }
-        // Exact fields: sample counts.
-        if let Some(gv) = gm.get("samples").and_then(Value::as_f64) {
-            let fv = fm.and_then(|m| m.get("samples")).and_then(Value::as_f64);
+        // Exact fields: sample counts and worst-window indices (the
+        // simulation is deterministic; a transient that moves to a
+        // different window is a behaviour change even at equal magnitude).
+        for field in ["samples", "window"] {
+            let Some(gv) = gm.get(field).and_then(Value::as_f64) else {
+                continue;
+            };
+            let fv = fm.and_then(|m| m.get(field)).and_then(Value::as_f64);
             checks.push(Check {
-                name: format!("{name}.samples"),
+                name: format!("{name}.{field}"),
                 golden: gv,
                 fresh: fv,
                 dev_pct: 0.0,
@@ -289,6 +294,28 @@ mod tests {
         assert!(!d.ok());
         assert!(d.failures().iter().all(|c| c.name.starts_with("rtt.")));
         assert_eq!(d.new_metrics, vec!["extra"]);
+    }
+
+    #[test]
+    fn worst_window_index_is_compared_exactly() {
+        let g = parse(
+            r#"{"bench": "tl", "metrics": [
+            {"name": "worst_p99", "value": 500.0, "unit": "us", "window": 3, "tol_pct": 2.0}
+        ], "counts": {}}"#,
+        )
+        .unwrap();
+        // Same magnitude, transient moved two windows later: must fail.
+        let moved = parse(
+            r#"{"bench": "tl", "metrics": [
+            {"name": "worst_p99", "value": 500.0, "unit": "us", "window": 5, "tol_pct": 2.0}
+        ], "counts": {}}"#,
+        )
+        .unwrap();
+        let d = diff_reports(&g, &moved, DEFAULT_TOL_PCT).unwrap();
+        let names: Vec<&str> = d.failures().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["worst_p99.window"]);
+        let d = diff_reports(&g, &g, DEFAULT_TOL_PCT).unwrap();
+        assert!(d.ok());
     }
 
     #[test]

@@ -180,6 +180,14 @@ fn run_plexus_echo(
                 if p2.get() >= payload {
                     p2.set(0);
                     let now = ctx.lease.now().as_nanos();
+                    if let Some(rec) = ctx.lease.recorder() {
+                        let hist = rec.intern("fwd.rtt_ns");
+                        // Completion sample for the windowed timeline,
+                        // and a journey break so the next request's
+                        // ledger starts fresh at this send.
+                        rec.sample(now, hist, now - st.sent_at.get());
+                        rec.journey_break();
+                    }
                     if st.complete(now) {
                         st.sent_at.set(ctx.lease.now().as_nanos());
                         conn.send_in(ctx, &req);

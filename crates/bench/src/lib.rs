@@ -13,6 +13,7 @@ pub mod fwd_latency;
 pub mod http_latency;
 pub mod overload;
 pub mod report;
+pub mod scenarios;
 pub mod table;
 pub mod tcp_tput;
 pub mod txn_latency;

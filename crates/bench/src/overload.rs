@@ -266,15 +266,33 @@ fn start_generator(
 
 /// Installs a raw sink on `nic`: frames addressed to `mac` score a
 /// completion against the timestamp embedded in their payload. Charges no
-/// CPU — the sink machine is not under test.
-fn install_sink(nic: &Rc<Nic>, mac: MacAddr, meter: &Rc<Meter>) {
+/// CPU — the sink machine is not under test. With a recorder, every
+/// completion lands as an `overload.latency_ns` sample (feeding the
+/// windowed timeline) and frames for other hosts are recorded as
+/// `not_for_me` drops so journey reconstruction classifies the broadcast
+/// copies as filtered dead ends instead of live hops.
+fn install_sink(
+    nic: &Rc<Nic>,
+    mac: MacAddr,
+    meter: &Rc<Meter>,
+    recorder: Option<&Rc<plexus_trace::Recorder>>,
+) {
     let meter = meter.clone();
+    let rec = recorder.cloned();
+    let hist = rec.as_ref().map(|r| r.intern("overload.latency_ns"));
     nic.set_rx_handler(move |engine, frame| {
+        let now_ns = engine.now().as_nanos();
         if frame.len() < PAYLOAD_OFF + 8 || frame[0..6] != mac.0 {
+            if let Some(rec) = &rec {
+                rec.packet_drop(now_ns, "sink", "not_for_me");
+            }
             return;
         }
         let sent_ns = u64::from_be_bytes(frame[PAYLOAD_OFF..PAYLOAD_OFF + 8].try_into().unwrap());
-        meter.complete(engine.now().as_nanos(), sent_ns);
+        if let (Some(rec), Some(hist)) = (&rec, hist) {
+            rec.sample(now_ns, hist, now_ns - sent_ns);
+        }
+        meter.complete(now_ns, sent_ns);
     });
 }
 
@@ -363,7 +381,7 @@ pub fn run_point_traced(
                 )
                 .unwrap();
             *slot.borrow_mut() = Some(ep);
-            install_sink(&gen_nic, MacAddr::local(GEN), &meter);
+            install_sink(&gen_nic, MacAddr::local(GEN), &meter, recorder);
         }
         Workload::UdpForward => {
             let ext = dut
@@ -371,7 +389,7 @@ pub fn run_point_traced(
                 .unwrap();
             InKernelForwarder::udp(&dut, &ext, PORT, ip(BACKEND)).unwrap();
             dut.seed_arp(ip(BACKEND), MacAddr::local(BACKEND));
-            install_sink(&nics[2], MacAddr::local(BACKEND), &meter);
+            install_sink(&nics[2], MacAddr::local(BACKEND), &meter, recorder);
         }
     }
 

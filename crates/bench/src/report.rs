@@ -2,7 +2,8 @@
 //!
 //! Every `src/bin` harness builds a [`BenchReport`] alongside its human
 //! table and hands it to [`emit`]: by default the JSON is written to
-//! `results/BENCH_<name>.json` (next to the `.txt` tables); with `--json`
+//! `results/BENCH_<name>.json` — the canonical committed output (human
+//! tables go to stdout at run time and are not committed); with `--json`
 //! on the command line it goes to stdout instead, so CI can pipe it
 //! through a JSON parser. Values come from the simulated clock, so the
 //! bytes are identical across runs and the golden files in `results/` can
@@ -33,6 +34,10 @@ struct Metric {
     samples: u64,
     /// Scalar value + unit, e.g. CPU utilization in percent.
     scalar: Option<(f64, &'static str)>,
+    /// For worst-window metrics: the timeline window index the value came
+    /// from. Compared exactly by `plexus-bench-diff` — in a deterministic
+    /// simulation a shifted worst window is a behaviour change.
+    window: Option<u64>,
     /// Allowed relative deviation (percent) before `plexus-bench-diff`
     /// flags a regression against this metric in a golden file.
     tol_pct: f64,
@@ -77,6 +82,7 @@ impl BenchReport {
             )),
             samples: sorted.len() as u64,
             scalar: None,
+            window: None,
             tol_pct: DEFAULT_TOL_PCT,
         });
     }
@@ -88,6 +94,7 @@ impl BenchReport {
             latency: Some((mean_us, mean_us, mean_us)),
             samples: 1,
             scalar: None,
+            window: None,
             tol_pct: DEFAULT_TOL_PCT,
         });
     }
@@ -100,6 +107,22 @@ impl BenchReport {
             latency: None,
             samples: 0,
             scalar: Some((value, unit)),
+            window: None,
+            tol_pct: DEFAULT_TOL_PCT,
+        });
+    }
+
+    /// Adds a worst-window metric: a scalar plus the timeline window
+    /// index it was observed in. The index is gated exactly, so a
+    /// regression that merely *moves* the transient (without changing its
+    /// magnitude) still fails the diff.
+    pub fn scalar_windowed(&mut self, name: &str, value: f64, unit: &'static str, window: u64) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            latency: None,
+            samples: 0,
+            scalar: Some((value, unit)),
+            window: Some(window),
             tol_pct: DEFAULT_TOL_PCT,
         });
     }
@@ -142,6 +165,9 @@ impl BenchReport {
             }
             if let Some((value, unit)) = m.scalar {
                 out.push_str(&format!(", \"value\": {value:.3}, \"unit\": {}", q(unit)));
+            }
+            if let Some(w) = m.window {
+                out.push_str(&format!(", \"window\": {w}"));
             }
             out.push_str(&format!(", \"tol_pct\": {:.1}}}", m.tol_pct));
         }

@@ -1,0 +1,183 @@
+//! One shared scenario registry for the observability CLIs.
+//!
+//! `plexus-trace`, `plexus-profile`, and `plexus-timeline` all replay the
+//! same deterministic worlds; before this registry each binary kept its
+//! own private scenario list and they drifted (different ring sizes,
+//! different subsets, duplicated help text). A [`Scenario`] bundles
+//! everything any of the CLIs needs: the run function, the
+//! flight-recorder ring capacity that captures the run without
+//! overwrites, the profile detail cap, the app domain that delimits
+//! ping-pong rounds, and the timeline window width.
+
+use std::rc::Rc;
+
+use plexus_apps::video::VideoConfig;
+use plexus_trace::timeline::DEFAULT_WINDOW_NS;
+use plexus_trace::Recorder;
+
+use crate::fwd_latency::plexus_fwd_traced;
+use crate::overload::{run_point_traced, RxMode, Workload};
+use crate::udp_rtt::{udp_rtt_traced, Link};
+use crate::video_cpu::{video_server_utilization_traced, VideoSystem};
+
+/// One replayable scenario. Every run derives all timestamps from the
+/// simulated clock, so any exporter over the recorder is byte-identical
+/// across runs.
+pub struct Scenario {
+    /// Registry key (what the CLIs take on the command line).
+    pub name: &'static str,
+    /// One line of help shown by `--list`.
+    pub help: &'static str,
+    /// Flight-recorder ring capacity: large enough that the scenario is
+    /// captured without overwrites.
+    pub ring: usize,
+    /// How many packets keep full span/slice detail in profile JSON (the
+    /// cap is stated in the output, never silent).
+    pub detail: usize,
+    /// The app domain that delimits ping-pong rounds (`None`: no
+    /// round-trip waterfall for this scenario).
+    pub app_domain: Option<&'static str>,
+    /// Timeline window width in simulated nanoseconds — sized so each
+    /// scenario folds into tens of windows, not thousands.
+    pub window_ns: u64,
+    run: fn(&Rc<Recorder>),
+}
+
+impl Scenario {
+    /// Replays the scenario with a fresh recorder installed across the
+    /// whole world and returns the recorder.
+    pub fn run(&self) -> Rc<Recorder> {
+        let recorder = Recorder::new(self.ring);
+        (self.run)(&recorder);
+        recorder
+    }
+}
+
+fn run_udp_rtt(rec: &Rc<Recorder>) {
+    udp_rtt_traced(true, &Link::ethernet(), 8, 20, rec);
+}
+
+fn run_udp_rtt_thread(rec: &Rc<Recorder>) {
+    udp_rtt_traced(false, &Link::ethernet(), 8, 20, rec);
+}
+
+fn run_fig6_video(rec: &Rc<Recorder>) {
+    video_server_utilization_traced(VideoSystem::Spin, 15, VideoConfig::default(), 1, Some(rec));
+}
+
+fn run_fig7_forwarding(rec: &Rc<Recorder>) {
+    plexus_fwd_traced(&Link::ethernet(), 64, 5, Some(rec));
+}
+
+fn run_overload(rec: &Rc<Recorder>) {
+    run_point_traced(
+        Workload::UdpEcho,
+        RxMode::PerPacket,
+        &Link::t3(),
+        (1, 4),
+        Some(rec),
+    );
+}
+
+fn run_overload_coalesced(rec: &Rc<Recorder>) {
+    run_point_traced(
+        Workload::UdpEcho,
+        RxMode::Coalesced,
+        &Link::t3(),
+        (1, 4),
+        Some(rec),
+    );
+}
+
+/// Every scenario the observability CLIs can replay.
+pub const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "udp_rtt",
+        help: "UDP echo ping-pong, interrupt-level handlers, Ethernet, 20 rounds (Figure 5)",
+        ring: 1 << 16,
+        detail: 64,
+        app_domain: Some("rtt-bench"),
+        window_ns: 1_000_000,
+        run: run_udp_rtt,
+    },
+    Scenario {
+        name: "udp_rtt_thread",
+        help: "the same ping-pong with thread-mode delivery (Figure 5's other Plexus bar)",
+        ring: 1 << 16,
+        detail: 64,
+        app_domain: Some("rtt-bench"),
+        window_ns: 1_000_000,
+        run: run_udp_rtt_thread,
+    },
+    Scenario {
+        name: "fig6_video",
+        help: "video server at 15 streams over the T3 for 1 simulated second (Figure 6)",
+        ring: 1 << 18,
+        detail: 8,
+        app_domain: None,
+        window_ns: 100_000_000,
+        run: run_fig6_video,
+    },
+    Scenario {
+        name: "fig7_forwarding",
+        help: "TCP echo through the in-kernel forwarder, 5 rounds (Figure 7)",
+        ring: 1 << 16,
+        detail: 16,
+        app_domain: None,
+        window_ns: 1_000_000,
+        run: run_fig7_forwarding,
+    },
+    Scenario {
+        name: "overload",
+        help: "UDP echo at 1/4 line rate on the per-packet rx path (the saturating one)",
+        ring: 1 << 18,
+        detail: 8,
+        app_domain: None,
+        window_ns: DEFAULT_WINDOW_NS,
+        run: run_overload,
+    },
+    Scenario {
+        name: "overload_coalesced",
+        help: "the same offered load on the coalesced rx path (sheds instead of saturating)",
+        ring: 1 << 18,
+        detail: 8,
+        app_domain: None,
+        window_ns: DEFAULT_WINDOW_NS,
+        run: run_overload_coalesced,
+    },
+];
+
+/// Looks up a scenario by name, accepting `examples/<name>` and
+/// `<name>.rs` spellings like the CLIs always have.
+pub fn find(raw: &str) -> Option<&'static Scenario> {
+    let name = raw.trim_start_matches("examples/").trim_end_matches(".rs");
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_lookup_strips_prefixes() {
+        for (i, s) in SCENARIOS.iter().enumerate() {
+            assert!(
+                SCENARIOS[i + 1..].iter().all(|o| o.name != s.name),
+                "duplicate scenario name {}",
+                s.name
+            );
+        }
+        assert_eq!(find("udp_rtt").unwrap().name, "udp_rtt");
+        assert_eq!(find("examples/udp_rtt").unwrap().name, "udp_rtt");
+        assert_eq!(find("examples/udp_rtt.rs").unwrap().name, "udp_rtt");
+        assert!(find("nonsense").is_none());
+    }
+
+    #[test]
+    fn every_scenario_has_a_positive_window() {
+        for s in SCENARIOS {
+            assert!(s.window_ns > 0, "{}: zero window", s.name);
+            assert!(s.ring > 0, "{}: zero ring", s.name);
+        }
+    }
+}

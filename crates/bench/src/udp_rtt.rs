@@ -275,7 +275,12 @@ fn plexus_rtt(
         let (rtt, more) = st.complete(now);
         if let Some(rec) = ctx.lease.recorder() {
             let hist = rec.intern("udp.rtt_ns");
-            rec.record_latency(hist, rtt);
+            // A completion sample (ring record + histogram) so the
+            // windowed timeline sees per-round RTTs, and a journey break
+            // so the next round's request starts a fresh ledger instead
+            // of chaining onto the reply's.
+            rec.sample(now, hist, rtt);
+            rec.journey_break();
         }
         if more {
             st.sent_at.set(ctx.lease.now().as_nanos());

@@ -541,6 +541,7 @@ impl PlexusStack {
                 let mut mbuf = Mbuf::from_wire(&frame);
                 mbuf.pkthdr_mut().rcvif = Some(0);
                 mbuf.pkthdr_mut().packet_id = lease.recorder().and_then(|r| r.current_packet());
+                mbuf.pkthdr_mut().journey_id = lease.recorder().and_then(|r| r.current_journey());
                 let arg = EthRecv { mbuf };
                 let mut ctx = RaiseCtx {
                     engine,
@@ -571,6 +572,7 @@ impl PlexusStack {
             let mut lease = s.cpu.begin(engine.now());
             let model = lease.model().clone();
             lease.charge(model.interrupt_entry);
+            let host = s.nic.host();
             let mut batch = s.dispatcher.batch(s.events.eth_recv);
             for (i, frame) in frames.iter().enumerate() {
                 // In batch mode the glue stamps per-frame packet IDs (the
@@ -578,10 +580,20 @@ impl PlexusStack {
                 // work begins inside the drained interrupt).
                 let rec = lease.recorder_handle();
                 if let Some(rec) = &rec {
-                    rec.packet_arrival(lease.now().as_nanos(), s.nic.profile().name, frame.len());
+                    rec.packet_arrival_hop(
+                        lease.now().as_nanos(),
+                        s.nic.profile().name,
+                        &host,
+                        frame.bytes.len(),
+                        frame.journey,
+                    );
                 }
-                lease.charge(s.nic.profile().rx_cpu_cost_coalesced(frame.len(), i == 0));
-                let accept = match view::<EtherView>(frame) {
+                lease.charge(
+                    s.nic
+                        .profile()
+                        .rx_cpu_cost_coalesced(frame.bytes.len(), i == 0),
+                );
+                let accept = match view::<EtherView>(&frame.bytes) {
                     Some(v) => {
                         let dst = v.dst();
                         dst == s.mac || dst.is_broadcast() || s.promiscuous.get()
@@ -590,9 +602,11 @@ impl PlexusStack {
                 };
                 if accept {
                     s.bump(|st| st.eth_rx += 1);
-                    let mut mbuf = Mbuf::from_wire(frame);
+                    let mut mbuf = Mbuf::from_wire(&frame.bytes);
                     mbuf.pkthdr_mut().rcvif = Some(0);
                     mbuf.pkthdr_mut().packet_id = lease.recorder().and_then(|r| r.current_packet());
+                    mbuf.pkthdr_mut().journey_id =
+                        lease.recorder().and_then(|r| r.current_journey());
                     let arg = EthRecv { mbuf };
                     let mut ctx = RaiseCtx {
                         engine: &mut *engine,

@@ -43,6 +43,12 @@ pub struct PktHdr {
     /// on. Survives [`Mbuf::share`], so handlers deep in the graph can
     /// attribute work to the arriving packet.
     pub packet_id: Option<u64>,
+    /// End-to-end journey ID the frame carried across the wire, if
+    /// tracing is on. Unlike `packet_id` (one hop on one machine) the
+    /// journey ID is globally unique across the whole simulated world and
+    /// is preserved when a forwarder retransmits the packet, so a
+    /// post-hoc pass can stitch the per-machine hops into one ledger.
+    pub journey_id: Option<u64>,
 }
 
 #[derive(Clone)]

@@ -26,6 +26,22 @@ use crate::time::{SimDuration, SimTime};
 /// A raw frame on the wire.
 pub type Frame = Vec<u8>;
 
+/// A received frame plus the journey tag that rode the wire with it.
+///
+/// The journey ID is simulator metadata carried *alongside* the bytes —
+/// a real system would stash it in a trailer; keeping it out-of-band
+/// leaves frame contents (and thus wire timing) untouched. It lets the
+/// post-hoc journey pass stitch per-machine packet records into one
+/// cross-machine hop ledger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RxFrame {
+    /// The frame bytes as they arrived.
+    pub bytes: Frame,
+    /// End-to-end journey ID assigned at the originating transmit, if
+    /// the sender had a flight recorder installed.
+    pub journey: Option<u64>,
+}
+
 /// Static description of a network device model.
 #[derive(Clone, Debug)]
 pub struct NicProfile {
@@ -336,10 +352,10 @@ pub type RxHandler = Box<dyn Fn(&mut Engine, Frame)>;
 /// "busy" until then, so frames arriving in the meantime queue on the
 /// ring instead of raising their own interrupts.
 ///
-/// Per-frame recorder bookkeeping ([`Recorder::packet_arrival`] /
+/// Per-frame recorder bookkeeping ([`Recorder::packet_arrival_hop`] /
 /// `packet_done`) is the glue's responsibility in this mode, because only
 /// the glue knows when each frame's CPU work actually starts.
-pub type RxBatchHandler = Box<dyn Fn(&mut Engine, Vec<Frame>) -> SimTime>;
+pub type RxBatchHandler = Box<dyn Fn(&mut Engine, Vec<RxFrame>) -> SimTime>;
 
 /// Counters a NIC keeps about its own traffic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -374,7 +390,8 @@ pub struct Nic {
     tx_free_at: Cell<SimTime>,
     rx_handler: RefCell<Option<RxHandler>>,
     rx_batch_handler: RefCell<Option<RxBatchHandler>>,
-    rx_ring: RefCell<VecDeque<Frame>>,
+    rx_ring: RefCell<VecDeque<RxFrame>>,
+    host: RefCell<String>,
     rx_busy_until: Cell<SimTime>,
     rx_drain_pending: Cell<bool>,
     stats: Cell<NicStats>,
@@ -393,6 +410,7 @@ impl Nic {
             rx_handler: RefCell::new(None),
             rx_batch_handler: RefCell::new(None),
             rx_ring: RefCell::new(VecDeque::new()),
+            host: RefCell::new(String::new()),
             rx_busy_until: Cell::new(SimTime::ZERO),
             rx_drain_pending: Cell::new(false),
             stats: Cell::new(NicStats::default()),
@@ -411,6 +429,18 @@ impl Nic {
     /// Traffic counters.
     pub fn stats(&self) -> NicStats {
         self.stats.get()
+    }
+
+    /// Names the machine this NIC is plugged into ([`crate::World`] does
+    /// this on connect). The name rides into every arrival record so
+    /// post-hoc journey reconstruction can label hops by machine.
+    pub fn set_host(&self, host: &str) {
+        host.clone_into(&mut self.host.borrow_mut());
+    }
+
+    /// The owning machine's name (empty when unattached).
+    pub fn host(&self) -> String {
+        self.host.borrow().clone()
     }
 
     /// Installs (or removes) a flight recorder. On delivery the NIC
@@ -445,7 +475,7 @@ impl Nic {
     /// handler.
     pub fn set_rx_batch_handler<F>(&self, handler: F)
     where
-        F: Fn(&mut Engine, Vec<Frame>) -> SimTime + 'static,
+        F: Fn(&mut Engine, Vec<RxFrame>) -> SimTime + 'static,
     {
         *self.rx_batch_handler.borrow_mut() = Some(Box::new(handler));
         *self.rx_handler.borrow_mut() = None;
@@ -492,17 +522,22 @@ impl Nic {
         stats.tx_wire_bytes += self.profile.wire_bytes(frame.len()) as u64;
         self.stats.set(stats);
 
+        // The journey ID crosses the wire with the frame: inherited from
+        // the packet being forwarded, or freshly allocated when this NIC
+        // originates the traffic outside any packet context.
+        let journey = self.recorder.borrow().as_ref().map(|rec| rec.tx_journey());
         if let Some(rec) = self.recorder.borrow().as_ref() {
             // Stamped at ready_at — the last instant of driver CPU work —
             // so it stays monotone within the packet's record stream; the
             // wire phases ride along as durations.
-            rec.packet_tx(
+            rec.packet_tx_journey(
                 ready_at.as_nanos(),
                 self.profile.name,
                 frame.len(),
                 start.saturating_since(ready_at).as_nanos(),
                 ser.as_nanos(),
                 self.medium.propagation.as_nanos(),
+                journey,
             );
         }
 
@@ -530,14 +565,14 @@ impl Nic {
             .collect();
         for peer in members {
             let frame = frame.clone();
-            engine.schedule_at(arrival, move |eng| peer.deliver(eng, frame));
+            engine.schedule_at(arrival, move |eng| peer.deliver(eng, frame, journey));
         }
         end
     }
 
-    fn deliver(self: Rc<Self>, engine: &mut Engine, frame: Frame) {
+    fn deliver(self: Rc<Self>, engine: &mut Engine, frame: Frame, journey: Option<u64>) {
         if self.rx_batch_handler.borrow().is_some() {
-            self.deliver_coalesced(engine, frame);
+            self.deliver_coalesced(engine, frame, journey);
             return;
         }
         let mut stats = self.stats.get();
@@ -552,10 +587,18 @@ impl Nic {
                 self.stats.set(stats);
                 // Assign the per-packet ID here, at the moment the frame
                 // reaches the host: everything the rx chain records until
-                // it returns is attributed to this packet.
+                // it returns is attributed to this packet. Per-frame mode
+                // is one interrupt per frame with nothing ever queued.
                 let rec = self.recorder.borrow().clone();
                 if let Some(rec) = &rec {
-                    rec.packet_arrival(engine.now().as_nanos(), self.profile.name, frame.len());
+                    rec.rx_interrupt(engine.now().as_nanos(), self.profile.name, 1, 0);
+                    rec.packet_arrival_hop(
+                        engine.now().as_nanos(),
+                        self.profile.name,
+                        &self.host.borrow(),
+                        frame.len(),
+                        journey,
+                    );
                 }
                 h(engine, frame);
                 if let Some(rec) = &rec {
@@ -574,7 +617,13 @@ impl Nic {
                 // vocabulary instead of surfacing as an orphaned record.
                 let rec = self.recorder.borrow().clone();
                 if let Some(rec) = &rec {
-                    rec.packet_arrival(engine.now().as_nanos(), self.profile.name, frame.len());
+                    rec.packet_arrival_hop(
+                        engine.now().as_nanos(),
+                        self.profile.name,
+                        &self.host.borrow(),
+                        frame.len(),
+                        journey,
+                    );
                 }
                 self.record_drop(engine.now(), "rx_no_handler");
                 if let Some(rec) = &rec {
@@ -587,13 +636,19 @@ impl Nic {
     /// Coalesced-mode delivery: interrupt immediately when the driver is
     /// idle, otherwise queue on the bounded rx ring (shedding with the
     /// `rx_ring_drop` reason on overflow).
-    fn deliver_coalesced(self: Rc<Self>, engine: &mut Engine, frame: Frame) {
+    fn deliver_coalesced(self: Rc<Self>, engine: &mut Engine, frame: Frame, journey: Option<u64>) {
         let now = engine.now();
         let driver_busy = now < self.rx_busy_until.get()
             || self.rx_drain_pending.get()
             || !self.rx_ring.borrow().is_empty();
         if !driver_busy {
-            self.run_rx_interrupt(engine, vec![frame]);
+            self.run_rx_interrupt(
+                engine,
+                vec![RxFrame {
+                    bytes: frame,
+                    journey,
+                }],
+            );
             return;
         }
         let occupancy = {
@@ -607,13 +662,22 @@ impl Nic {
                 // attributed, not orphaned.
                 let rec = self.recorder.borrow().clone();
                 if let Some(rec) = &rec {
-                    rec.packet_arrival(now.as_nanos(), self.profile.name, frame.len());
+                    rec.packet_arrival_hop(
+                        now.as_nanos(),
+                        self.profile.name,
+                        &self.host.borrow(),
+                        frame.len(),
+                        journey,
+                    );
                     rec.packet_drop(now.as_nanos(), self.profile.name, "rx_ring_drop");
                     rec.packet_done();
                 }
                 return;
             }
-            ring.push_back(frame);
+            ring.push_back(RxFrame {
+                bytes: frame,
+                journey,
+            });
             ring.len() as u64
         };
         let mut stats = self.stats.get();
@@ -640,7 +704,7 @@ impl Nic {
 
     fn drain_rx_ring(self: Rc<Self>, engine: &mut Engine) {
         self.rx_drain_pending.set(false);
-        let batch: Vec<Frame> = {
+        let batch: Vec<RxFrame> = {
             let mut ring = self.rx_ring.borrow_mut();
             let n = ring.len().min(self.profile.rx_batch.max(1));
             ring.drain(..n).collect()
@@ -654,11 +718,11 @@ impl Nic {
     /// Takes one receive interrupt for `frames`, invokes the batch
     /// handler, and reschedules a drain if the ring refilled while the
     /// driver worked.
-    fn run_rx_interrupt(self: &Rc<Self>, engine: &mut Engine, frames: Vec<Frame>) {
+    fn run_rx_interrupt(self: &Rc<Self>, engine: &mut Engine, frames: Vec<RxFrame>) {
         let mut stats = self.stats.get();
         stats.rx_interrupts += 1;
         stats.rx_frames += frames.len() as u64;
-        stats.rx_bytes += frames.iter().map(|f| f.len() as u64).sum::<u64>();
+        stats.rx_bytes += frames.iter().map(|f| f.bytes.len() as u64).sum::<u64>();
         self.stats.set(stats);
         if let Some(rec) = self.recorder.borrow().as_ref() {
             let nic = rec.intern(self.profile.name);
@@ -673,6 +737,14 @@ impl Nic {
             }
             let hist = rec.intern("nic.rx_frames_per_interrupt");
             rec.record_latency(hist, frames.len() as u64);
+            // Ring record for the windowed timeline: how many frames this
+            // interrupt drained, and how many were still queued behind it.
+            rec.rx_interrupt(
+                engine.now().as_nanos(),
+                self.profile.name,
+                frames.len(),
+                self.rx_ring.borrow().len(),
+            );
         }
         let handler = self.rx_batch_handler.borrow_mut().take();
         let Some(h) = handler else {
@@ -1039,7 +1111,7 @@ mod coalesce_tests {
         let s = seen.clone();
         b.set_rx_batch_handler(move |eng, frames| {
             for f in &frames {
-                s.borrow_mut().push(f[0]);
+                s.borrow_mut().push(f.bytes[0]);
             }
             eng.now() + SimDuration::from_micros(1_000)
         });

@@ -140,6 +140,7 @@ impl World {
             .iter()
             .map(|m| {
                 let nic = Nic::new(profile.clone(), &medium);
+                nic.set_host(m.name());
                 m.nics.borrow_mut().push(nic.clone());
                 nic
             })

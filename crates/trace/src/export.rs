@@ -26,11 +26,22 @@ pub fn chrome_trace(rec: &Recorder) -> String {
     for r in rec.events() {
         let tid = r.packet.map_or(0, |p| p + 1);
         let (name, cat, ph, args) = match r.event {
-            TraceEvent::PacketArrival { nic, bytes } => (
+            TraceEvent::PacketArrival { nic, host, bytes } => (
                 format!("packet arrival ({})", rec.name(nic)),
                 "packet",
                 "i",
-                format!("{{\"bytes\": {bytes}}}"),
+                {
+                    let host = rec.name(host);
+                    let journey = r.journey.map_or(String::from("null"), |j| j.to_string());
+                    if host.is_empty() {
+                        format!("{{\"bytes\": {bytes}, \"journey\": {journey}}}")
+                    } else {
+                        format!(
+                            "{{\"bytes\": {bytes}, \"host\": \"{}\", \"journey\": {journey}}}",
+                            escape(&host)
+                        )
+                    }
+                },
             ),
             TraceEvent::GuardEval {
                 event,
@@ -88,6 +99,22 @@ pub fn chrome_trace(rec: &Recorder) -> String {
                      \"ser_ns\": {ser_ns}, \"prop_ns\": {prop_ns}}}"
                 ),
             ),
+            TraceEvent::RxInterrupt {
+                nic,
+                frames,
+                ring_after,
+            } => (
+                format!("rx interrupt ({})", rec.name(nic)),
+                "interrupt",
+                "i",
+                format!("{{\"frames\": {frames}, \"ring_after\": {ring_after}}}"),
+            ),
+            TraceEvent::LatencySample { hist, ns } => (
+                format!("sample ({})", rec.name(hist)),
+                "sample",
+                "i",
+                format!("{{\"ns\": {ns}}}"),
+            ),
             TraceEvent::TimerFire => (String::from("timer"), "timer", "i", String::from("{}")),
             TraceEvent::Crossing { dir, bytes } => (
                 format!("crossing {}", dir.name()),
@@ -132,6 +159,12 @@ pub fn stats_json(rec: &Recorder) -> String {
             )
         })
         .collect();
+    // Ring truncation is easy to miss in a wall of healthy counters, so a
+    // wrapped ring surfaces as an explicit synthesized counter: any
+    // profile/timeline built from this recorder excluded orphan packets.
+    if rec.overwritten() > 0 {
+        counters.push((String::from("trace.truncated.records"), rec.overwritten()));
+    }
     counters.sort();
 
     let mut hists: Vec<(String, String)> = rec

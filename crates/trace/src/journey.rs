@@ -1,0 +1,555 @@
+//! Cross-machine packet journeys reconstructed from the profiled ring.
+//!
+//! A *journey* is the causal chain a frame starts: the journey ID is
+//! allocated at the original transmit, carried across the wire with the
+//! frame, inherited by the receive chain it triggers on the next machine,
+//! and passed on by any frame *that* chain transmits — until a receive
+//! handler calls [`crate::Recorder::journey_break`] to start a fresh one.
+//! Per-machine packet IDs restart at every NIC arrival; the journey ID is
+//! the identity that survives the hop, which is what makes a cross-machine
+//! latency waterfall possible at all.
+//!
+//! [`build`] stitches the per-packet profiles of one [`Profile`] into
+//! per-journey hop ledgers. Hops are linked by the wire-telescoping
+//! equation the NIC model guarantees —
+//! `tx.at_ns + wait + ser + prop == arrival.at_ns` — with an inequality
+//! fallback for coalesced receive paths where the arrival record is
+//! delayed by rx-ring queueing (the gap becomes the hop's *queue wait*).
+//! The **chain** is the path from the origin transmit to the latest
+//! surviving hop; broadcast copies that a MAC filter discarded are counted
+//! as *filtered hops*, other causal offshoots (ACKs, forwarded copies) as
+//! *branch hops*. Along the chain every nanosecond between the origin
+//! handover and the final hop's last record lands in exactly one named
+//! segment — wire phases, rx-queue waits, and `(machine, layer, domain)`
+//! processing slices — so the segments telescope to the measured
+//! end-to-end time exactly, in the style of
+//! [`crate::profile::pingpong_waterfall`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::json::escape;
+use crate::profile::{PacketProfile, Profile, Segment, TxRecord};
+
+/// One hop on a journey's critical-path chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainHop {
+    /// Per-machine packet ID of this hop.
+    pub packet: u64,
+    /// Receiving machine (NIC name when the world didn't name the host).
+    pub machine: String,
+    /// Receiving NIC.
+    pub nic: String,
+    /// Arrival-record timestamp.
+    pub arrival_ns: u64,
+    /// Time the frame sat in the rx ring before the arrival record (zero
+    /// on the per-frame path, where delivery and arrival coincide).
+    pub queue_wait_ns: u64,
+    /// Handover instant of the transmit that continues the chain
+    /// (`None` for the final hop).
+    pub tx_ns: Option<u64>,
+    /// CPU time spent unwinding handler stacks after the handover — real
+    /// work, but off the critical path (it overlaps wire time).
+    pub overlap_ns: u64,
+}
+
+/// One reconstructed journey.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Journey {
+    /// The world-global journey ID.
+    pub journey: u64,
+    /// Where the clock starts: the origin handover when the origin
+    /// transmit was recorded, else the first chain hop's arrival.
+    pub start_ns: u64,
+    /// The final chain hop's last record.
+    pub end_ns: u64,
+    /// `end_ns - start_ns`; the chain segments sum to this exactly.
+    pub end_to_end_ns: u64,
+    /// Machine that sent the origin frame (`None` when the origin
+    /// transmit ran outside any packet window on an unnamed machine).
+    pub origin_machine: Option<String>,
+    /// The critical-path hops, origin-side first.
+    pub chain: Vec<ChainHop>,
+    /// Ordered waterfall segments summing to `end_to_end_ns`.
+    pub segments: Vec<Segment>,
+    /// Hops causally in this journey but off the chain (ACKs, broadcast
+    /// copies that were processed).
+    pub branch_hops: u64,
+    /// Broadcast copies a MAC filter (or similar) discarded on arrival.
+    pub filtered_hops: u64,
+    /// Total post-handover unwind time across chain hops.
+    pub overlap_ns: u64,
+}
+
+/// All journeys of one profiled run, in journey-ID order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Journeys {
+    /// One entry per journey that produced at least one non-orphan hop.
+    pub journeys: Vec<Journey>,
+    /// Packets excluded because ring wraparound ate their arrival (their
+    /// journey tag is unknown).
+    pub orphan_packets: u64,
+}
+
+/// A transmit that can parent a hop: the resolved record plus where it
+/// came from.
+struct TxCand<'a> {
+    tx: &'a TxRecord,
+    /// `(packet, index in that packet's txs)`; `None` for a transmit
+    /// recorded outside any packet window.
+    source: Option<(u64, usize)>,
+}
+
+impl TxCand<'_> {
+    fn wire_arrival(&self) -> u64 {
+        self.tx.at_ns + self.tx.wait_ns + self.tx.ser_ns + self.tx.prop_ns
+    }
+}
+
+fn machine_of(p: &PacketProfile) -> String {
+    p.host
+        .clone()
+        .or_else(|| p.nic.clone())
+        .unwrap_or_else(|| String::from("?"))
+}
+
+/// A hop that arrived but was discarded without running any handler —
+/// a broadcast copy the MAC filter (or an overflowing rx ring) shed.
+fn is_filtered(p: &PacketProfile) -> bool {
+    p.spans.is_empty() && p.txs.is_empty() && !p.drops.is_empty()
+}
+
+/// Appends `ns` to the segment named `name`, merging consecutive equal
+/// names (keeps first-seen order otherwise).
+fn push_segment(segments: &mut Vec<Segment>, name: String, ns: u64) {
+    match segments.iter_mut().find(|s| s.name == name) {
+        Some(s) => s.ns += ns,
+        None => segments.push(Segment { name, ns }),
+    }
+}
+
+/// Groups `slices[..=upto]` of a hop into `{machine}.{layer}.{domain}`
+/// segments, first-seen order, appended to `segments`.
+fn hop_processing_segments(
+    segments: &mut Vec<Segment>,
+    p: &PacketProfile,
+    machine: &str,
+    upto: usize,
+) {
+    for s in &p.slices[..=upto] {
+        push_segment(
+            segments,
+            format!("{machine}.{}.{}", s.at.layer, s.at.domain),
+            s.ns(),
+        );
+    }
+}
+
+/// Index of the slice produced by the `k`-th (0-based) `PacketTx` record
+/// of this hop. Tx records and the `driver/tx` slices they produce appear
+/// in the same order, so counting is exact.
+fn nth_tx_slice_idx(p: &PacketProfile, k: usize) -> Option<usize> {
+    p.slices
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.at.layer == "driver" && s.at.handler == "tx")
+        .map(|(i, _)| i)
+        .nth(k)
+}
+
+/// Reconstructs every journey from a built profile.
+pub fn build(profile: &Profile) -> Journeys {
+    let by_id: BTreeMap<u64, &PacketProfile> =
+        profile.packets.iter().map(|p| (p.packet, p)).collect();
+
+    let mut orphans = 0u64;
+    let mut hops_by_journey: BTreeMap<u64, Vec<&PacketProfile>> = BTreeMap::new();
+    for p in &profile.packets {
+        match p.journey {
+            Some(j) if !p.orphan => hops_by_journey.entry(j).or_default().push(p),
+            _ => orphans += 1,
+        }
+    }
+
+    // Candidate parent transmits per journey: engine/timer-context sends
+    // first, then per-packet transmits in packet order. A transmit's
+    // journey tag names the chain its *delivery* joins, which may differ
+    // from the journey of the packet being processed when it was sent
+    // (that is exactly what `journey_break` arranges).
+    let mut txs_by_journey: BTreeMap<u64, Vec<TxCand<'_>>> = BTreeMap::new();
+    for tx in &profile.unattributed_txs {
+        if let Some(j) = tx.journey {
+            txs_by_journey
+                .entry(j)
+                .or_default()
+                .push(TxCand { tx, source: None });
+        }
+    }
+    for p in &profile.packets {
+        for (i, tx) in p.txs.iter().enumerate() {
+            if let Some(j) = tx.journey {
+                txs_by_journey.entry(j).or_default().push(TxCand {
+                    tx,
+                    source: Some((p.packet, i)),
+                });
+            }
+        }
+    }
+
+    let mut journeys = Vec::with_capacity(hops_by_journey.len());
+    for (jid, mut hops) in hops_by_journey {
+        hops.sort_by_key(|p| (p.first_ns, p.packet));
+        let cands = txs_by_journey.get(&jid).map_or(&[][..], Vec::as_slice);
+
+        // The parent transmit of a hop: exact wire-telescoping match
+        // first; otherwise the latest handover whose wire arrival does
+        // not postdate the hop's arrival record (rx-ring queueing delays
+        // the record past the wire arrival on the coalesced path).
+        let parent_of = |hop: &PacketProfile| -> Option<&TxCand<'_>> {
+            let not_self = |c: &&TxCand<'_>| c.source.map(|(p, _)| p) != Some(hop.packet);
+            cands
+                .iter()
+                .filter(not_self)
+                .find(|c| c.wire_arrival() == hop.first_ns)
+                .or_else(|| {
+                    cands
+                        .iter()
+                        .filter(not_self)
+                        .filter(|c| c.wire_arrival() <= hop.first_ns)
+                        .max_by_key(|c| c.wire_arrival())
+                })
+        };
+
+        // The chain ends at the latest hop that actually ran (falling
+        // back to the latest filtered hop for journeys that died on
+        // arrival), and is walked backwards via parent transmits.
+        let end = hops
+            .iter()
+            .filter(|p| !is_filtered(p))
+            .max_by_key(|p| (p.last_ns, p.first_ns, p.packet))
+            .or_else(|| hops.iter().max_by_key(|p| (p.last_ns, p.packet)))
+            .expect("journey group is non-empty");
+
+        let mut chain: Vec<(&PacketProfile, Option<usize>)> = vec![(end, None)];
+        let mut origin: Option<&TxCand<'_>> = None;
+        let mut visited: BTreeSet<u64> = BTreeSet::new();
+        visited.insert(end.packet);
+        loop {
+            let (head, _) = chain[0];
+            let Some(parent) = parent_of(head) else { break };
+            match parent.source {
+                Some((pkt, tx_idx))
+                    if by_id.get(&pkt).is_some_and(|p| p.journey == Some(jid))
+                        && visited.insert(pkt) =>
+                {
+                    chain.insert(0, (by_id[&pkt], Some(tx_idx)));
+                }
+                _ => {
+                    // Sent from another journey's window (a broken chain's
+                    // origin) or from engine/timer context: the journey
+                    // starts here.
+                    origin = Some(parent);
+                    break;
+                }
+            }
+        }
+
+        let start_ns = origin.map_or(chain[0].0.first_ns, |c| c.tx.at_ns);
+        let end_ns = end.last_ns;
+        let origin_machine = origin.and_then(|c| c.source.map(|(pkt, _)| machine_of(by_id[&pkt])));
+
+        // Stitch the segments hop by hop. Each iteration appends the wire
+        // phases that delivered hop `i`, its rx-queue wait, and its
+        // processing slices up to the handover that continues the chain —
+        // so consecutive pieces share their boundary instants and the
+        // total telescopes to `end_ns - start_ns` with nothing left over.
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut chain_hops: Vec<ChainHop> = Vec::new();
+        let mut overlap_total = 0u64;
+        for i in 0..chain.len() {
+            let (hop, _) = chain[i];
+            let machine = machine_of(hop);
+
+            // Wire phases into this hop (from the origin transmit or the
+            // previous chain hop's handover).
+            let incoming = if i == 0 {
+                origin
+            } else {
+                let (prev, prev_tx_idx) = chain[i - 1];
+                prev_tx_idx.and_then(|k| cands.iter().find(|c| c.source == Some((prev.packet, k))))
+            };
+            let mut queue_wait = 0;
+            if let Some(c) = incoming {
+                let src = c
+                    .source
+                    .map_or_else(|| String::from("origin"), |(p, _)| machine_of(by_id[&p]));
+                let wire = format!("{src}->{machine}.wire");
+                push_segment(&mut segments, format!("{wire}.wait"), c.tx.wait_ns);
+                push_segment(&mut segments, format!("{wire}.serialize"), c.tx.ser_ns);
+                push_segment(&mut segments, format!("{wire}.propagate"), c.tx.prop_ns);
+                queue_wait = hop.first_ns.saturating_sub(c.wire_arrival());
+                if queue_wait > 0 {
+                    push_segment(&mut segments, format!("{machine}.rx_queue"), queue_wait);
+                }
+            }
+
+            // Processing on this hop: up to the chain-continuing handover
+            // for inner hops, the whole window for the final one.
+            let own_tx_idx = chain[i].1;
+            let (tx_ns, overlap, upto) = match own_tx_idx {
+                Some(k) => {
+                    let tx = &hop.txs[k];
+                    let upto = nth_tx_slice_idx(hop, k);
+                    (Some(tx.at_ns), hop.last_ns.saturating_sub(tx.at_ns), upto)
+                }
+                None => (None, 0, hop.slices.len().checked_sub(1)),
+            };
+            if let Some(upto) = upto {
+                hop_processing_segments(&mut segments, hop, &machine, upto);
+            }
+            overlap_total += overlap;
+            chain_hops.push(ChainHop {
+                packet: hop.packet,
+                machine,
+                nic: hop.nic.clone().unwrap_or_default(),
+                arrival_ns: hop.first_ns,
+                queue_wait_ns: queue_wait,
+                tx_ns,
+                overlap_ns: overlap,
+            });
+        }
+
+        let on_chain: BTreeSet<u64> = chain.iter().map(|&(p, _)| p.packet).collect();
+        let filtered = hops
+            .iter()
+            .filter(|p| is_filtered(p) && !on_chain.contains(&p.packet))
+            .count() as u64;
+        let branches = hops.len() as u64 - filtered - on_chain.len() as u64;
+
+        journeys.push(Journey {
+            journey: jid,
+            start_ns,
+            end_ns,
+            end_to_end_ns: end_ns - start_ns,
+            origin_machine,
+            chain: chain_hops,
+            segments,
+            branch_hops: branches,
+            filtered_hops: filtered,
+            overlap_ns: overlap_total,
+        });
+    }
+
+    Journeys {
+        journeys,
+        orphan_packets: orphans,
+    }
+}
+
+/// Renders the journeys as deterministic JSON (schema
+/// `plexus.journey.v1`). Per-journey detail is emitted for the first
+/// `max_detail` journeys only — the cap is stated, never silent — while
+/// the per-segment aggregate covers every journey.
+pub fn journeys_json(j: &Journeys, max_detail: usize) -> String {
+    let mut out = String::from("{\n  \"schema\": \"plexus.journey.v1\",\n");
+    out.push_str(&format!("  \"journeys_total\": {},\n", j.journeys.len()));
+    let detailed = j.journeys.len().min(max_detail);
+    out.push_str(&format!("  \"journeys_detailed\": {detailed},\n"));
+    out.push_str(&format!(
+        "  \"orphan_packets_excluded\": {},\n",
+        j.orphan_packets
+    ));
+
+    // Per-segment aggregate across *all* journeys, first-seen order.
+    let mut agg: Vec<(String, u64, u64)> = Vec::new();
+    for journey in &j.journeys {
+        for s in &journey.segments {
+            match agg.iter_mut().find(|(n, _, _)| *n == s.name) {
+                Some((_, total, count)) => {
+                    *total += s.ns;
+                    *count += 1;
+                }
+                None => agg.push((s.name.clone(), s.ns, 1)),
+            }
+        }
+    }
+    out.push_str("  \"segments\": [");
+    for (i, (name, total, count)) in agg.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"total_ns\": {total}, \"journeys\": {count}, \
+             \"mean_ns\": {}}}",
+            escape(name),
+            total / count.max(&1)
+        ));
+    }
+    out.push_str(if agg.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    out.push_str("  \"journeys\": [");
+    for (i, journey) in j.journeys.iter().take(detailed).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"journey\": {}, \"start_ns\": {}, \"end_ns\": {}, \
+             \"end_to_end_ns\": {}, \"origin_machine\": {}, \"branch_hops\": {}, \
+             \"filtered_hops\": {}, \"overlap_ns\": {}, \"chain\": [",
+            journey.journey,
+            journey.start_ns,
+            journey.end_ns,
+            journey.end_to_end_ns,
+            journey
+                .origin_machine
+                .as_ref()
+                .map_or(String::from("null"), |m| format!("\"{}\"", escape(m))),
+            journey.branch_hops,
+            journey.filtered_hops,
+            journey.overlap_ns
+        ));
+        for (k, h) in journey.chain.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"packet\": {}, \"machine\": \"{}\", \"nic\": \"{}\", \
+                 \"arrival_ns\": {}, \"queue_wait_ns\": {}, \"tx_ns\": {}, \
+                 \"overlap_ns\": {}}}",
+                h.packet,
+                escape(&h.machine),
+                escape(&h.nic),
+                h.arrival_ns,
+                h.queue_wait_ns,
+                h.tx_ns.map_or(String::from("null"), |t| t.to_string()),
+                h.overlap_ns
+            ));
+        }
+        out.push_str("], \"segments\": [");
+        for (k, s) in journey.segments.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"ns\": {}}}",
+                escape(&s.name),
+                s.ns
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str(if detailed == 0 {
+        "]\n}\n"
+    } else {
+        "\n  ]\n}\n"
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::profile::Profile;
+    use crate::Recorder;
+
+    /// Hand-built two-hop journey: an origin send from engine context, a
+    /// middle machine that forwards, and a final machine that consumes.
+    fn two_hop() -> std::rc::Rc<Recorder> {
+        let rec = Recorder::new(128);
+        // Origin send (no packet in flight): journey 0 allocated here.
+        let j = rec.tx_journey();
+        assert_eq!(j, 0);
+        rec.packet_tx_journey(1_000, "eth0", 60, 10, 500, 90, Some(j));
+
+        // Hop 1 on machine "fwd": arrives exactly at 1_000+10+500+90.
+        let ev = rec.intern("Udp.PacketRecv");
+        let dom = rec.intern("fwd-ext");
+        rec.packet_arrival_hop(1_600, "eth0", "fwd", 60, Some(j));
+        let span = rec.handler_enter(1_700, ev, dom);
+        // Forwarding tx inherits the journey.
+        rec.packet_tx(2_000, "eth0", 60, 0, 500, 100);
+        rec.handler_exit(2_200, ev, dom, span);
+        rec.packet_done();
+
+        // Hop 2 on machine "backend": arrives at 2_000+0+500+100.
+        rec.packet_arrival_hop(2_600, "eth0", "backend", 60, Some(j));
+        let span = rec.handler_enter(2_700, ev, dom);
+        rec.handler_exit(3_000, ev, dom, span);
+        rec.packet_done();
+        rec
+    }
+
+    #[test]
+    fn chain_links_hops_and_segments_telescope_exactly() {
+        let rec = two_hop();
+        let js = build(&Profile::build(&rec));
+        assert_eq!(js.journeys.len(), 1);
+        let j = &js.journeys[0];
+        assert_eq!(j.journey, 0);
+        assert_eq!(j.chain.len(), 2);
+        assert_eq!(j.chain[0].machine, "fwd");
+        assert_eq!(j.chain[1].machine, "backend");
+        assert_eq!(j.start_ns, 1_000, "clock starts at the origin handover");
+        assert_eq!(j.end_ns, 3_000);
+        assert_eq!(j.end_to_end_ns, 2_000);
+        let sum: u64 = j.segments.iter().map(|s| s.ns).sum();
+        assert_eq!(sum, j.end_to_end_ns, "zero unattributed nanoseconds");
+        // The forwarder's post-handover unwind is off the critical path.
+        assert_eq!(j.chain[0].overlap_ns, 200);
+        assert_eq!(j.overlap_ns, 200);
+        // Wire names carry the machine pair.
+        assert!(j
+            .segments
+            .iter()
+            .any(|s| s.name == "fwd->backend.wire.serialize"));
+        assert!(j
+            .segments
+            .iter()
+            .any(|s| s.name.starts_with("backend.udp.")));
+    }
+
+    #[test]
+    fn filtered_broadcast_copies_stay_off_the_chain() {
+        let rec = two_hop();
+        // A third arrival of the same journey that the MAC filter shed.
+        rec.packet_arrival_hop(2_600, "eth0", "bystander", 60, Some(0));
+        rec.packet_drop(2_600, "ether", "mac_filter");
+        rec.packet_done();
+        let js = build(&Profile::build(&rec));
+        let j = &js.journeys[0];
+        assert_eq!(j.filtered_hops, 1);
+        assert_eq!(j.chain.len(), 2, "filtered copy not on the chain");
+        assert_eq!(j.end_ns, 3_000, "filtered copy doesn't move the end");
+    }
+
+    #[test]
+    fn coalesced_style_delayed_arrival_becomes_queue_wait() {
+        let rec = Recorder::new(64);
+        let j = rec.tx_journey();
+        rec.packet_tx_journey(1_000, "eth0", 60, 0, 500, 100, Some(j));
+        // Arrival record 400 ns after the wire arrival (rx-ring wait).
+        rec.packet_arrival_hop(2_000, "eth0", "dut", 60, Some(j));
+        rec.packet_done();
+        let js = build(&Profile::build(&rec));
+        let jo = &js.journeys[0];
+        assert_eq!(jo.chain[0].queue_wait_ns, 400);
+        let sum: u64 = jo.segments.iter().map(|s| s.ns).sum();
+        assert_eq!(sum, jo.end_to_end_ns);
+        assert!(jo.segments.iter().any(|s| s.name == "dut.rx_queue"));
+    }
+
+    #[test]
+    fn journeys_json_is_valid_and_caps_are_stated() {
+        let rec = two_hop();
+        let js = build(&Profile::build(&rec));
+        let body = journeys_json(&js, 0);
+        validate(&body).expect("journey JSON well-formed");
+        assert!(body.contains("\"schema\": \"plexus.journey.v1\""));
+        assert!(body.contains("\"journeys_total\": 1"));
+        assert!(body.contains("\"journeys_detailed\": 0"));
+        let detailed = journeys_json(&js, 8);
+        validate(&detailed).expect("detailed journey JSON well-formed");
+        assert!(detailed.contains("\"machine\": \"backend\""));
+        assert_eq!(detailed, journeys_json(&build(&Profile::build(&rec)), 8));
+    }
+}

@@ -32,8 +32,10 @@
 
 pub mod export;
 pub mod flame;
+pub mod journey;
 pub mod json;
 pub mod profile;
+pub mod timeline;
 
 mod recorder;
 mod registry;
@@ -94,6 +96,9 @@ pub enum TraceEvent {
     PacketArrival {
         /// Interned NIC/device name.
         nic: Label,
+        /// Interned name of the machine that owns the NIC (empty for NICs
+        /// built outside a `World`).
+        host: Label,
         /// Frame length in bytes.
         bytes: u32,
     },
@@ -152,6 +157,27 @@ pub enum TraceEvent {
         /// One-way propagation to the receiving NIC(s).
         prop_ns: u64,
     },
+    /// A receive interrupt fired on a NIC: `frames` frames are handed to
+    /// the driver in one batch (always 1 on the per-frame path) and
+    /// `ring_after` frames remain queued in the rx ring afterwards. The
+    /// timeline folds these into per-window interrupt rates and rx-ring
+    /// highwater marks.
+    RxInterrupt {
+        /// Interned NIC/device name.
+        nic: Label,
+        /// Frames delivered by this interrupt.
+        frames: u32,
+        /// Frames still waiting in the rx ring after the batch was taken.
+        ring_after: u32,
+    },
+    /// A latency observation, recorded into the named histogram *and* the
+    /// ring so the timeline can compute per-window percentiles.
+    LatencySample {
+        /// Interned histogram name.
+        hist: Label,
+        /// The observed latency in nanoseconds.
+        ns: u64,
+    },
     /// A cancelable timer fired in the engine.
     TimerFire,
     /// A user/kernel boundary crossing (trap, copyin, copyout).
@@ -174,6 +200,13 @@ pub struct TraceRecord {
     pub seq: u64,
     /// Per-packet ID in flight when this was recorded.
     pub packet: Option<u64>,
+    /// The journey (world-global causal packet chain) in flight when this
+    /// was recorded. Unlike `packet`, which is re-assigned at every NIC
+    /// arrival, the journey ID crosses the wire: a frame transmitted while
+    /// processing journey `J` delivers as a new packet still tagged `J`,
+    /// which is what lets [`journey`] stitch per-machine hop ledgers into
+    /// one cross-machine waterfall.
+    pub journey: Option<u64>,
     /// The event itself.
     pub event: TraceEvent,
 }

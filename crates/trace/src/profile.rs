@@ -129,6 +129,11 @@ pub struct TxRecord {
     pub ser_ns: u64,
     /// One-way propagation.
     pub prop_ns: u64,
+    /// The journey the transmitted frame carries across the wire. Inside a
+    /// receive chain this is the chain's own journey unless the sender
+    /// called `journey_break` first, in which case it is the fresh journey
+    /// the delivery will start.
+    pub journey: Option<u64>,
 }
 
 /// The profile of one packet's processing window.
@@ -136,6 +141,12 @@ pub struct TxRecord {
 pub struct PacketProfile {
     /// Per-packet ID assigned at arrival.
     pub packet: u64,
+    /// World-global journey this hop belongs to (None for orphans whose
+    /// arrival record was lost).
+    pub journey: Option<u64>,
+    /// Machine that received the frame (None for orphans or NICs built
+    /// outside a `World`).
+    pub host: Option<String>,
     /// Arriving NIC (None for orphans whose arrival record was lost).
     pub nic: Option<String>,
     /// Frame length at arrival (0 for orphans).
@@ -275,6 +286,7 @@ fn resolve_tx(rec: &Recorder, r: &TraceRecord) -> Option<TxRecord> {
             wait_ns,
             ser_ns,
             prop_ns,
+            journey: r.journey,
         })
     } else {
         None
@@ -374,11 +386,16 @@ fn build_packet(
     truncation: &mut TruncationReport,
 ) -> PacketProfile {
     let first = &recs[0];
-    let (nic, bytes, orphan) = match first.event {
-        TraceEvent::PacketArrival { nic, bytes } => (Some(rec.name(nic)), bytes, false),
+    let (nic, host, bytes, orphan) = match first.event {
+        TraceEvent::PacketArrival { nic, host, bytes } => {
+            let host = rec.name(host);
+            let host = if host.is_empty() { None } else { Some(host) };
+            (Some(rec.name(nic)), host, bytes, false)
+        }
         // Wraparound ate the arrival: keep what we can see, but flag it.
-        _ => (None, 0, true),
+        _ => (None, None, 0, true),
     };
+    let journey = if orphan { None } else { first.journey };
 
     let mut spans: Vec<Span> = Vec::new(); // finished roots
     let mut stack: Vec<Span> = Vec::new(); // open spans, innermost last
@@ -504,6 +521,12 @@ fn build_packet(
                 domain: cur_domain(),
                 handler: String::from("timer"),
             }),
+            // Observability events are attribution-neutral: they carry no
+            // CPU work of their own (samples share their neighbor's
+            // timestamp; interrupts are charged by the driver glue), so
+            // they produce no slice and leave the gap to the next
+            // structural record.
+            TraceEvent::RxInterrupt { .. } | TraceEvent::LatencySample { .. } => None,
             // A second arrival can't appear mid-packet (arrivals assign a
             // fresh ID); if the stream is orphaned it may *start* with
             // arbitrary records, attributed to the driver.
@@ -523,6 +546,24 @@ fn build_packet(
         }
     }
 
+    // A trailing attribution-neutral record (latency sample, rx
+    // interrupt) can leave the gap to the window's end uncharged; close
+    // it against the innermost open domain so slices still tile
+    // `[first_ns, last_ns]`.
+    if prev_ns < last_ns {
+        slices.push(Slice {
+            start_ns: prev_ns,
+            end_ns: last_ns,
+            at: Triple {
+                layer: String::from("engine"),
+                domain: stack
+                    .last()
+                    .map_or_else(|| String::from("kernel"), |s| s.domain.clone()),
+                handler: String::from("tail"),
+            },
+        });
+    }
+
     // Enters whose exits never made the ring: close at the window's end.
     while let Some(sp) = stack.pop() {
         truncation.unmatched_enters += 1;
@@ -535,6 +576,8 @@ fn build_packet(
 
     PacketProfile {
         packet: id,
+        journey,
+        host,
         nic,
         bytes,
         first_ns: first.at_ns,

@@ -46,7 +46,9 @@ pub struct Recorder {
     next_seq: Cell<u64>,
     next_packet: Cell<u64>,
     next_span: Cell<u64>,
+    next_journey: Cell<u64>,
     current_packet: Cell<Option<u64>>,
+    current_journey: Cell<Option<u64>>,
 }
 
 impl Recorder {
@@ -59,7 +61,9 @@ impl Recorder {
             next_seq: Cell::new(0),
             next_packet: Cell::new(0),
             next_span: Cell::new(0),
+            next_journey: Cell::new(0),
             current_packet: Cell::new(None),
+            current_journey: Cell::new(None),
         })
     }
 
@@ -98,12 +102,17 @@ impl Recorder {
     }
 
     fn push(&self, at_ns: u64, event: TraceEvent) {
+        self.push_with_journey(at_ns, event, self.current_journey.get());
+    }
+
+    fn push_with_journey(&self, at_ns: u64, event: TraceEvent, journey: Option<u64>) {
         let seq = self.next_seq.get();
         self.next_seq.set(seq + 1);
         self.ring.borrow_mut().push(TraceRecord {
             at_ns,
             seq,
             packet: self.current_packet.get(),
+            journey,
             event,
         });
     }
@@ -125,37 +134,97 @@ impl Recorder {
         self.registry.record_hist(hist, ns);
     }
 
+    /// Records a latency observation into the named histogram *and* the
+    /// ring, so the timeline can recover per-window percentiles that the
+    /// whole-run histogram flattens away.
+    pub fn sample(&self, at_ns: u64, hist: Label, ns: u64) {
+        self.registry.record_hist(hist, ns);
+        self.push(at_ns, TraceEvent::LatencySample { hist, ns });
+    }
+
     // --- instrumentation entry points -----------------------------------
 
     /// A frame arrived at a NIC: assigns the next per-packet ID, marks it
     /// current (subsequent records are attributed to it until
     /// [`Recorder::packet_done`]), and records the arrival.
     pub fn packet_arrival(&self, at_ns: u64, nic: &str, bytes: usize) -> u64 {
+        self.packet_arrival_hop(at_ns, nic, "", bytes, None).0
+    }
+
+    /// Like [`Recorder::packet_arrival`], but with the receiving machine's
+    /// name and the journey tag the frame carried across the wire (`None`
+    /// for a frame whose transmit predates the recorder — a fresh journey
+    /// is allocated). Returns `(packet_id, journey_id)`. Subsequent
+    /// records are tagged with both until [`Recorder::packet_done`].
+    pub fn packet_arrival_hop(
+        &self,
+        at_ns: u64,
+        nic: &str,
+        host: &str,
+        bytes: usize,
+        journey: Option<u64>,
+    ) -> (u64, u64) {
         let id = self.next_packet.get();
         self.next_packet.set(id + 1);
         self.current_packet.set(Some(id));
+        let journey = journey.unwrap_or_else(|| self.alloc_journey());
+        self.current_journey.set(Some(journey));
         let nic = self.intern(nic);
+        let host = self.intern(host);
         self.push(
             at_ns,
             TraceEvent::PacketArrival {
                 nic,
+                host,
                 bytes: bytes as u32,
             },
         );
         self.count(Scope::Packet, nic, "arrivals", 1);
         self.count(Scope::Packet, nic, "bytes", bytes as u64);
-        id
+        (id, journey)
     }
 
     /// The current packet's processing chain has left the instrumented
     /// path; later records are no longer attributed to it.
     pub fn packet_done(&self) {
         self.current_packet.set(None);
+        self.current_journey.set(None);
     }
 
     /// The packet ID currently in flight, if any.
     pub fn current_packet(&self) -> Option<u64> {
         self.current_packet.get()
+    }
+
+    /// The journey currently in flight, if any.
+    pub fn current_journey(&self) -> Option<u64> {
+        self.current_journey.get()
+    }
+
+    /// Severs the causal chain: frames transmitted after this point (but
+    /// still within the current packet's processing) start a *new*
+    /// journey. Ping-pong benchmarks call this before sending round
+    /// `k + 1` from round `k`'s receive handler, so every round is its own
+    /// journey rather than one endless chain.
+    pub fn journey_break(&self) {
+        self.current_journey.set(None);
+    }
+
+    fn alloc_journey(&self) -> u64 {
+        let id = self.next_journey.get();
+        self.next_journey.set(id + 1);
+        id
+    }
+
+    /// The journey a transmit belongs to: the one in flight if the frame
+    /// is sent from inside a packet's processing chain, otherwise a fresh
+    /// one (an origin send from timer/engine context). Does *not* make the
+    /// fresh journey current — it lives only on the wire until delivery.
+    pub fn tx_journey(&self) -> u64 {
+        match self.current_journey.get() {
+            Some(j) => j,
+            None => self.alloc_journey(),
+        }
     }
 
     /// A guard was evaluated during an event raise.
@@ -258,8 +327,26 @@ impl Recorder {
         ser_ns: u64,
         prop_ns: u64,
     ) {
+        let journey = self.current_journey.get();
+        self.packet_tx_journey(at_ns, nic, bytes, wait_ns, ser_ns, prop_ns, journey);
+    }
+
+    /// [`Recorder::packet_tx`] with an explicit journey tag, used by the
+    /// NIC so an origin send (no journey in flight) records the freshly
+    /// allocated journey its delivery will inherit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn packet_tx_journey(
+        &self,
+        at_ns: u64,
+        nic: &str,
+        bytes: usize,
+        wait_ns: u64,
+        ser_ns: u64,
+        prop_ns: u64,
+        journey: Option<u64>,
+    ) {
         let nic = self.intern(nic);
-        self.push(
+        self.push_with_journey(
             at_ns,
             TraceEvent::PacketTx {
                 nic,
@@ -268,10 +355,26 @@ impl Recorder {
                 ser_ns,
                 prop_ns,
             },
+            journey,
         );
         self.count(Scope::Packet, nic, "tx_frames", 1);
         self.count(Scope::Packet, nic, "tx_bytes", bytes as u64);
         self.count(Scope::Packet, nic, "tx_wait_ns", wait_ns);
+    }
+
+    /// A receive interrupt delivered `frames` frames, leaving `ring_after`
+    /// queued. Ring record only — the coalescing counters are kept by the
+    /// NIC; the per-frame path records `frames == 1, ring_after == 0`.
+    pub fn rx_interrupt(&self, at_ns: u64, nic: &str, frames: usize, ring_after: usize) {
+        let nic = self.intern(nic);
+        self.push(
+            at_ns,
+            TraceEvent::RxInterrupt {
+                nic,
+                frames: frames as u32,
+                ring_after: ring_after as u32,
+            },
+        );
     }
 
     /// A cancelable engine timer fired.

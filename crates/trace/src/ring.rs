@@ -83,6 +83,7 @@ mod tests {
             at_ns: seq * 10,
             seq,
             packet: None,
+            journey: None,
             event: TraceEvent::TimerFire,
         }
     }

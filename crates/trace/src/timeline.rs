@@ -1,0 +1,339 @@
+//! Windowed time-series telemetry over the flight-recorder ring.
+//!
+//! [`build`] folds the retained [`TraceRecord`] stream into fixed
+//! simulated-time windows (default width [`DEFAULT_WINDOW_NS`]) and emits
+//! per-window goodput, drop counts by reason, rx-ring highwater,
+//! interrupt rate, and nearest-rank p50/p99 latency. Whole-run aggregates
+//! (the stats JSON, the bench reports) hide transients — a 50 ms queue
+//! buildup in the first tenth of an overload run vanishes into a healthy
+//! mean — and the windowed series is what makes them visible and, via the
+//! worst-window metrics, gateable in CI.
+//!
+//! Like the profiler this is a *post-hoc* fold: the recording hot path
+//! stays zero-alloc (`Copy` records into the preallocated ring; latency
+//! samples via [`crate::Recorder::sample`] are one ring push plus a
+//! histogram bump), and all the windowing work happens after the run.
+//! [`timeline_json`] emits integers in deterministic key order, so two
+//! runs of the same scenario produce byte-identical output — the same
+//! contract every other exporter honors.
+
+use std::collections::BTreeMap;
+
+use crate::json::escape;
+use crate::{Recorder, TraceEvent};
+
+/// Default window width: 10 ms of simulated time.
+pub const DEFAULT_WINDOW_NS: u64 = 10_000_000;
+
+/// Aggregates for one fixed window of simulated time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Window {
+    /// Window index; the window covers
+    /// `[index * window_ns, (index + 1) * window_ns)`.
+    pub index: u64,
+    /// Frames that arrived at any NIC in this window.
+    pub arrivals: u64,
+    /// Bytes across those arrivals.
+    pub arrival_bytes: u64,
+    /// Frames handed to any transmitter in this window.
+    pub tx_frames: u64,
+    /// Bytes across those transmits.
+    pub tx_bytes: u64,
+    /// Worst transmit queueing delay observed in this window.
+    pub tx_wait_max_ns: u64,
+    /// Latency samples completed in this window (the goodput series).
+    pub completions: u64,
+    /// Nearest-rank median of this window's latency samples.
+    pub p50_ns: u64,
+    /// Nearest-rank 99th percentile of this window's latency samples.
+    pub p99_ns: u64,
+    /// Receive interrupts fired in this window.
+    pub interrupts: u64,
+    /// Frames delivered by those interrupts.
+    pub interrupt_frames: u64,
+    /// Highest rx-ring occupancy seen at any interrupt in this window
+    /// (frames taken plus frames still queued).
+    pub rx_ring_highwater: u64,
+    /// Drops in this window as `(layer, reason) -> count`.
+    pub drops: BTreeMap<(String, String), u64>,
+}
+
+impl Window {
+    /// Total drops in this window across all `(layer, reason)` keys.
+    pub fn drop_count(&self) -> u64 {
+        self.drops.values().sum()
+    }
+}
+
+/// The windowed fold of one recorded run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Timeline {
+    /// Window width in simulated nanoseconds.
+    pub window_ns: u64,
+    /// Dense windows from simulated time zero through the last record.
+    pub windows: Vec<Window>,
+    /// Records the ring overwrote before the fold — non-zero means early
+    /// windows under-report.
+    pub truncated_records: u64,
+}
+
+impl Timeline {
+    /// Index of the window with the highest p99 latency (ties go to the
+    /// earliest window), or `None` when no window completed a sample.
+    pub fn worst_p99_window(&self) -> Option<&Window> {
+        self.windows
+            .iter()
+            .filter(|w| w.completions > 0)
+            .max_by(|a, b| a.p99_ns.cmp(&b.p99_ns).then(b.index.cmp(&a.index)))
+    }
+
+    /// Index of the window with the most drops (ties go to the earliest
+    /// window), or `None` when nothing was dropped.
+    pub fn worst_drop_window(&self) -> Option<&Window> {
+        self.windows
+            .iter()
+            .filter(|w| w.drop_count() > 0)
+            .max_by(|a, b| {
+                a.drop_count()
+                    .cmp(&b.drop_count())
+                    .then(b.index.cmp(&a.index))
+            })
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice (`q` in percent).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    let rank = ((q / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// Folds the recorder's retained ring into fixed `window_ns`-wide windows.
+///
+/// # Panics
+///
+/// Panics if `window_ns` is zero.
+pub fn build(rec: &Recorder, window_ns: u64) -> Timeline {
+    assert!(window_ns > 0, "window width must be positive");
+    let records = rec.events();
+    // Transmit records are stamped at their (possibly future) handover
+    // instant, so the ring is not sorted by timestamp: take the max.
+    let last_ns = records.iter().map(|r| r.at_ns).max().unwrap_or(0);
+    let n_windows = if records.is_empty() {
+        0
+    } else {
+        (last_ns / window_ns + 1) as usize
+    };
+    let mut windows: Vec<Window> = (0..n_windows)
+        .map(|i| Window {
+            index: i as u64,
+            ..Window::default()
+        })
+        .collect();
+    let mut samples: Vec<Vec<u64>> = vec![Vec::new(); n_windows];
+
+    for r in &records {
+        let w = &mut windows[(r.at_ns / window_ns) as usize];
+        match r.event {
+            TraceEvent::PacketArrival { bytes, .. } => {
+                w.arrivals += 1;
+                w.arrival_bytes += u64::from(bytes);
+            }
+            TraceEvent::PacketTx { bytes, wait_ns, .. } => {
+                w.tx_frames += 1;
+                w.tx_bytes += u64::from(bytes);
+                w.tx_wait_max_ns = w.tx_wait_max_ns.max(wait_ns);
+            }
+            TraceEvent::LatencySample { ns, .. } => {
+                w.completions += 1;
+                samples[(r.at_ns / window_ns) as usize].push(ns);
+            }
+            TraceEvent::RxInterrupt {
+                frames, ring_after, ..
+            } => {
+                w.interrupts += 1;
+                w.interrupt_frames += u64::from(frames);
+                w.rx_ring_highwater = w
+                    .rx_ring_highwater
+                    .max(u64::from(frames) + u64::from(ring_after));
+            }
+            TraceEvent::Drop { layer, reason } => {
+                *w.drops
+                    .entry((rec.name(layer), rec.name(reason)))
+                    .or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    for (w, mut obs) in windows.iter_mut().zip(samples) {
+        obs.sort_unstable();
+        w.p50_ns = percentile(&obs, 50.0);
+        w.p99_ns = percentile(&obs, 99.0);
+    }
+
+    Timeline {
+        window_ns,
+        windows,
+        truncated_records: rec.overwritten(),
+    }
+}
+
+/// Renders the timeline as deterministic JSON (schema
+/// `plexus.timeline.v1`): integers only, fixed key order, windows dense
+/// from time zero.
+pub fn timeline_json(t: &Timeline) -> String {
+    let mut out = String::from("{\n  \"schema\": \"plexus.timeline.v1\",\n");
+    out.push_str(&format!("  \"window_ns\": {},\n", t.window_ns));
+    out.push_str(&format!(
+        "  \"truncated_records\": {},\n",
+        t.truncated_records
+    ));
+    out.push_str(&format!(
+        "  \"worst_p99_window\": {},\n",
+        t.worst_p99_window()
+            .map_or(String::from("null"), |w| w.index.to_string())
+    ));
+    out.push_str(&format!(
+        "  \"worst_drop_window\": {},\n",
+        t.worst_drop_window()
+            .map_or(String::from("null"), |w| w.index.to_string())
+    ));
+    out.push_str("  \"windows\": [");
+    for (i, w) in t.windows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"index\": {}, \"start_ns\": {}, \"arrivals\": {}, \
+             \"arrival_bytes\": {}, \"tx_frames\": {}, \"tx_bytes\": {}, \
+             \"tx_wait_max_ns\": {}, \"completions\": {}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"interrupts\": {}, \"interrupt_frames\": {}, \
+             \"rx_ring_highwater\": {}, \"drops\": [",
+            w.index,
+            w.index * t.window_ns,
+            w.arrivals,
+            w.arrival_bytes,
+            w.tx_frames,
+            w.tx_bytes,
+            w.tx_wait_max_ns,
+            w.completions,
+            w.p50_ns,
+            w.p99_ns,
+            w.interrupts,
+            w.interrupt_frames,
+            w.rx_ring_highwater
+        ));
+        for (j, ((layer, reason), n)) in w.drops.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"layer\": \"{}\", \"reason\": \"{}\", \"count\": {n}}}",
+                escape(layer),
+                escape(reason)
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str(if t.windows.is_empty() {
+        "]\n}\n"
+    } else {
+        "\n  ]\n}\n"
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+
+    #[test]
+    fn windows_are_dense_and_events_land_in_the_right_one() {
+        let rec = Recorder::new(64);
+        rec.packet_arrival(500, "Ethernet", 60);
+        rec.packet_done();
+        rec.packet_arrival(1_500, "Ethernet", 40);
+        rec.packet_drop(1_600, "ip", "no_route");
+        rec.packet_done();
+        let hist = rec.intern("rtt");
+        rec.sample(3_500, hist, 42);
+        rec.sample(3_600, hist, 100);
+        rec.rx_interrupt(3_700, "Ethernet", 4, 2);
+
+        let t = build(&rec, 1_000);
+        assert_eq!(t.windows.len(), 4, "dense through the last record");
+        assert_eq!(t.windows[0].arrivals, 1);
+        assert_eq!(t.windows[0].arrival_bytes, 60);
+        assert_eq!(t.windows[1].arrivals, 1);
+        assert_eq!(t.windows[1].drop_count(), 1);
+        assert_eq!(
+            t.windows[2],
+            Window {
+                index: 2,
+                ..Window::default()
+            }
+        );
+        let w3 = &t.windows[3];
+        assert_eq!(w3.completions, 2);
+        assert_eq!(w3.p50_ns, 42);
+        assert_eq!(w3.p99_ns, 100);
+        assert_eq!(w3.interrupts, 1);
+        assert_eq!(w3.rx_ring_highwater, 6);
+        assert_eq!(t.worst_p99_window().unwrap().index, 3);
+        assert_eq!(t.worst_drop_window().unwrap().index, 1);
+    }
+
+    #[test]
+    fn future_stamped_tx_records_extend_the_window_range() {
+        let rec = Recorder::new(64);
+        rec.packet_arrival(500, "Ethernet", 60);
+        // A queued transmit whose handover instant postdates every other
+        // record: the window range must still cover it.
+        rec.packet_tx(2_500, "Ethernet", 60, 0, 0, 0);
+        rec.packet_done();
+        let t = build(&rec, 1_000);
+        assert_eq!(t.windows.len(), 3);
+        assert_eq!(t.windows[2].tx_frames, 1);
+    }
+
+    #[test]
+    fn worst_window_ties_go_to_the_earliest() {
+        let rec = Recorder::new(64);
+        let hist = rec.intern("rtt");
+        rec.sample(100, hist, 7);
+        rec.sample(1_100, hist, 7);
+        let t = build(&rec, 1_000);
+        assert_eq!(t.worst_p99_window().unwrap().index, 0);
+    }
+
+    #[test]
+    fn timeline_json_is_valid_and_deterministic() {
+        let make = || {
+            let rec = Recorder::new(64);
+            rec.packet_arrival(500, "Ethernet", 60);
+            rec.packet_drop(700, "udp", "no_port");
+            rec.packet_done();
+            let hist = rec.intern("rtt");
+            rec.sample(900, hist, 55);
+            timeline_json(&build(&rec, 1_000))
+        };
+        let a = make();
+        assert_eq!(a, make());
+        validate(&a).expect("timeline JSON well-formed");
+        assert!(a.contains("\"schema\": \"plexus.timeline.v1\""));
+        assert!(a.contains("\"worst_p99_window\": 0"));
+        assert!(a.contains("\"reason\": \"no_port\""));
+    }
+
+    #[test]
+    fn empty_recorder_yields_an_empty_timeline() {
+        let rec = Recorder::new(8);
+        let t = build(&rec, DEFAULT_WINDOW_NS);
+        assert!(t.windows.is_empty());
+        validate(&timeline_json(&t)).expect("empty timeline JSON");
+    }
+}

@@ -37,7 +37,7 @@ fn populate(rec: &Recorder, steps: &[(usize, usize, u64)]) {
         at += dt;
         let ev = rec.intern(label(which));
         let dom = rec.intern(label(which + 1));
-        match kind % 6 {
+        match kind % 8 {
             0 => {
                 let span = rec.handler_enter(at, ev, dom);
                 open.push((ev, dom, span));
@@ -50,6 +50,8 @@ fn populate(rec: &Recorder, steps: &[(usize, usize, u64)]) {
             2 => rec.guard_eval(at, ev, GuardKind::Verified, which % 2 == 0),
             3 => rec.packet_drop(at, label(which), label(which + 2)),
             4 => rec.crossing(at, CrossDir::UserToKernel, which),
+            5 => rec.sample(at, ev, dt),
+            6 => rec.rx_interrupt(at, "Ethernet", which + 1, which),
             _ => rec.timer_fire(at),
         }
     }
@@ -63,7 +65,7 @@ fn populate(rec: &Recorder, steps: &[(usize, usize, u64)]) {
 proptest! {
     #[test]
     fn every_export_of_a_random_event_mix_round_trips_the_validator(
-        steps in prop::collection::vec((0usize..6, 0usize..6, 0u64..10_000), 0..64),
+        steps in prop::collection::vec((0usize..8, 0usize..6, 0u64..10_000), 0..64),
         ring_cap in 1usize..128,
     ) {
         let rec = Recorder::new(ring_cap);
@@ -83,7 +85,7 @@ proptest! {
 
     #[test]
     fn profile_slices_tile_each_window_even_under_wraparound(
-        steps in prop::collection::vec((0usize..6, 0usize..6, 0u64..10_000), 0..64),
+        steps in prop::collection::vec((0usize..8, 0usize..6, 0u64..10_000), 0..64),
         ring_cap in 1usize..32,
     ) {
         // Tiny rings force truncation; the invariant must hold for

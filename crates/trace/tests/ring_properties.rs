@@ -14,6 +14,11 @@ fn rec(seq: u64) -> TraceRecord {
         } else {
             Some(seq / 2)
         },
+        journey: if seq.is_multiple_of(5) {
+            None
+        } else {
+            Some(seq / 3)
+        },
         event: TraceEvent::TimerFire,
     }
 }

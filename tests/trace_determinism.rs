@@ -8,7 +8,9 @@ use std::rc::Rc;
 
 use plexus::trace::export::{chrome_trace, stats_json};
 use plexus::trace::flame::folded;
+use plexus::trace::journey::{self, journeys_json};
 use plexus::trace::profile::{pingpong_waterfall, profile_json, Profile};
+use plexus::trace::timeline::{self, timeline_json};
 use plexus::trace::{json, CounterKey, Recorder, Scope, TraceEvent};
 use plexus_bench::udp_rtt::{udp_rtt_traced, Link};
 
@@ -152,6 +154,25 @@ fn profile_and_flamegraph_are_byte_identical_across_runs() {
     json::validate(&json_a).expect("profile JSON well-formed");
     assert_eq!(folded(&pa), folded(&pb), "folded stacks are byte-identical");
     assert!(!folded(&pa).is_empty());
+}
+
+#[test]
+fn timeline_and_journey_exports_are_byte_identical_across_runs() {
+    let (a, _) = traced_run(true);
+    let (b, _) = traced_run(true);
+
+    let tl = |rec: &Rc<Recorder>| timeline_json(&timeline::build(rec, 1_000_000));
+    let timeline_a = tl(&a);
+    assert_eq!(timeline_a, tl(&b), "timeline JSON is byte-identical");
+    json::validate(&timeline_a).expect("timeline JSON well-formed");
+    assert!(timeline_a.contains("\"schema\": \"plexus.timeline.v1\""));
+
+    let jo = |rec: &Rc<Recorder>| journeys_json(&journey::build(&Profile::build(rec)), 64);
+    let journeys_a = jo(&a);
+    assert_eq!(journeys_a, jo(&b), "journey JSON is byte-identical");
+    json::validate(&journeys_a).expect("journey JSON well-formed");
+    assert!(journeys_a.contains("\"schema\": \"plexus.journey.v1\""));
+    assert!(journeys_a.contains("\"orphan_packets_excluded\": 0"));
 }
 
 #[test]
