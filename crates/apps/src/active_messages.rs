@@ -103,11 +103,19 @@ impl ActiveMessages {
                 let Some(am) = view_at::<AmView>(head, ETHER_HDR_LEN) else {
                     return;
                 };
+                // Peek the headers in place, then gather the payload from
+                // wherever the chain put it — the head slice only covers
+                // the first cluster, so slicing it would truncate frames
+                // whose payload spills into a continuation segment.
+                let hdr = ETHER_HDR_LEN + AM_HDR_LEN;
+                let mut payload = Vec::new();
+                ev.mbuf
+                    .copy_into(hdr, ev.mbuf.total_len() - hdr, &mut payload);
                 let msg = ActiveMessage {
                     src: eth.src(),
                     index: am.index(),
                     argument: am.argument(),
-                    payload: head[ETHER_HDR_LEN + AM_HDR_LEN..].to_vec(),
+                    payload,
                 };
                 let handler = h.borrow().get(&msg.index).cloned();
                 if let Some(handler) = handler {

@@ -68,6 +68,10 @@ impl TransactionServer {
         let s = stack.clone();
         let served2 = served.clone();
         let handler: TransactionHandler = Rc::new(handler);
+        // Parse scratch reused across segments: single-segment chains (the
+        // common case) are peeked in place; only spilled chains copy, and
+        // into this one retained buffer rather than a fresh Vec per packet.
+        let scratch = RefCell::new(Vec::new());
         stack
             .tcp()
             .claim_special(ext, &[port], move |ctx, ev: &IpRecv| {
@@ -76,8 +80,16 @@ impl TransactionServer {
                 // slimmer per-packet work of the transaction discipline.
                 ctx.lease.charge(model.tcp_proc / 2);
                 ctx.lease.charge(model.checksum(ev.payload.total_len()));
-                let bytes = ev.payload.to_vec();
-                let Some(seg) = TcpSegment::parse(ev.src, ev.dst, &bytes) else {
+                let total = ev.payload.total_len();
+                let mut scratch = scratch.borrow_mut();
+                let bytes: &[u8] = if ev.payload.head().len() == total {
+                    ev.payload.head()
+                } else {
+                    scratch.clear();
+                    ev.payload.copy_into(0, total, &mut scratch);
+                    &scratch
+                };
+                let Some(seg) = TcpSegment::parse(ev.src, ev.dst, bytes) else {
                     return;
                 };
                 // Requests are SYN-without-ACK segments carrying data.
@@ -174,14 +186,23 @@ impl TransactionClient {
             retries: Cell::new(0),
         });
         let me = inner.clone();
+        let scratch = RefCell::new(Vec::new());
         stack
             .tcp()
             .claim_special(ext, &[local_port], move |ctx, ev: &IpRecv| {
                 let model = ctx.lease.model().clone();
                 ctx.lease.charge(model.tcp_proc / 2);
                 ctx.lease.charge(model.checksum(ev.payload.total_len()));
-                let bytes = ev.payload.to_vec();
-                let Some(seg) = TcpSegment::parse(ev.src, ev.dst, &bytes) else {
+                let total = ev.payload.total_len();
+                let mut scratch = scratch.borrow_mut();
+                let bytes: &[u8] = if ev.payload.head().len() == total {
+                    ev.payload.head()
+                } else {
+                    scratch.clear();
+                    ev.payload.copy_into(0, total, &mut scratch);
+                    &scratch
+                };
+                let Some(seg) = TcpSegment::parse(ev.src, ev.dst, bytes) else {
                     return;
                 };
                 // Responses are SYN+ACK segments echoing the id in `ack`.

@@ -26,7 +26,7 @@ use plexus_net::icmp::{IcmpMessage, IcmpType};
 use plexus_net::ip::{self, IpHeader, Reassembler};
 use plexus_net::mbuf::Mbuf;
 use plexus_net::udp::{self, UdpConfig};
-use plexus_sim::nic::Nic;
+use plexus_sim::nic::{DriverConfig, Nic};
 use plexus_sim::{Cpu, CpuLease, Engine, Machine};
 
 use plexus_kernel::view::view;
@@ -193,7 +193,7 @@ impl BaselineShared {
         let bytes = frame.to_vec();
         lease.charge(self.nic.profile().tx_cpu_cost(bytes.len()));
         let ready = lease.now();
-        self.nic.transmit(engine, ready, bytes);
+        self.nic.transmit_frame(engine, ready, bytes);
     }
 
     /// Wakes the process blocked on `sock` (or queues the message).
@@ -267,7 +267,7 @@ impl MonolithicStack {
 
         let s = shared.clone();
         let tcp_layer = tcp;
-        nic.set_rx_handler(move |engine, frame| {
+        nic.attach(DriverConfig::per_frame(move |engine, frame| {
             let mut lease = s.cpu.begin(engine.now());
             let model = lease.model().clone();
             lease.charge(model.interrupt_entry);
@@ -300,7 +300,7 @@ impl MonolithicStack {
                 _ => {}
             }
             lease.charge(model.interrupt_exit);
-        });
+        }));
         stack
     }
 

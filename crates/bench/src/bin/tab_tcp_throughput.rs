@@ -58,6 +58,36 @@ fn main() {
     let atm_raw = raw_driver_mbps(&Link::atm(), BYTES);
     println!("ATM driver-to-driver ceiling (PIO-limited): {atm_raw:.1} Mb/s (paper: ~53 Mb/s)");
 
+    // Beyond the paper: segmentation + checksum offload on the gigabit
+    // profile. With TSO the transport hands the driver super-segments
+    // (tso_segs * MSS) and the adapter checksums during the DMA gather;
+    // without, every wire segment pays its own tcp_proc + software
+    // checksum pass and the sending CPU becomes the bottleneck.
+    const GIGA_BYTES: usize = 16_000_000;
+    let giga = Link::gigabit();
+    let mut no_offload = Link::gigabit();
+    no_offload.profile.tso_segs = 1;
+    no_offload.profile.checksum_offload = false;
+    let tso = tcp_throughput_mbps(TputSystem::Plexus, &giga, GIGA_BYTES);
+    let plain = tcp_throughput_mbps(TputSystem::Plexus, &no_offload, GIGA_BYTES);
+    println!();
+    println!(
+        "Gigabit Ethernet, {} MB transfer (Plexus only):",
+        GIGA_BYTES / 1_000_000
+    );
+    println!(
+        "{}",
+        table::render(
+            &["configuration", "Plexus (Mb/s)"],
+            &[
+                vec!["TSO + checksum offload".to_string(), format!("{tso:.1}")],
+                vec!["no offload".to_string(), format!("{plain:.1}")],
+            ]
+        )
+    );
+    report.scalar("gigabit/plexus_tso", tso, "mbit_s");
+    report.scalar("gigabit/plexus_no_offload", plain, "mbit_s");
+
     report.scalar("fore_atm/raw_driver_ceiling", atm_raw, "mbit_s");
     report.count("transfer_bytes", BYTES as u64);
     report::emit(&report);

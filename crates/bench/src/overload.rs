@@ -32,7 +32,7 @@ use plexus_net::ip::{encapsulate as ip_encapsulate, proto, IpHeader};
 use plexus_net::mbuf::Mbuf;
 use plexus_net::udp::UdpConfig;
 use plexus_sim::engine::Engine;
-use plexus_sim::nic::{Nic, NicStats};
+use plexus_sim::nic::{DriverConfig, Nic, NicStats};
 use plexus_sim::time::{SimDuration, SimTime};
 use plexus_sim::World;
 
@@ -57,6 +57,35 @@ impl RxMode {
     }
 }
 
+/// Which transmit submission path the device under test runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TxMode {
+    /// Scatter-gather chains handed to the adapter one frame at a time
+    /// (the stack's default).
+    #[default]
+    PerFrame,
+    /// Flatten every chain to a contiguous buffer before a per-frame
+    /// submit — the legacy path, kept as the comparison baseline.
+    Flattened,
+    /// Scatter-gather with doorbell-batched submission: queued frames
+    /// share one driver fixed charge per doorbell.
+    Doorbell,
+}
+
+impl TxMode {
+    /// Key used in metric names.
+    pub fn key(&self) -> &'static str {
+        match self {
+            TxMode::PerFrame => "sgpf",
+            TxMode::Flattened => "flat",
+            TxMode::Doorbell => "sgdb",
+        }
+    }
+}
+
+/// Copies the fan-out workload sends per received datagram.
+pub const FANOUT: usize = 4;
+
 /// The traffic pattern offered to the device under test.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Workload {
@@ -66,6 +95,9 @@ pub enum Workload {
     /// DUT redirects each datagram to a backend sink (§5.2 forwarding);
     /// latency is one-way generator→backend.
     UdpForward,
+    /// DUT answers each datagram with [`FANOUT`] copies — the fig6-style
+    /// fan-out, transmit-bound, which is what doorbell batching helps.
+    UdpFanout,
 }
 
 impl Workload {
@@ -74,6 +106,7 @@ impl Workload {
         match self {
             Workload::UdpEcho => "echo",
             Workload::UdpForward => "fwd",
+            Workload::UdpFanout => "fanout",
         }
     }
 }
@@ -108,6 +141,13 @@ pub struct LoadPoint {
     pub rx_frames: u64,
     /// Peak rx-ring occupancy observed.
     pub rx_ring_highwater: u64,
+    /// Frames the DUT transmitted (echo replies / fan-out copies).
+    pub dut_tx_frames: u64,
+    /// Frames shed at the DUT's transmit ring.
+    pub dut_tx_ring_drops: u64,
+    /// Doorbells the DUT's driver rang (doorbell tx mode only: per-frame
+    /// submission reports zero).
+    pub tx_doorbells: u64,
 }
 
 impl LoadPoint {
@@ -235,7 +275,7 @@ fn schedule_send(engine: &mut Engine, gen: Rc<Gen>, k: u64) {
         if gen.meter.in_window(now.as_nanos()) {
             gen.meter.sent.set(gen.meter.sent.get() + 1);
         }
-        gen.nic.transmit(engine, now, frame);
+        gen.nic.transmit_frame(engine, now, frame);
         schedule_send(engine, gen, k + 1);
     });
 }
@@ -280,7 +320,7 @@ fn install_sink(
     let meter = meter.clone();
     let rec = recorder.cloned();
     let hist = rec.as_ref().map(|r| r.intern("overload.latency_ns"));
-    nic.set_rx_handler(move |engine, frame| {
+    nic.attach(DriverConfig::per_frame(move |engine, frame| {
         let now_ns = engine.now().as_nanos();
         if frame.len() < PAYLOAD_OFF + 8 || frame[0..6] != mac.0 {
             if let Some(rec) = &rec {
@@ -293,7 +333,7 @@ fn install_sink(
             rec.sample(now_ns, hist, now_ns - sent_ns);
         }
         meter.complete(now_ns, sent_ns);
-    });
+    }));
 }
 
 fn stats_delta(at_end: NicStats, at_warmup: NicStats) -> NicStats {
@@ -307,6 +347,8 @@ fn stats_delta(at_end: NicStats, at_warmup: NicStats) -> NicStats {
         rx_no_handler: at_end.rx_no_handler - at_warmup.rx_no_handler,
         rx_ring_drops: at_end.rx_ring_drops - at_warmup.rx_ring_drops,
         rx_interrupts: at_end.rx_interrupts - at_warmup.rx_interrupts,
+        tx_doorbells: at_end.tx_doorbells - at_warmup.tx_doorbells,
+        tx_csum_offloads: at_end.tx_csum_offloads - at_warmup.tx_csum_offloads,
         // High-water is a peak, not a flow: report the end-of-run value.
         rx_ring_highwater: at_end.rx_ring_highwater,
     }
@@ -324,6 +366,29 @@ pub fn run_point(workload: Workload, mode: RxMode, link: &Link, offered: (u64, u
 pub fn run_point_traced(
     workload: Workload,
     mode: RxMode,
+    link: &Link,
+    offered: (u64, u64),
+    recorder: Option<&Rc<plexus_trace::Recorder>>,
+) -> LoadPoint {
+    run_point_tx_traced(workload, mode, TxMode::default(), link, offered, recorder)
+}
+
+/// [`run_point`] selecting the DUT's transmit path too.
+pub fn run_point_tx(
+    workload: Workload,
+    mode: RxMode,
+    tx: TxMode,
+    link: &Link,
+    offered: (u64, u64),
+) -> LoadPoint {
+    run_point_tx_traced(workload, mode, tx, link, offered, None)
+}
+
+/// The full matrix: workload x rx path x tx path, optionally traced.
+pub fn run_point_tx_traced(
+    workload: Workload,
+    mode: RxMode,
+    tx: TxMode,
     link: &Link,
     offered: (u64, u64),
     recorder: Option<&Rc<plexus_trace::Recorder>>,
@@ -353,6 +418,11 @@ pub fn run_point_traced(
         RxMode::PerPacket => cfg,
         RxMode::Coalesced => cfg.coalesced(),
     };
+    let cfg = match tx {
+        TxMode::PerFrame => cfg,
+        TxMode::Flattened => cfg.flattened_tx(),
+        TxMode::Doorbell => cfg.doorbell_tx(),
+    };
     let dut = PlexusStack::attach(&dut_machine, &dut_nic, cfg);
     dut.seed_arp(ip(GEN), MacAddr::local(GEN));
 
@@ -361,15 +431,22 @@ pub fn run_point_traced(
     let meter = Meter::new((warmup_ns, end_ns));
 
     match workload {
-        Workload::UdpEcho => {
+        Workload::UdpEcho | Workload::UdpFanout => {
             let spec = ExtensionSpec::typesafe("overload-echo", &["UDP.Bind", "UDP.Send"]);
             let ext = dut.link_extension(&spec).unwrap();
             let slot: Rc<RefCell<Option<Rc<plexus_core::UdpEndpoint>>>> =
                 Rc::new(RefCell::new(None));
             let s = slot.clone();
+            let copies = if workload == Workload::UdpFanout {
+                FANOUT
+            } else {
+                1
+            };
             let echo = move |ctx: &mut plexus_kernel::RaiseCtx<'_>, ev: &UdpRecv| {
                 let ep = s.borrow().clone().expect("endpoint installed");
-                let _ = ep.send_mbuf_in(ctx, ev.src, ev.src_port, ev.payload.share());
+                for _ in 0..copies {
+                    let _ = ep.send_mbuf_in(ctx, ev.src, ev.src_port, ev.payload.share());
+                }
             };
             let ep = dut
                 .udp()
@@ -435,6 +512,9 @@ pub fn run_point_traced(
         rx_interrupts: dut_stats.rx_interrupts,
         rx_frames: dut_stats.rx_frames,
         rx_ring_highwater: dut_stats.rx_ring_highwater,
+        dut_tx_frames: dut_stats.tx_frames,
+        dut_tx_ring_drops: dut_stats.tx_ring_drops,
+        tx_doorbells: dut_stats.tx_doorbells,
     }
 }
 
@@ -443,6 +523,14 @@ pub fn sweep(workload: Workload, mode: RxMode, link: &Link) -> Vec<LoadPoint> {
     FACTORS
         .iter()
         .map(|&f| run_point(workload, mode, link, f))
+        .collect()
+}
+
+/// [`sweep`] over a chosen transmit path.
+pub fn sweep_tx(workload: Workload, mode: RxMode, tx: TxMode, link: &Link) -> Vec<LoadPoint> {
+    FACTORS
+        .iter()
+        .map(|&f| run_point_tx(workload, mode, tx, link, f))
         .collect()
 }
 

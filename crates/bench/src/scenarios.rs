@@ -16,7 +16,7 @@ use plexus_trace::timeline::DEFAULT_WINDOW_NS;
 use plexus_trace::Recorder;
 
 use crate::fwd_latency::plexus_fwd_traced;
-use crate::overload::{run_point_traced, RxMode, Workload};
+use crate::overload::{run_point_traced, run_point_tx_traced, RxMode, TxMode, Workload};
 use crate::udp_rtt::{udp_rtt_traced, Link};
 use crate::video_cpu::{video_server_utilization_traced, VideoSystem};
 
@@ -89,6 +89,28 @@ fn run_overload_coalesced(rec: &Rc<Recorder>) {
     );
 }
 
+fn run_tx_overload(rec: &Rc<Recorder>) {
+    run_point_tx_traced(
+        Workload::UdpEcho,
+        RxMode::Coalesced,
+        TxMode::Doorbell,
+        &Link::gigabit(),
+        (4, 1),
+        Some(rec),
+    );
+}
+
+fn run_tx_fanout(rec: &Rc<Recorder>) {
+    run_point_tx_traced(
+        Workload::UdpFanout,
+        RxMode::Coalesced,
+        TxMode::Doorbell,
+        &Link::gigabit(),
+        (1, 1),
+        Some(rec),
+    );
+}
+
 /// Every scenario the observability CLIs can replay.
 pub const SCENARIOS: &[Scenario] = &[
     Scenario {
@@ -144,6 +166,24 @@ pub const SCENARIOS: &[Scenario] = &[
         app_domain: None,
         window_ns: DEFAULT_WINDOW_NS,
         run: run_overload_coalesced,
+    },
+    Scenario {
+        name: "tx_overload",
+        help: "UDP echo storm at 4x line rate on the gigabit doorbell-batched tx path",
+        ring: 1 << 21,
+        detail: 8,
+        app_domain: None,
+        window_ns: DEFAULT_WINDOW_NS,
+        run: run_tx_overload,
+    },
+    Scenario {
+        name: "tx_fanout",
+        help: "fig6-style 4-way fan-out at line rate, transmit-bound, doorbell-batched",
+        ring: 1 << 20,
+        detail: 8,
+        app_domain: None,
+        window_ns: DEFAULT_WINDOW_NS,
+        run: run_tx_fanout,
     },
 ];
 

@@ -15,6 +15,7 @@ use plexus_core::{PlexusStack, StackConfig, TcpCallbacks};
 use plexus_kernel::domain::ExtensionSpec;
 use plexus_kernel::vm::AddressSpace;
 use plexus_net::ether::MacAddr;
+use plexus_sim::nic::DriverConfig;
 use plexus_sim::time::SimDuration;
 use plexus_sim::World;
 
@@ -212,7 +213,7 @@ pub fn raw_driver_mbps(link: &Link, bytes: usize) -> f64 {
     let rx_cpu = b.cpu().clone();
     let (recvd, done) = (received.clone(), done_at.clone());
     let rn = rx_nic.clone();
-    rx_nic.set_rx_handler(move |engine, f| {
+    rx_nic.attach(DriverConfig::per_frame(move |engine, f| {
         let mut lease = rx_cpu.begin(engine.now());
         let model = lease.model().clone();
         lease.charge(model.interrupt_entry);
@@ -222,7 +223,7 @@ pub fn raw_driver_mbps(link: &Link, bytes: usize) -> f64 {
         if recvd.get() >= bytes {
             done.set(lease.now().as_nanos());
         }
-    });
+    }));
 
     // Sender: a loop that queues the next frame as soon as the CPU is free
     // (stop-and-go on CPU, not on ACKs — "reliable" pacing is approximated
@@ -233,7 +234,7 @@ pub fn raw_driver_mbps(link: &Link, bytes: usize) -> f64 {
         let mut lease = tx_cpu.begin(world.engine().now());
         lease.charge(tx_nic.profile().tx_cpu_cost(frame));
         let at = lease.finish();
-        tx_nic.transmit(world.engine_mut(), at, vec![0u8; frame]);
+        tx_nic.transmit_frame(world.engine_mut(), at, vec![0u8; frame]);
     }
     world.run();
     let elapsed_ns = done_at.get();

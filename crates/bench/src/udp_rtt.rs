@@ -17,7 +17,7 @@ use plexus_kernel::vm::AddressSpace;
 use plexus_net::ether::MacAddr;
 use plexus_net::udp::UdpConfig;
 use plexus_sim::cpu::CostModel;
-use plexus_sim::nic::NicProfile;
+use plexus_sim::nic::{DriverConfig, NicProfile};
 use plexus_sim::time::SimDuration;
 use plexus_sim::World;
 
@@ -98,6 +98,24 @@ impl Link {
         Link {
             profile: NicProfile::fore_atm_fast_driver(),
             ..Link::atm()
+        }
+    }
+
+    /// 100 Mb/s switched Fast Ethernet (full duplex, no offloads).
+    pub fn fast_100() -> Link {
+        Link {
+            profile: NicProfile::fast_ethernet(),
+            propagation: SimDuration::from_micros(1),
+            half_duplex: false,
+        }
+    }
+
+    /// 1 Gb/s switched Ethernet with checksum and segmentation offload.
+    pub fn gigabit() -> Link {
+        Link {
+            profile: NicProfile::gigabit(),
+            propagation: SimDuration::from_micros(1),
+            half_duplex: false,
         }
     }
 }
@@ -368,23 +386,23 @@ fn raw_rtt(link: &Link, payload: usize, rounds: u32, model: &CostModel) -> Vec<u
     let server_nic = nics[1].clone();
     let server_cpu = b.cpu().clone();
     let sn = server_nic.clone();
-    server_nic.set_rx_handler(move |engine, frame| {
+    server_nic.attach(DriverConfig::per_frame(move |engine, frame| {
         let mut lease = server_cpu.begin(engine.now());
         let model = lease.model().clone();
         lease.charge(model.interrupt_entry);
         lease.charge(sn.profile().rx_cpu_cost(frame.len()));
         lease.charge(sn.profile().tx_cpu_cost(frame.len()));
         let at = lease.now();
-        sn.transmit(engine, at, frame);
+        sn.transmit_frame(engine, at, frame);
         lease.charge(model.interrupt_exit);
-    });
+    }));
 
     let state = PingState::new(rounds);
     let client_nic = nics[0].clone();
     let client_cpu = a.cpu().clone();
     let cn = client_nic.clone();
     let st = state.clone();
-    client_nic.set_rx_handler(move |engine, frame| {
+    client_nic.attach(DriverConfig::per_frame(move |engine, frame| {
         let mut lease = client_cpu.begin(engine.now());
         let model = lease.model().clone();
         lease.charge(model.interrupt_entry);
@@ -394,10 +412,10 @@ fn raw_rtt(link: &Link, payload: usize, rounds: u32, model: &CostModel) -> Vec<u
             st.sent_at.set(lease.now().as_nanos());
             lease.charge(cn.profile().tx_cpu_cost(frame.len()));
             let at = lease.now();
-            cn.transmit(engine, at, frame);
+            cn.transmit_frame(engine, at, frame);
         }
         lease.charge(model.interrupt_exit);
-    });
+    }));
 
     state.sent_at.set(world.engine().now().as_nanos());
     {
@@ -405,7 +423,7 @@ fn raw_rtt(link: &Link, payload: usize, rounds: u32, model: &CostModel) -> Vec<u
         lease.charge(nics[0].profile().tx_cpu_cost(frame_len));
         let at = lease.now();
         drop(lease);
-        nics[0].transmit(world.engine_mut(), at, vec![0u8; frame_len]);
+        nics[0].transmit_frame(world.engine_mut(), at, vec![0u8; frame_len]);
     }
     world.run();
     assert_eq!(state.remaining.get(), 0, "all rounds completed");

@@ -26,7 +26,7 @@ use plexus_net::ether::{self, EtherType, EtherView, MacAddr, ETHER_HDR_LEN};
 use plexus_net::icmp::IcmpMessage;
 use plexus_net::ip::{self, IpHeader, IpView, RouteTable};
 use plexus_net::mbuf::Mbuf;
-use plexus_sim::nic::Nic;
+use plexus_sim::nic::{DriverConfig, Nic};
 use plexus_sim::{CpuLease, Engine, Machine};
 
 /// One router interface.
@@ -103,9 +103,11 @@ impl IpRouter {
         for (idx, riface) in router.interfaces.iter().enumerate() {
             let r = router.clone();
             let iface = riface.clone();
-            riface.nic.set_rx_handler(move |engine, frame| {
-                r.rx(engine, idx, &iface, frame);
-            });
+            riface
+                .nic
+                .attach(DriverConfig::per_frame(move |engine, frame| {
+                    r.rx(engine, idx, &iface, frame);
+                }));
         }
         router
     }
@@ -395,10 +397,9 @@ impl IpRouter {
         lease.charge(model.eth_proc);
         let mut frame = packet.share();
         ether::write_header(frame.prepend(ETHER_HDR_LEN), dst, iface.mac, ethertype);
-        let bytes = frame.to_vec();
-        lease.charge(iface.nic.profile().tx_cpu_cost(bytes.len()));
+        lease.charge(iface.nic.tx_cpu_charge(lease.now(), frame.total_len()));
         let ready = lease.now();
-        iface.nic.transmit(engine, ready, bytes);
+        iface.nic.transmit(engine, ready, &frame);
     }
 
     /// Seeds an interface's ARP cache (steady-state benchmarking).

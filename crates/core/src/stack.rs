@@ -38,7 +38,7 @@ use plexus_kernel::dispatcher::{Dispatcher, Event, Guard, HandlerId, HandlerSpec
 use plexus_kernel::domain::{Domain, ExtensionSpec, Interface, LinkedExtension};
 use plexus_kernel::ephemeral::Ephemeral;
 use plexus_kernel::view::view;
-use plexus_sim::nic::Nic;
+use plexus_sim::nic::{DriverConfig, Nic};
 use plexus_sim::time::SimDuration;
 use plexus_sim::{Cpu, Engine, Machine};
 
@@ -79,6 +79,18 @@ pub struct StackConfig {
     /// the per-frame path is the paper's configuration and the one the
     /// latency goldens pin.
     pub coalesce: bool,
+    /// Submit transmits through the NIC's doorbell-batching tier
+    /// ([`plexus_sim::nic::TxSubmit::Doorbell`]): while the adapter is
+    /// draining, follow-on frames share one fixed driver charge. Off by
+    /// default (one doorbell per frame — the historical cost model the
+    /// latency goldens pin).
+    pub tx_doorbell: bool,
+    /// Flatten every outgoing frame to contiguous bytes before handing it
+    /// to the adapter instead of letting the DMA engine gather the mbuf
+    /// chain. Strictly worse (an extra copy, and it disables checksum
+    /// offload); exists so benchmarks and tests can A/B the legacy path
+    /// against scatter-gather on identical wire bytes.
+    pub tx_flatten: bool,
 }
 
 impl StackConfig {
@@ -92,6 +104,8 @@ impl StackConfig {
             prefix_len: 24,
             gateway: None,
             coalesce: false,
+            tx_doorbell: false,
+            tx_flatten: false,
         }
     }
 
@@ -104,6 +118,18 @@ impl StackConfig {
     /// Enables the batched receive path (rx ring + interrupt coalescing).
     pub fn coalesced(mut self) -> StackConfig {
         self.coalesce = true;
+        self
+    }
+
+    /// Enables doorbell-batched transmit submission.
+    pub fn doorbell_tx(mut self) -> StackConfig {
+        self.tx_doorbell = true;
+        self
+    }
+
+    /// Forces the legacy flatten-before-transmit path (A/B comparison).
+    pub fn flattened_tx(mut self) -> StackConfig {
+        self.tx_flatten = true;
         self
     }
 
@@ -184,6 +210,14 @@ pub(crate) struct StackShared {
     /// True while the NIC rx glue should deliver (promiscuous snooping is
     /// structurally impossible: the filter runs before any extension code).
     promiscuous: Cell<bool>,
+    /// Transport checksums are offloaded to the adapter: the NIC profile
+    /// advertises [`plexus_sim::nic::NicProfile::checksum_offload`] and the
+    /// scatter-gather path is in use (the legacy flatten path bypasses the
+    /// DMA gather, so it cannot offload). When set, UDP/TCP skip the
+    /// software checksum CPU charge and stamp offload descriptors instead.
+    pub(crate) csum_offload: bool,
+    /// Flatten frames to contiguous bytes before transmit (legacy A/B path).
+    tx_flatten: bool,
 }
 
 impl StackShared {
@@ -498,13 +532,20 @@ impl PlexusStack {
             ext_domain,
             ext_cleanup: RefCell::new(HashMap::new()),
             promiscuous: Cell::new(false),
+            csum_offload: nic.profile().checksum_offload && !config.tx_flatten,
+            tx_flatten: config.tx_flatten,
         });
 
-        if config.coalesce {
-            Self::install_driver_glue_coalesced(&shared);
+        let driver = if config.coalesce {
+            Self::driver_glue_coalesced(&shared)
         } else {
-            Self::install_driver_glue(&shared);
-        }
+            Self::driver_glue(&shared)
+        };
+        shared.nic.attach(if config.tx_doorbell {
+            driver.doorbell()
+        } else {
+            driver
+        });
         Self::install_eth_output(&shared);
         Self::install_arp(&shared);
         Self::install_ip(&shared);
@@ -521,10 +562,11 @@ impl PlexusStack {
     }
 
     /// The device receive interrupt: charge driver + interrupt costs, MAC
-    /// filter, then raise `Ethernet.PacketRecv`.
-    fn install_driver_glue(shared: &Rc<StackShared>) {
+    /// filter, then raise `Ethernet.PacketRecv`. Returns the driver
+    /// binding for [`plexus_sim::nic::Nic::attach`].
+    fn driver_glue(shared: &Rc<StackShared>) -> DriverConfig {
         let s = shared.clone();
-        shared.nic.set_rx_handler(move |engine, frame| {
+        DriverConfig::per_frame(move |engine, frame| {
             let mut lease = s.cpu.begin(engine.now());
             let model = lease.model().clone();
             lease.charge(model.interrupt_entry);
@@ -555,7 +597,7 @@ impl PlexusStack {
                 }
             }
             lease.charge(model.interrupt_exit);
-        });
+        })
     }
 
     /// The coalesced device receive interrupt: one `interrupt_entry` /
@@ -566,9 +608,9 @@ impl PlexusStack {
     /// frame still gets its own packet ID, MAC-filter verdict, and trace
     /// records — batching amortizes fixed costs, never dispatch
     /// semantics.
-    fn install_driver_glue_coalesced(shared: &Rc<StackShared>) {
+    fn driver_glue_coalesced(shared: &Rc<StackShared>) -> DriverConfig {
         let s = shared.clone();
-        shared.nic.set_rx_batch_handler(move |engine, frames| {
+        DriverConfig::coalesced(move |engine, frames| {
             let mut lease = s.cpu.begin(engine.now());
             let model = lease.model().clone();
             lease.charge(model.interrupt_entry);
@@ -625,11 +667,15 @@ impl PlexusStack {
             }
             lease.charge(model.interrupt_exit);
             lease.now()
-        });
+        })
     }
 
     /// `Ethernet.PacketSend`: prepend the link header, pay the driver TX
-    /// cost, hand the frame to the adapter.
+    /// submission cost (full per-frame, or amortized under an open
+    /// doorbell — [`plexus_sim::nic::Nic::tx_cpu_charge`] decides), and
+    /// hand the mbuf chain to the adapter for the scatter-gather DMA.
+    /// The frame is never flattened on this path; `tx_flatten` keeps the
+    /// legacy copy-to-contiguous behavior for A/B comparisons.
     fn install_eth_output(shared: &Rc<StackShared>) {
         let s = shared.clone();
         shared.install_send(shared.events.eth_send, move |ctx, req: &EthSendReq| {
@@ -638,10 +684,15 @@ impl PlexusStack {
             let mut frame = req.packet.share();
             let hdr = frame.prepend(ETHER_HDR_LEN);
             plexus_net::ether::write_header(hdr, req.dst, s.mac, req.ethertype);
-            let bytes = frame.to_vec();
-            ctx.lease.charge(s.nic.profile().tx_cpu_cost(bytes.len()));
+            let len = frame.total_len();
+            ctx.lease.charge(s.nic.tx_cpu_charge(ctx.lease.now(), len));
             let ready = ctx.lease.now();
-            s.nic.transmit(ctx.engine, ready, bytes);
+            if s.tx_flatten {
+                let bytes = frame.to_vec();
+                s.nic.transmit_frame(ctx.engine, ready, bytes);
+            } else {
+                s.nic.transmit(ctx.engine, ready, &frame);
+            }
         });
     }
 

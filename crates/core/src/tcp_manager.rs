@@ -21,7 +21,7 @@ use plexus_kernel::dispatcher::{HandlerId, RaiseCtx};
 use plexus_kernel::domain::LinkedExtension;
 use plexus_net::ether::EtherType;
 use plexus_net::ip::{encapsulate as ip_encapsulate, proto, IpHeader};
-use plexus_net::tcp::{Actions, Tcb, TcpSegment, TcpState};
+use plexus_net::tcp::{Actions, Tcb, TcpFlags, TcpSegment, TcpState, TCP_HDR_LEN};
 use plexus_sim::engine::TimerHandle;
 use plexus_sim::time::SimDuration;
 use plexus_sim::Engine;
@@ -111,7 +111,9 @@ impl TcpManager {
             move |ctx, ev: &IpRecv| {
                 let model = ctx.lease.model().clone();
                 ctx.lease.charge(model.tcp_proc);
-                ctx.lease.charge(model.checksum(ev.payload.total_len()));
+                if !s.csum_offload {
+                    ctx.lease.charge(model.checksum(ev.payload.total_len()));
+                }
                 let mut bytes = scratch.borrow_mut();
                 bytes.clear();
                 ev.payload.copy_into(0, ev.payload.total_len(), &mut bytes);
@@ -398,7 +400,19 @@ pub struct TcpConn {
 }
 
 impl TcpConn {
-    fn register(mgr: &Rc<TcpManager>, key: ConnKey, local_ip: Ipv4Addr, tcb: Tcb) -> Rc<TcpConn> {
+    fn register(
+        mgr: &Rc<TcpManager>,
+        key: ConnKey,
+        local_ip: Ipv4Addr,
+        mut tcb: Tcb,
+    ) -> Rc<TcpConn> {
+        // When the adapter advertises segmentation offload, let the state
+        // machine emit super-segments; `process_actions` resegments them at
+        // wire MSS on the way to the driver.
+        let tso = mgr.shared.nic.profile().tso_segs;
+        if tso > 1 {
+            tcb.set_gso_segs(tso);
+        }
         let conn = Rc::new(TcpConn {
             manager: mgr.clone(),
             key,
@@ -514,20 +528,54 @@ impl TcpConn {
     fn process_actions(self: &Rc<Self>, ctx: &mut RaiseCtx<'_>, actions: Actions) {
         let model = ctx.lease.model().clone();
         let (_, rip, _) = self.key;
+        let shared = self.manager.shared.clone();
+        let mss = self.tcb.borrow().mss;
         for seg in &actions.segments {
+            // One protocol pass per (super-)segment: with segmentation
+            // offload the state machine hands down up to gso_segs * mss
+            // bytes here, and the resegmentation below models the
+            // adapter-assisted split, not another trip through TCP.
             ctx.lease.charge(model.tcp_proc);
-            ctx.lease
-                .charge(model.checksum(seg.payload.len() + plexus_net::tcp::TCP_HDR_LEN));
-            let payload = seg.to_mbuf(self.local_ip, rip, 64);
-            self.manager.shared.raise_ip_send(
-                ctx,
-                IpSendReq {
-                    src: self.local_ip,
-                    dst: rip,
-                    protocol: proto::TCP,
-                    payload,
-                },
-            );
+            let len = seg.payload.len();
+            let nchunks = if len > mss { len.div_ceil(mss) } else { 1 };
+            for i in 0..nchunks {
+                let off = i * mss;
+                let sub;
+                let wire = if nchunks == 1 {
+                    seg
+                } else {
+                    let end = (off + mss).min(len);
+                    sub = TcpSegment {
+                        src_port: seg.src_port,
+                        dst_port: seg.dst_port,
+                        seq: seg.seq.wrapping_add(off as u32),
+                        ack: seg.ack,
+                        // Interior chunks are plain ACKs; the final chunk
+                        // keeps the original flags (PSH/FIN ride on it).
+                        flags: if end == len { seg.flags } else { TcpFlags::ACK },
+                        window: seg.window,
+                        mss: None,
+                        payload: seg.payload[off..end].to_vec(),
+                    };
+                    &sub
+                };
+                let payload = if shared.csum_offload {
+                    wire.to_mbuf_offload(self.local_ip, rip, 64)
+                } else {
+                    ctx.lease
+                        .charge(model.checksum(wire.payload.len() + TCP_HDR_LEN));
+                    wire.to_mbuf(self.local_ip, rip, 64)
+                };
+                shared.raise_ip_send(
+                    ctx,
+                    IpSendReq {
+                        src: self.local_ip,
+                        dst: rip,
+                        protocol: proto::TCP,
+                        payload,
+                    },
+                );
+            }
         }
         if actions.connected {
             let cb = self.callbacks.borrow().on_connected.clone();

@@ -96,7 +96,9 @@ impl UdpManager {
             move |ctx, ev: &IpRecv| {
                 let model = ctx.lease.model().clone();
                 ctx.lease.charge(model.udp_proc);
-                ctx.lease.charge(model.checksum(ev.payload.total_len()));
+                if !s.csum_offload {
+                    ctx.lease.charge(model.checksum(ev.payload.total_len()));
+                }
                 let Some(dgram) =
                     udp::decapsulate(ev.src, ev.dst, UdpConfig::default(), &ev.payload)
                 else {
@@ -240,7 +242,7 @@ impl UdpManager {
                 &policy,
                 guards::TRANSPORT_GUARD_CYCLES,
             );
-            let wrapped = wrap_special_udp(config, handler);
+            let wrapped = wrap_special_udp(config, self.shared.csum_offload, handler);
             self.shared.install_app(
                 self.shared.events.ip_recv,
                 Some(guard.guard()),
@@ -350,12 +352,16 @@ fn fix_udp_checksum_for_dst(m: &mut Mbuf, old_dst: Ipv4Addr, new_dst: Ipv4Addr) 
 /// implementation directly on `Ip.PacketRecv`, preserving its
 /// interrupt/thread class (the certification carries through the adapter —
 /// an ephemeral wrapper around an ephemeral body).
-fn wrap_special_udp(config: UdpConfig, handler: AppHandler<UdpRecv>) -> AppHandler<IpRecv> {
+fn wrap_special_udp(
+    config: UdpConfig,
+    csum_offload: bool,
+    handler: AppHandler<UdpRecv>,
+) -> AppHandler<IpRecv> {
     let adapt =
         move |ctx: &mut RaiseCtx<'_>, ev: &IpRecv, inner: &dyn Fn(&mut RaiseCtx<'_>, &UdpRecv)| {
             let model = ctx.lease.model().clone();
             ctx.lease.charge(model.udp_proc);
-            if config.checksum {
+            if config.checksum && !csum_offload {
                 ctx.lease.charge(model.checksum(ev.payload.total_len()));
             }
             let Some(dgram) = udp::decapsulate(ev.src, ev.dst, config, &ev.payload) else {
@@ -428,11 +434,17 @@ impl UdpEndpoint {
         let shared = &self.manager.shared;
         let model = ctx.lease.model().clone();
         ctx.lease.charge(model.udp_proc);
-        if self.config.checksum {
-            ctx.lease
-                .charge(model.checksum(payload.total_len() + UDP_HDR_LEN));
-        }
-        let dgram = udp::encapsulate(shared.ip, dst, self.port, dst_port, self.config, payload);
+        let dgram = if self.config.checksum && shared.csum_offload {
+            // The NIC fills the checksum during the DMA gather: stamp the
+            // deferred-checksum descriptor and skip the software pass.
+            udp::encapsulate_offload(shared.ip, dst, self.port, dst_port, payload)
+        } else {
+            if self.config.checksum {
+                ctx.lease
+                    .charge(model.checksum(payload.total_len() + UDP_HDR_LEN));
+            }
+            udp::encapsulate(shared.ip, dst, self.port, dst_port, self.config, payload)
+        };
         shared.raise_ip_send(
             ctx,
             IpSendReq {

@@ -261,7 +261,7 @@ fn ttl_expiry_generates_time_exceeded() {
     );
     let bytes = dgram.to_vec();
     let at = t.world.engine().now();
-    t.nic_a.transmit(t.world.engine_mut(), at, bytes);
+    t.nic_a.transmit_frame(t.world.engine_mut(), at, bytes);
     t.world.run();
 
     assert_eq!(t.router.stats().ttl_expired, 1);

@@ -23,6 +23,23 @@ impl Checksum {
         Checksum::default()
     }
 
+    /// Starts from an already-accumulated (unfolded) partial sum — how a
+    /// NIC with checksum offload resumes the pseudo-header partial the
+    /// stack handed down in the packet header.
+    pub fn with_partial(sum: u32) -> Checksum {
+        Checksum {
+            sum,
+            ..Checksum::default()
+        }
+    }
+
+    /// The unfolded partial sum accumulated so far (only meaningful while
+    /// no odd byte is pending).
+    pub fn partial(&self) -> u32 {
+        debug_assert!(!self.odd, "partial taken mid-byte");
+        self.sum
+    }
+
     /// Feeds bytes into the sum, handling odd-length chunks across calls.
     pub fn add(&mut self, bytes: &[u8]) -> &mut Self {
         let mut i = 0;
@@ -82,10 +99,67 @@ pub fn checksum_mbuf(m: &Mbuf) -> u16 {
     c.finish()
 }
 
+/// Checksum of the tail of an mbuf chain starting at byte offset `from`,
+/// seeded with an unfolded partial sum (the pseudo-header). This is the
+/// gather a checksum-offload NIC performs while DMAing the chain: segment
+/// boundaries may fall anywhere, including on odd offsets.
+pub fn checksum_mbuf_from(m: &Mbuf, from: usize, partial: u32) -> u16 {
+    let mut c = Checksum::with_partial(partial);
+    let mut skip = from;
+    for seg in m.segments() {
+        if skip >= seg.len() {
+            skip -= seg.len();
+            continue;
+        }
+        c.add(&seg[skip..]);
+        skip = 0;
+    }
+    c.finish()
+}
+
 /// Verifies a buffer whose checksum field is *included*: the sum over
 /// everything must be zero.
 pub fn verify(bytes: &[u8]) -> bool {
     checksum(bytes) == 0
+}
+
+/// Verifies a transport segment (header + payload, checksum field
+/// included) against its pseudo-header partial sum: valid iff the seeded
+/// sum folds to zero. This is what receivers — and the offload
+/// equivalence tests — check on frames whose checksum the NIC filled.
+pub fn verify_checksum(region: &[u8], pseudo: u32) -> bool {
+    let mut c = Checksum::with_partial(pseudo);
+    c.add(region);
+    c.finish() == 0
+}
+
+/// A transmit checksum deferred to the NIC: the stack leaves the field
+/// zero and stamps this descriptor in the packet header; the adapter
+/// computes the Internet checksum over the tail of the frame during the
+/// DMA gather and patches the field on the way out.
+///
+/// Offsets count from the packet *end*, so the link/network headers that
+/// lower layers prepend after the request is stamped never invalidate
+/// them (nothing on the transmit path appends trailing bytes).
+///
+/// This is the simulator's [`plexus_sim::nic::TxCsum`] under the name the
+/// protocol stack uses — one descriptor type travels from the transport
+/// layer down through the driver API to the adapter.
+pub use plexus_sim::nic::TxCsum as CsumOffload;
+
+/// Computes a deferred checksum over `m` (the full frame as it will be
+/// serialized) exactly as the offloading NIC does during the DMA gather —
+/// but walking the mbuf chain in place, for tests and host-side
+/// verification, rather than over the gathered wire image.
+pub fn compute_offload(req: &CsumOffload, m: &Mbuf) -> u16 {
+    let total = m.total_len();
+    debug_assert!(req.start_from_end <= total && req.field_from_end + 2 <= total);
+    let v = checksum_mbuf_from(m, total - req.start_from_end, req.pseudo);
+    if v == 0 && req.zero_to_ones {
+        0xFFFF
+    } else {
+        v
+    }
 }
 
 /// RFC 1624 incremental update: given the old checksum and a 16-bit field
@@ -144,6 +218,56 @@ mod tests {
         let m = Mbuf::from_payload(13, &data);
         assert!(m.segment_count() > 1);
         assert_eq!(checksum_mbuf(&m), checksum(&data));
+    }
+
+    #[test]
+    fn seeded_chain_tail_matches_contiguous() {
+        let data: Vec<u8> = (0u16..4097).map(|x| (x * 13) as u8).collect();
+        let m = Mbuf::from_payload(9, &data);
+        assert!(m.segment_count() > 1);
+        for from in [0usize, 1, 7, 2048, 4000] {
+            let mut want = Checksum::with_partial(0x1234);
+            want.add(&data[from..]);
+            assert_eq!(
+                checksum_mbuf_from(&m, from, 0x1234),
+                want.finish(),
+                "from {from}"
+            );
+        }
+    }
+
+    #[test]
+    fn offload_compute_matches_software_and_verifies() {
+        // A fake transport segment: 8-byte header (checksum at offset 6)
+        // plus an odd-length payload, behind 34 bytes of lower headers.
+        let mut pkt = vec![0u8; 34];
+        let mut seg = vec![0x11u8, 0x22, 0x00, 0x29, 0x00, 0x00, 0x00, 0x00];
+        seg.extend((0u16..33).map(|x| (x * 3) as u8));
+        let pseudo = {
+            let mut c = Checksum::new();
+            c.add_u32(0x0a000001).add_u32(0x0a000002).add_u16(17);
+            c.add_u16(seg.len() as u16);
+            c.partial()
+        };
+        // Software pass over pseudo + segment (field zeroed).
+        let mut sw = Checksum::with_partial(pseudo);
+        sw.add(&seg);
+        let want = sw.finish();
+        pkt.extend_from_slice(&seg);
+        let m = Mbuf::from_payload(0, &pkt);
+        let req = CsumOffload {
+            start_from_end: seg.len(),
+            field_from_end: seg.len() - 6,
+            pseudo,
+            zero_to_ones: true,
+        };
+        assert_eq!(compute_offload(&req, &m), want);
+        // Patch the field like the NIC does; the result must verify.
+        let field = pkt.len() - req.field_from_end;
+        pkt[field..field + 2].copy_from_slice(&want.to_be_bytes());
+        assert!(verify_checksum(&pkt[pkt.len() - seg.len()..], pseudo));
+        pkt[field] ^= 0x40;
+        assert!(!verify_checksum(&pkt[pkt.len() - seg.len()..], pseudo));
     }
 
     #[test]

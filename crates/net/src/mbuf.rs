@@ -49,6 +49,11 @@ pub struct PktHdr {
     /// is preserved when a forwarder retransmits the packet, so a
     /// post-hoc pass can stitch the per-machine hops into one ledger.
     pub journey_id: Option<u64>,
+    /// A transmit checksum deferred to the NIC (BSD `csum_flags` +
+    /// `csum_data` in spirit): the transport layer stamps this when the
+    /// egress device advertises checksum offload instead of running the
+    /// software pass, and the adapter fills the field during DMA.
+    pub csum: Option<crate::checksum::CsumOffload>,
 }
 
 #[derive(Clone)]
@@ -630,6 +635,28 @@ impl Clone for Mbuf {
     /// copy-on-write.
     fn clone(&self) -> Self {
         self.share()
+    }
+}
+
+/// An mbuf chain *is* a scatter-gather transmit buffer: the simulated
+/// NIC's DMA engine walks the chain's segments straight onto the wire
+/// (no host-side flatten) and honors any checksum-offload descriptor
+/// stamped in the packet header. This impl is the seam between the
+/// protocol stack and the device model — `Nic::transmit` takes any
+/// [`plexus_sim::nic::TxBuf`], and this makes `&Mbuf` one.
+impl plexus_sim::nic::TxBuf for Mbuf {
+    fn total_len(&self) -> usize {
+        Mbuf::total_len(self)
+    }
+
+    fn gather(&self, f: &mut dyn FnMut(&[u8])) {
+        for seg in self.segments() {
+            f(seg);
+        }
+    }
+
+    fn tx_csum(&self) -> Option<plexus_sim::nic::TxCsum> {
+        self.pkthdr().and_then(|h| h.csum)
     }
 }
 

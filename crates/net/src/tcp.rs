@@ -16,7 +16,7 @@ use std::net::Ipv4Addr;
 
 use plexus_kernel::view::{be16, be32, put_be16, put_be32, WireView};
 
-use crate::checksum::Checksum;
+use crate::checksum::{Checksum, CsumOffload};
 use crate::ip::proto;
 use crate::mbuf::Mbuf;
 
@@ -194,6 +194,48 @@ impl TcpSegment {
         m
     }
 
+    /// [`TcpSegment::to_mbuf`] with the checksum deferred to a NIC that
+    /// advertises checksum offload: the field stays zero and a
+    /// [`CsumOffload`] descriptor (pseudo-header partial included) is
+    /// stamped in the packet header for the adapter to fill during the DMA
+    /// gather. Unlike UDP, a computed zero stays zero on the wire.
+    pub fn to_mbuf_offload(&self, src: Ipv4Addr, dst: Ipv4Addr, leading: usize) -> Mbuf {
+        let opt_len = if self.mss.is_some() && self.flags.syn {
+            4
+        } else {
+            0
+        };
+        let hdr_len = TCP_HDR_LEN + opt_len;
+        let len = hdr_len + self.payload.len();
+        let mut m = Mbuf::from_payload(leading + hdr_len, &self.payload);
+        let b = m.prepend(hdr_len);
+        put_be16(b, 0, self.src_port);
+        put_be16(b, 2, self.dst_port);
+        put_be32(b, 4, self.seq);
+        put_be32(b, 8, self.ack);
+        b[12] = ((hdr_len / 4) as u8) << 4;
+        b[13] = self.flags.to_wire();
+        put_be16(b, 14, self.window);
+        if opt_len > 0 {
+            b[TCP_HDR_LEN] = 2; // Kind: MSS.
+            b[TCP_HDR_LEN + 1] = 4; // Length.
+            put_be16(b, TCP_HDR_LEN + 2, self.mss.expect("checked"));
+        }
+        m.stamp_pkthdr();
+        let mut c = Checksum::new();
+        c.add(&src.octets())
+            .add(&dst.octets())
+            .add_u16(proto::TCP as u16)
+            .add_u16(len as u16);
+        m.pkthdr_mut().csum = Some(CsumOffload {
+            start_from_end: len,
+            field_from_end: len - 16,
+            pseudo: c.partial(),
+            zero_to_ones: false,
+        });
+        m
+    }
+
     /// Parses and verifies the checksum. `None` on malformed/corrupt input.
     pub fn parse(src: Ipv4Addr, dst: Ipv4Addr, bytes: &[u8]) -> Option<TcpSegment> {
         let v: TcpRawView = plexus_kernel::view::view(bytes)?;
@@ -360,6 +402,12 @@ pub struct Tcb {
     pub ssthresh: usize,
     /// Maximum segment size.
     pub mss: usize,
+    /// Segmentation-offload factor: the TCB emits super-segments of up to
+    /// `mss * gso_segs` bytes and relies on a lower layer (the TCP manager
+    /// driving a TSO-capable NIC) to split them into wire-MSS chunks. 1
+    /// disables the optimization; the wire never carries more than `mss`
+    /// bytes per segment either way.
+    gso_segs: usize,
     dup_acks: u32,
 
     // Retransmission.
@@ -394,6 +442,7 @@ impl Tcb {
             cwnd: 2 * DEFAULT_MSS,
             ssthresh: 64 * 1024,
             mss: DEFAULT_MSS,
+            gso_segs: 1,
             dup_acks: 0,
             rto_ns: INITIAL_RTO_NS,
             srtt_ns: None,
@@ -501,6 +550,26 @@ impl Tcb {
         matches!(self.state, TcpState::SynSent | TcpState::SynRcvd)
     }
 
+    /// Enables TSO/GSO-style segmentation: output is chunked at
+    /// `mss * segs` instead of `mss`, amortizing per-segment protocol
+    /// processing. The layer below must split super-segments back to wire
+    /// MSS before transmission (see the TCP manager). `segs` is clamped to
+    /// at least 1.
+    pub fn set_gso_segs(&mut self, segs: usize) {
+        self.gso_segs = segs.max(1);
+    }
+
+    /// Current segmentation-offload factor (1 = disabled).
+    pub fn gso_segs(&self) -> usize {
+        self.gso_segs
+    }
+
+    /// Largest payload a single emitted segment may carry: the wire MSS
+    /// scaled by the GSO factor.
+    fn chunk_cap(&self) -> usize {
+        self.mss * self.gso_segs
+    }
+
     /// Queues application data; emits whatever the windows allow.
     pub fn send(&mut self, data: &[u8], now_ns: u64) -> Actions {
         assert!(
@@ -551,7 +620,7 @@ impl Tcb {
             let sent_off = in_flight as usize; // Bytes of send_buf already in flight.
             let remaining = self.send_buf.len().saturating_sub(sent_off);
             let room = wnd.saturating_sub(in_flight) as usize;
-            let chunk = remaining.min(room).min(self.mss);
+            let chunk = remaining.min(room).min(self.chunk_cap());
             if chunk == 0 {
                 break;
             }
@@ -648,7 +717,7 @@ impl Tcb {
                 let chunk = self
                     .send_buf
                     .len()
-                    .min(self.mss)
+                    .min(self.chunk_cap())
                     .min(self.snd_nxt.wrapping_sub(self.snd_una) as usize);
                 let payload = self.send_buf[..chunk].to_vec();
                 self.make_segment(self.snd_una, TcpFlags::ACK, payload)
@@ -901,6 +970,7 @@ impl Tcb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checksum::compute_offload;
 
     fn ip(last: u8) -> Ipv4Addr {
         Ipv4Addr::new(10, 1, 0, last)
@@ -1063,6 +1133,73 @@ mod tests {
                 seg
             );
         }
+    }
+
+    #[test]
+    fn offloaded_checksum_matches_the_software_pass_byte_for_byte() {
+        let seg = TcpSegment {
+            src_port: 7,
+            dst_port: 9,
+            seq: 0x1000,
+            ack: 0x2000,
+            flags: TcpFlags::ACK,
+            window: 8192,
+            mss: None,
+            payload: (0u16..777).map(|x| (x * 5) as u8).collect(),
+        };
+        let sw = seg.to_mbuf(ip(1), ip(2), 64);
+        let mut hw = seg.to_mbuf_offload(ip(1), ip(2), 64);
+        let req = hw.pkthdr().unwrap().csum.expect("offload stamped");
+        let mut wire = hw.to_vec();
+        assert_eq!(&wire[16..18], &[0, 0], "field deferred to the NIC");
+        let v = compute_offload(&req, &hw);
+        let field = wire.len() - req.field_from_end;
+        wire[field..field + 2].copy_from_slice(&v.to_be_bytes());
+        assert_eq!(wire, sw.to_vec(), "NIC-filled frame identical to software");
+        // And it parses + verifies as a received segment.
+        hw.write_at(16, &v.to_be_bytes());
+        assert_eq!(
+            TcpSegment::parse(ip(1), ip(2), &hw.to_vec()).expect("valid"),
+            seg
+        );
+    }
+
+    #[test]
+    fn gso_emits_super_segments_that_partial_acks_still_cover() {
+        let (mut client, mut server) = established_pair();
+        client.set_gso_segs(4);
+        client.cwnd = 64 * 1024;
+        let data: Vec<u8> = (0u32..10_000).map(|x| (x * 3) as u8).collect();
+        let acts = client.send(&data, 1000);
+        assert!(
+            acts.segments.iter().any(|s| s.payload.len() > client.mss),
+            "GSO emits super-segments beyond one MSS"
+        );
+        for s in &acts.segments {
+            assert!(s.payload.len() <= client.mss * 4, "bounded by mss*gso_segs");
+        }
+        // The receiver still reassembles the full stream when a lower
+        // layer resegments each super-segment at wire MSS.
+        let mut got = Vec::new();
+        for s in &acts.segments {
+            let mut off = 0;
+            while off < s.payload.len() {
+                let take = (s.payload.len() - off).min(client.mss);
+                let wire_seg = TcpSegment {
+                    seq: s.seq.wrapping_add(off as u32),
+                    payload: s.payload[off..off + take].to_vec(),
+                    ..s.clone()
+                };
+                let a = server.on_segment(&wire_seg, (ip(1), client.local().1), 2000);
+                got.extend(server.take_received());
+                for ack in &a.segments {
+                    client.on_segment(ack, (ip(2), server.local().1), 3000);
+                }
+                off += take;
+            }
+        }
+        assert_eq!(got, data, "stream intact across resegmentation");
+        assert_eq!(client.unacked_len(), 0, "everything acknowledged");
     }
 
     #[test]

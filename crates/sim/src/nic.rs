@@ -5,12 +5,22 @@
 //! (so moving bytes costs *CPU* time — the reason the paper could not push
 //! more than ~53 Mb/s through it), and a 45 Mb/s DEC T3 adapter with DMA.
 //!
-//! A [`Nic`] transmits raw frames onto a [`Medium`]. The medium models
-//! serialization at line rate, propagation, optional half-duplex contention
-//! (the shared Ethernet segment), broadcast delivery to every other attached
-//! NIC, and fault injection (drop/corrupt) for failure-path testing. Frame
-//! *filtering* (MAC match) is the receiving driver's job, exactly as on real
-//! hardware in non-promiscuous mode — the `net`/`core` crates do that.
+//! A [`Nic`] transmits scatter-gather buffers ([`TxBuf`] — the `net`
+//! crate's mbuf chains implement it) onto a [`Medium`]: the adapter's
+//! DMA engine gathers the chain's segments straight onto the wire, so the
+//! host never flattens a packet to contiguous storage on send. The medium
+//! models serialization at line rate, propagation, optional half-duplex
+//! contention (the shared Ethernet segment), broadcast delivery to every
+//! other attached NIC, and fault injection (drop/corrupt) for failure-path
+//! testing. Frame *filtering* (MAC match) is the receiving driver's job,
+//! exactly as on real hardware in non-promiscuous mode — the `net`/`core`
+//! crates do that.
+//!
+//! Drivers bind to a NIC with [`Nic::attach`] and a [`DriverConfig`]
+//! choosing the receive dispatch (per-frame interrupts or coalesced
+//! batches) and the transmit submission mode (one doorbell per frame, or
+//! batched doorbells that amortize the fixed per-transmit driver cost
+//! across a burst — see [`Nic::tx_cpu_charge`]).
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -25,6 +35,83 @@ use crate::time::{SimDuration, SimTime};
 
 /// A raw frame on the wire.
 pub type Frame = Vec<u8>;
+
+/// A scatter-gather transmit buffer: the driver-facing contract the
+/// adapter's DMA engine reads from. The `net` crate's mbuf chains
+/// implement this (the dependency points `net → sim`, so the NIC model
+/// stays protocol-agnostic); a plain `Vec<u8>` is a one-segment buffer
+/// for raw generators and tests.
+pub trait TxBuf {
+    /// Total bytes across all segments.
+    fn total_len(&self) -> usize;
+    /// Invokes `f` once per segment, in wire order.
+    fn gather(&self, f: &mut dyn FnMut(&[u8]));
+    /// Checksum-offload descriptor stamped by the stack, if any.
+    fn tx_csum(&self) -> Option<TxCsum> {
+        None
+    }
+}
+
+impl TxBuf for Vec<u8> {
+    fn total_len(&self) -> usize {
+        self.len()
+    }
+    fn gather(&self, f: &mut dyn FnMut(&[u8])) {
+        f(self);
+    }
+}
+
+impl TxBuf for [u8] {
+    fn total_len(&self) -> usize {
+        self.len()
+    }
+    fn gather(&self, f: &mut dyn FnMut(&[u8])) {
+        f(self);
+    }
+}
+
+/// A transmit checksum the adapter fills during the DMA gather: the stack
+/// leaves the 16-bit field zero and hands down this descriptor; the NIC
+/// computes the Internet checksum (RFC 1071) over the tail of the frame,
+/// seeded with the pseudo-header partial sum, and patches the field on the
+/// way out. Offsets count from the frame *end* so link/network headers
+/// prepended after stamping never invalidate them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxCsum {
+    /// Distance from the frame end to the start of the summed region.
+    pub start_from_end: usize,
+    /// Distance from the frame end to the checksum field.
+    pub field_from_end: usize,
+    /// Pre-accumulated (unfolded) pseudo-header partial sum.
+    pub pseudo: u32,
+    /// UDP's zero-means-disabled rule: a computed 0 goes out as 0xFFFF.
+    pub zero_to_ones: bool,
+}
+
+impl TxCsum {
+    /// The adapter's checksum engine: folds the descriptor's region of the
+    /// gathered wire image into the value to patch into the field.
+    pub fn compute_over(&self, frame: &[u8]) -> u16 {
+        let region = &frame[frame.len() - self.start_from_end..];
+        let mut sum = self.pseudo;
+        let mut chunks = region.chunks_exact(2);
+        for ch in &mut chunks {
+            sum += u16::from_be_bytes([ch[0], ch[1]]) as u32;
+        }
+        if let [last] = chunks.remainder() {
+            sum += u16::from_be_bytes([*last, 0]) as u32;
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        let v = !(sum as u16);
+        if v == 0 && self.zero_to_ones {
+            0xFFFF
+        } else {
+            v
+        }
+    }
+}
 
 /// A received frame plus the journey tag that rode the wire with it.
 ///
@@ -90,98 +177,258 @@ pub struct NicProfile {
     /// `rx_fixed`; coalescing amortizes only the fixed part — per-byte
     /// PIO costs are still charged per frame.
     pub rx_per_frame: SimDuration,
+    /// Most frames one transmit doorbell covers in [`TxSubmit::Doorbell`]
+    /// mode. The first frame of a doorbell pays the full
+    /// [`tx_cpu_cost`](Self::tx_cpu_cost); the rest pay only
+    /// `tx_per_frame` (plus per-byte PIO) until the batch fills or the
+    /// adapter drains.
+    pub tx_batch: usize,
+    /// Driver CPU cost for each frame *after the first* under an open
+    /// transmit doorbell — descriptor writes only, no doorbell register
+    /// write and no fresh DMA mapping.
+    pub tx_per_frame: SimDuration,
+    /// Transmit-completion coalescing delay: after a doorbell's last
+    /// frame finishes, the adapter holds the completion interrupt this
+    /// long, and descriptors enqueued before it fires ride the same
+    /// doorbell. Zero means the doorbell closes the instant the wire
+    /// drains (no completion coalescing).
+    pub tx_coalesce: SimDuration,
+    /// The adapter computes transport checksums during the DMA gather
+    /// ([`plexus_net::checksum::CsumOffload`] descriptors stamped in the
+    /// packet header are filled on the way out); the stack skips its
+    /// software checksum pass when this is set.
+    pub checksum_offload: bool,
+    /// Largest segmentation-offload factor the device supports: the TCP
+    /// layer may hand down super-segments of up to `mss * tso_segs` bytes
+    /// for the driver to split at wire MSS. 1 = no TSO.
+    pub tso_segs: usize,
+}
+
+/// Fluent constructor for [`NicProfile`]; start from
+/// [`NicProfile::builder`]. Every knob the presets differ in has a setter;
+/// anything left untouched keeps a neutral default (no framing overhead,
+/// zero fixed costs, DMA with free setup, 1500-byte MTU, 128-deep rings,
+/// batches of 16, no offloads).
+#[derive(Clone, Debug)]
+pub struct NicProfileBuilder {
+    p: NicProfile,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $field(mut self, v: $ty) -> Self {
+                self.p.$field = v;
+                self
+            }
+        )*
+    };
+}
+
+impl NicProfileBuilder {
+    builder_setters! {
+        /// Line rate in bits per second.
+        bits_per_sec: u64,
+        /// Minimum wire frame (shorter frames are padded).
+        min_frame: usize,
+        /// Extra serialized bytes per frame (preamble/trailer framing).
+        frame_overhead: usize,
+        /// Mandatory gap after each frame.
+        inter_frame_gap: SimDuration,
+        /// Cell framing: `(payload_per_cell, wire_per_cell, trailer)`.
+        cell: Option<(usize, usize, usize)>,
+        /// Fixed driver CPU cost per transmitted frame.
+        tx_fixed: SimDuration,
+        /// Fixed driver CPU cost per received frame.
+        rx_fixed: SimDuration,
+        /// Per-byte CPU cost of pushing data to the adapter (PIO).
+        pio_write_per_byte: SimDuration,
+        /// Per-byte CPU cost of pulling data from the adapter (PIO).
+        pio_read_per_byte: SimDuration,
+        /// Fixed CPU cost to set up a DMA transfer.
+        dma_setup: SimDuration,
+        /// Largest payload accepted in one frame.
+        mtu: usize,
+        /// Transmit-ring depth in frame-times.
+        tx_ring_frames: usize,
+        /// Receive-ring depth (coalesced mode).
+        rx_ring_frames: usize,
+        /// Most frames one receive interrupt drains.
+        rx_batch: usize,
+        /// Driver CPU cost per coalesced frame after the first.
+        rx_per_frame: SimDuration,
+        /// Most frames one transmit doorbell covers.
+        tx_batch: usize,
+        /// Driver CPU cost per doorbell-batched frame after the first.
+        tx_per_frame: SimDuration,
+        /// Transmit-completion coalescing delay (doorbell mode).
+        tx_coalesce: SimDuration,
+        /// Adapter fills transport checksums during the DMA gather.
+        checksum_offload: bool,
+        /// Largest TSO super-segment factor (1 = none).
+        tso_segs: usize,
+    }
+
+    /// Finalizes the profile.
+    pub fn build(self) -> NicProfile {
+        self.p
+    }
 }
 
 impl NicProfile {
+    /// Starts a profile from neutral defaults; see [`NicProfileBuilder`].
+    pub fn builder(name: &'static str) -> NicProfileBuilder {
+        NicProfileBuilder {
+            p: NicProfile {
+                name,
+                bits_per_sec: 10_000_000,
+                min_frame: 0,
+                frame_overhead: 0,
+                inter_frame_gap: SimDuration::ZERO,
+                cell: None,
+                tx_fixed: SimDuration::ZERO,
+                rx_fixed: SimDuration::ZERO,
+                pio_write_per_byte: SimDuration::ZERO,
+                pio_read_per_byte: SimDuration::ZERO,
+                dma_setup: SimDuration::ZERO,
+                mtu: 1500,
+                tx_ring_frames: 128,
+                rx_ring_frames: 128,
+                rx_batch: 16,
+                rx_per_frame: SimDuration::ZERO,
+                tx_batch: 16,
+                tx_per_frame: SimDuration::ZERO,
+                tx_coalesce: SimDuration::ZERO,
+                checksum_offload: false,
+                tso_segs: 1,
+            },
+        }
+    }
+
     /// The stock 10 Mb/s LANCE Ethernet with the (slow) DIGITAL UNIX driver
     /// both systems shared in the paper.
     pub fn ethernet_lance() -> Self {
-        NicProfile {
-            name: "Ethernet",
-            bits_per_sec: 10_000_000,
-            min_frame: 64,
-            frame_overhead: 8,
-            inter_frame_gap: SimDuration::from_nanos(9_600),
-            cell: None,
-            tx_fixed: SimDuration::from_micros(88),
-            rx_fixed: SimDuration::from_micros(80),
-            pio_write_per_byte: SimDuration::ZERO,
-            pio_read_per_byte: SimDuration::ZERO,
-            dma_setup: SimDuration::ZERO,
-            mtu: 1500,
-            tx_ring_frames: 128,
-            rx_ring_frames: 128,
-            rx_batch: 16,
-            rx_per_frame: SimDuration::from_micros(10),
-        }
+        NicProfile::builder("Ethernet")
+            .bits_per_sec(10_000_000)
+            .min_frame(64)
+            .frame_overhead(8)
+            .inter_frame_gap(SimDuration::from_nanos(9_600))
+            .tx_fixed(SimDuration::from_micros(88))
+            .rx_fixed(SimDuration::from_micros(80))
+            .rx_per_frame(SimDuration::from_micros(10))
+            .tx_per_frame(SimDuration::from_micros(12))
+            .build()
     }
 
     /// The "faster device driver" variant of §4.1 (337 µs Ethernet RTT).
     pub fn ethernet_fast_driver() -> Self {
-        NicProfile {
-            name: "Ethernet (fast driver)",
-            tx_fixed: SimDuration::from_micros(32),
-            rx_fixed: SimDuration::from_micros(31),
-            rx_per_frame: SimDuration::from_micros(6),
-            ..NicProfile::ethernet_lance()
+        NicProfileBuilder {
+            p: NicProfile::ethernet_lance(),
         }
+        .tx_fixed(SimDuration::from_micros(32))
+        .rx_fixed(SimDuration::from_micros(31))
+        .rx_per_frame(SimDuration::from_micros(6))
+        .tx_per_frame(SimDuration::from_micros(7))
+        .build()
+        .named("Ethernet (fast driver)")
     }
 
     /// The 155 Mb/s Fore TCA-100 ATM adapter. Programmed I/O: the CPU moves
     /// every byte, and TurboChannel reads are slow, capping reliable
     /// driver-to-driver transfers near the paper's 53 Mb/s.
     pub fn fore_atm_tca100() -> Self {
-        NicProfile {
-            name: "Fore ATM",
-            bits_per_sec: 155_520_000,
-            min_frame: 0,
-            frame_overhead: 0,
-            inter_frame_gap: SimDuration::ZERO,
-            cell: Some((48, 53, 8)),
-            tx_fixed: SimDuration::from_micros(50),
-            rx_fixed: SimDuration::from_micros(58),
-            pio_write_per_byte: SimDuration::from_nanos(40),
-            pio_read_per_byte: SimDuration::from_nanos(133),
-            dma_setup: SimDuration::ZERO,
-            mtu: 9180,
-            tx_ring_frames: 128,
-            rx_ring_frames: 128,
-            rx_batch: 16,
-            rx_per_frame: SimDuration::from_micros(8),
-        }
+        NicProfile::builder("Fore ATM")
+            .bits_per_sec(155_520_000)
+            .cell(Some((48, 53, 8)))
+            .tx_fixed(SimDuration::from_micros(50))
+            .rx_fixed(SimDuration::from_micros(58))
+            .pio_write_per_byte(SimDuration::from_nanos(40))
+            .pio_read_per_byte(SimDuration::from_nanos(133))
+            .mtu(9180)
+            .rx_per_frame(SimDuration::from_micros(8))
+            .tx_per_frame(SimDuration::from_micros(9))
+            .build()
     }
 
     /// The "faster device driver" ATM variant of §4.1 (241 µs RTT).
     pub fn fore_atm_fast_driver() -> Self {
-        NicProfile {
-            name: "Fore ATM (fast driver)",
-            tx_fixed: SimDuration::from_micros(28),
-            rx_fixed: SimDuration::from_micros(31),
-            rx_per_frame: SimDuration::from_micros(6),
-            ..NicProfile::fore_atm_tca100()
+        NicProfileBuilder {
+            p: NicProfile::fore_atm_tca100(),
         }
+        .tx_fixed(SimDuration::from_micros(28))
+        .rx_fixed(SimDuration::from_micros(31))
+        .rx_per_frame(SimDuration::from_micros(6))
+        .tx_per_frame(SimDuration::from_micros(7))
+        .build()
+        .named("Fore ATM (fast driver)")
     }
 
     /// The experimental 45 Mb/s DEC T3 adapter; DMA, minimal CPU.
     pub fn dec_t3() -> Self {
-        NicProfile {
-            name: "DEC T3",
-            bits_per_sec: 45_000_000,
-            min_frame: 0,
-            frame_overhead: 4,
-            inter_frame_gap: SimDuration::ZERO,
-            cell: None,
-            tx_fixed: SimDuration::from_micros(45),
-            rx_fixed: SimDuration::from_micros(48),
-            pio_write_per_byte: SimDuration::ZERO,
-            pio_read_per_byte: SimDuration::ZERO,
-            dma_setup: SimDuration::from_micros(8),
-            mtu: 4470,
-            tx_ring_frames: 128,
-            rx_ring_frames: 128,
-            rx_batch: 16,
-            rx_per_frame: SimDuration::from_micros(6),
-        }
+        NicProfile::builder("DEC T3")
+            .bits_per_sec(45_000_000)
+            .frame_overhead(4)
+            .tx_fixed(SimDuration::from_micros(45))
+            .rx_fixed(SimDuration::from_micros(48))
+            .dma_setup(SimDuration::from_micros(8))
+            .mtu(4470)
+            .rx_per_frame(SimDuration::from_micros(6))
+            .tx_per_frame(SimDuration::from_micros(7))
+            .build()
+    }
+
+    /// 100 Mb/s switched Fast Ethernet with a descriptor-ring DMA driver —
+    /// the first profile where per-frame driver overhead, not the wire,
+    /// limits small-packet throughput.
+    pub fn fast_ethernet() -> Self {
+        NicProfile::builder("Fast Ethernet")
+            .bits_per_sec(100_000_000)
+            .min_frame(64)
+            .frame_overhead(8)
+            .inter_frame_gap(SimDuration::from_nanos(960))
+            .tx_fixed(SimDuration::from_micros(12))
+            .rx_fixed(SimDuration::from_micros(12))
+            .dma_setup(SimDuration::from_micros(4))
+            .tx_ring_frames(256)
+            .rx_ring_frames(256)
+            .rx_batch(32)
+            .rx_per_frame(SimDuration::from_micros(3))
+            .tx_batch(32)
+            .tx_per_frame(SimDuration::from_micros(2))
+            .tx_coalesce(SimDuration::from_micros(32))
+            .build()
+    }
+
+    /// 1 Gb/s Ethernet with checksum offload and TSO: at this line rate
+    /// the host only keeps up when doorbell batching amortizes the fixed
+    /// per-frame driver cost and the adapter absorbs the checksum pass.
+    pub fn gigabit() -> Self {
+        NicProfile::builder("Gigabit Ethernet")
+            .bits_per_sec(1_000_000_000)
+            .min_frame(64)
+            .frame_overhead(8)
+            .inter_frame_gap(SimDuration::from_nanos(96))
+            .tx_fixed(SimDuration::from_micros(12))
+            .rx_fixed(SimDuration::from_micros(6))
+            .dma_setup(SimDuration::from_micros(4))
+            .tx_ring_frames(512)
+            .rx_ring_frames(512)
+            .rx_batch(64)
+            .rx_per_frame(SimDuration::from_micros(1))
+            .tx_batch(64)
+            .tx_per_frame(SimDuration::from_micros(1))
+            .tx_coalesce(SimDuration::from_micros(64))
+            .checksum_offload(true)
+            .tso_segs(8)
+            .build()
+    }
+
+    /// Returns the profile with a different display name (used by the
+    /// "fast driver" preset variants).
+    fn named(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
     }
 
     /// Bytes actually serialized on the wire for a `len`-byte frame.
@@ -357,6 +604,87 @@ pub type RxHandler = Box<dyn Fn(&mut Engine, Frame)>;
 /// the glue knows when each frame's CPU work actually starts.
 pub type RxBatchHandler = Box<dyn Fn(&mut Engine, Vec<RxFrame>) -> SimTime>;
 
+/// How a driver wants frames handed up from the adapter.
+pub enum RxDispatch {
+    /// Transmit-only attachment: arriving frames count as unhandled.
+    None,
+    /// One interrupt (and one handler call) per frame.
+    PerFrame(RxHandler),
+    /// Interrupt coalescing: frames arriving while the driver is busy
+    /// queue on the bounded rx ring and drain in batches.
+    Coalesced(RxBatchHandler),
+}
+
+/// How the driver submits transmit work to the adapter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TxSubmit {
+    /// Every frame pays the full fixed transmit cost (doorbell write +
+    /// DMA mapping). The historical behavior.
+    #[default]
+    PerFrame,
+    /// Doorbell batching: while the adapter is still draining earlier
+    /// frames, follow-on frames join the open doorbell and pay only
+    /// [`NicProfile::tx_per_frame`], up to [`NicProfile::tx_batch`]
+    /// frames per doorbell. See [`Nic::tx_cpu_charge`].
+    Doorbell,
+}
+
+/// Everything a driver binds to a NIC: receive dispatch and transmit
+/// submission. Built fluently:
+///
+/// ```ignore
+/// nic.attach(DriverConfig::per_frame(|eng, frame| { .. }));
+/// nic.attach(DriverConfig::coalesced(|eng, frames| { .. }).doorbell());
+/// ```
+pub struct DriverConfig {
+    rx: RxDispatch,
+    tx: TxSubmit,
+}
+
+impl DriverConfig {
+    /// Per-frame receive interrupts (see [`RxDispatch::PerFrame`]).
+    pub fn per_frame<F>(handler: F) -> DriverConfig
+    where
+        F: Fn(&mut Engine, Frame) + 'static,
+    {
+        DriverConfig {
+            rx: RxDispatch::PerFrame(Box::new(handler)),
+            tx: TxSubmit::PerFrame,
+        }
+    }
+
+    /// Coalesced receive batches (see [`RxDispatch::Coalesced`]).
+    pub fn coalesced<F>(handler: F) -> DriverConfig
+    where
+        F: Fn(&mut Engine, Vec<RxFrame>) -> SimTime + 'static,
+    {
+        DriverConfig {
+            rx: RxDispatch::Coalesced(Box::new(handler)),
+            tx: TxSubmit::PerFrame,
+        }
+    }
+
+    /// A transmit-only binding (traffic generators, sinks).
+    pub fn tx_only() -> DriverConfig {
+        DriverConfig {
+            rx: RxDispatch::None,
+            tx: TxSubmit::PerFrame,
+        }
+    }
+
+    /// Switches transmit submission to doorbell batching.
+    pub fn doorbell(mut self) -> DriverConfig {
+        self.tx = TxSubmit::Doorbell;
+        self
+    }
+
+    /// Sets the transmit submission mode explicitly.
+    pub fn tx(mut self, tx: TxSubmit) -> DriverConfig {
+        self.tx = tx;
+        self
+    }
+}
+
 /// Counters a NIC keeps about its own traffic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NicStats {
@@ -381,6 +709,14 @@ pub struct NicStats {
     pub rx_interrupts: u64,
     /// Highest rx-ring occupancy observed (coalesced mode).
     pub rx_ring_highwater: u64,
+    /// Transmit doorbells rung ([`TxSubmit::Doorbell`] mode): each one
+    /// paid the full fixed cost; `tx_frames - tx_doorbells` frames rode
+    /// along for only [`NicProfile::tx_per_frame`].
+    pub tx_doorbells: u64,
+    /// Frames whose transport checksum the adapter filled during the DMA
+    /// gather (a [`plexus_net::checksum::CsumOffload`] descriptor was
+    /// stamped in the packet header).
+    pub tx_csum_offloads: u64,
 }
 
 /// A simulated network interface attached to one [`Medium`].
@@ -388,6 +724,12 @@ pub struct Nic {
     profile: NicProfile,
     medium: Rc<Medium>,
     tx_free_at: Cell<SimTime>,
+    tx_submit: Cell<TxSubmit>,
+    /// Frames charged under the currently-open doorbell (doorbell mode).
+    tx_doorbell_count: Cell<usize>,
+    /// When the open doorbell closes: the coalesced completion interrupt
+    /// fires `tx_coalesce` after the batch's last frame leaves the wire.
+    tx_doorbell_until: Cell<SimTime>,
     rx_handler: RefCell<Option<RxHandler>>,
     rx_batch_handler: RefCell<Option<RxBatchHandler>>,
     rx_ring: RefCell<VecDeque<RxFrame>>,
@@ -407,6 +749,9 @@ impl Nic {
             profile,
             medium: medium.clone(),
             tx_free_at: Cell::new(SimTime::ZERO),
+            tx_submit: Cell::new(TxSubmit::PerFrame),
+            tx_doorbell_count: Cell::new(0),
+            tx_doorbell_until: Cell::new(SimTime::ZERO),
             rx_handler: RefCell::new(None),
             rx_batch_handler: RefCell::new(None),
             rx_ring: RefCell::new(VecDeque::new()),
@@ -456,15 +801,44 @@ impl Nic {
         }
     }
 
+    /// Binds a driver to this NIC: installs the receive dispatch (or
+    /// none, for transmit-only users) and the transmit submission mode,
+    /// replacing any previous binding. This is the one entry point for
+    /// driver configuration; the deprecated `set_rx_*handler` methods are
+    /// shims over it.
+    pub fn attach(&self, config: DriverConfig) {
+        match config.rx {
+            RxDispatch::None => {
+                *self.rx_handler.borrow_mut() = None;
+                *self.rx_batch_handler.borrow_mut() = None;
+            }
+            RxDispatch::PerFrame(h) => {
+                *self.rx_handler.borrow_mut() = Some(h);
+                *self.rx_batch_handler.borrow_mut() = None;
+            }
+            RxDispatch::Coalesced(h) => {
+                *self.rx_batch_handler.borrow_mut() = Some(h);
+                *self.rx_handler.borrow_mut() = None;
+            }
+        }
+        self.tx_submit.set(config.tx);
+        self.tx_doorbell_count.set(0);
+    }
+
+    /// The current transmit submission mode.
+    pub fn tx_submit(&self) -> TxSubmit {
+        self.tx_submit.get()
+    }
+
     /// Installs the receive handler (the driver's interrupt entry point).
     /// Replaces any previous handler and switches the NIC back to
     /// per-frame interrupts if a batch handler was installed.
+    #[deprecated(note = "use Nic::attach(DriverConfig::per_frame(..))")]
     pub fn set_rx_handler<F>(&self, handler: F)
     where
         F: Fn(&mut Engine, Frame) + 'static,
     {
-        *self.rx_handler.borrow_mut() = Some(Box::new(handler));
-        *self.rx_batch_handler.borrow_mut() = None;
+        self.attach(DriverConfig::per_frame(handler));
     }
 
     /// Installs a batched receive handler, switching the NIC to
@@ -473,21 +847,88 @@ impl Nic {
     /// interrupt, and each interrupt drains up to
     /// [`NicProfile::rx_batch`] queued frames. Replaces any per-frame
     /// handler.
+    #[deprecated(note = "use Nic::attach(DriverConfig::coalesced(..))")]
     pub fn set_rx_batch_handler<F>(&self, handler: F)
     where
         F: Fn(&mut Engine, Vec<RxFrame>) -> SimTime + 'static,
     {
-        *self.rx_batch_handler.borrow_mut() = Some(Box::new(handler));
-        *self.rx_handler.borrow_mut() = None;
+        self.attach(DriverConfig::coalesced(handler));
     }
 
-    /// Hands a frame to the adapter at `ready_at` (when the driver finished
-    /// its CPU work) and returns the instant serialization will complete.
+    /// Driver CPU cost to submit one `len`-byte frame under the current
+    /// transmit mode — what the stack charges its [`crate::cpu::CpuLease`]
+    /// before calling [`Nic::transmit`].
+    ///
+    /// [`TxSubmit::PerFrame`] always pays the full
+    /// [`NicProfile::tx_cpu_cost`]. [`TxSubmit::Doorbell`] pays it only
+    /// when a new doorbell must be rung — the adapter has drained its
+    /// backlog (`tx_free_at <= now`) or the open doorbell already covers
+    /// [`NicProfile::tx_batch`] frames; otherwise the frame joins the open
+    /// doorbell for [`NicProfile::tx_per_frame`] plus the per-byte PIO
+    /// tax (bytes still cross the bus once per frame).
+    pub fn tx_cpu_charge(&self, now: SimTime, len: usize) -> SimDuration {
+        match self.tx_submit.get() {
+            TxSubmit::PerFrame => self.profile.tx_cpu_cost(len),
+            TxSubmit::Doorbell => {
+                let doorbell_closed = self.tx_doorbell_until.get() <= now;
+                let batch_full = self.tx_doorbell_count.get() >= self.profile.tx_batch.max(1);
+                if doorbell_closed || batch_full {
+                    self.tx_doorbell_count.set(1);
+                    let mut stats = self.stats.get();
+                    stats.tx_doorbells += 1;
+                    self.stats.set(stats);
+                    self.tx_doorbell_until.set(now + self.profile.tx_coalesce);
+                    self.profile.tx_cpu_cost(len)
+                } else {
+                    self.tx_doorbell_count.set(self.tx_doorbell_count.get() + 1);
+                    self.profile.tx_per_frame + self.profile.pio_write_per_byte.times(len as u64)
+                }
+            }
+        }
+    }
+
+    /// Hands a scatter-gather buffer (an mbuf chain, via [`TxBuf`]) to the
+    /// adapter at `ready_at` (when the driver finished its CPU work) and
+    /// returns the instant serialization will complete.
+    ///
+    /// This is the scatter-gather transmit path: the adapter's DMA engine
+    /// walks the chain's segments and serializes them directly onto the
+    /// wire — the host never copies the packet into contiguous storage.
+    /// If the buffer carries a checksum-offload descriptor ([`TxCsum`],
+    /// stamped by a stack that saw [`NicProfile::checksum_offload`]), the
+    /// adapter computes the Internet checksum during the gather and
+    /// patches the field on the way out, so the wire bytes match a
+    /// software-checksummed frame exactly.
     ///
     /// The frame is broadcast to every other NIC on the medium after
     /// serialization plus propagation. Frames larger than the MTU are
     /// counted and discarded — the stack is responsible for fragmentation.
-    pub fn transmit(&self, engine: &mut Engine, ready_at: SimTime, frame: Frame) -> SimTime {
+    pub fn transmit<B: TxBuf + ?Sized>(
+        &self,
+        engine: &mut Engine,
+        ready_at: SimTime,
+        chain: &B,
+    ) -> SimTime {
+        // The gather happens on the adapter: this buffer models the byte
+        // stream the DMA engine assembles on the wire, not a host-side
+        // flatten (it costs no simulated CPU time and no mbuf clusters).
+        let mut frame = Vec::with_capacity(chain.total_len());
+        chain.gather(&mut |seg| frame.extend_from_slice(seg));
+        if let Some(req) = chain.tx_csum() {
+            let v = req.compute_over(&frame);
+            let field = frame.len() - req.field_from_end;
+            frame[field..field + 2].copy_from_slice(&v.to_be_bytes());
+            let mut stats = self.stats.get();
+            stats.tx_csum_offloads += 1;
+            self.stats.set(stats);
+        }
+        self.transmit_frame(engine, ready_at, frame)
+    }
+
+    /// [`Nic::transmit`] for callers that already hold raw wire bytes
+    /// (traffic generators, replay tools, the flatten-comparison tests).
+    /// No checksum offload happens here — the bytes go out verbatim.
+    pub fn transmit_frame(&self, engine: &mut Engine, ready_at: SimTime, frame: Frame) -> SimTime {
         let mut stats = self.stats.get();
         if frame.len() > self.profile.mtu + 64 {
             // Allow a little slack for link headers over the payload MTU.
@@ -496,7 +937,8 @@ impl Nic {
             self.record_drop(engine.now(), "tx_oversize");
             return ready_at;
         }
-        let mut start = self.tx_free_at.get().max(ready_at).max(engine.now());
+        let backlog_until = self.tx_free_at.get();
+        let mut start = backlog_until.max(ready_at).max(engine.now());
         if self.medium.half_duplex {
             start = start.max(self.medium.busy_until.get());
         }
@@ -515,6 +957,13 @@ impl Nic {
         }
         let end = start + ser;
         self.tx_free_at.set(end);
+        if self.tx_submit.get() == TxSubmit::Doorbell {
+            // The batch's completion interrupt is re-armed by every frame:
+            // it fires `tx_coalesce` after the last descriptor drains, and
+            // the doorbell stays open until then.
+            let until = (end + self.profile.tx_coalesce).max(self.tx_doorbell_until.get());
+            self.tx_doorbell_until.set(until);
+        }
         if self.medium.half_duplex {
             self.medium.busy_until.set(end);
         }
@@ -529,12 +978,20 @@ impl Nic {
         if let Some(rec) = self.recorder.borrow().as_ref() {
             // Stamped at ready_at — the last instant of driver CPU work —
             // so it stays monotone within the packet's record stream; the
-            // wire phases ride along as durations.
-            rec.packet_tx_journey(
+            // wire phases ride along as durations. The slice of the wait
+            // spent behind this NIC's own transmit backlog is attributed
+            // separately so journeys can show a `tx_queue` hop.
+            let wait = start.saturating_since(ready_at);
+            let queue = backlog_until
+                .saturating_since(base)
+                .as_nanos()
+                .min(wait.as_nanos());
+            rec.packet_tx_queued(
                 ready_at.as_nanos(),
                 self.profile.name,
                 frame.len(),
-                start.saturating_since(ready_at).as_nanos(),
+                queue,
+                wait.as_nanos(),
                 ser.as_nanos(),
                 self.medium.propagation.as_nanos(),
                 journey,
@@ -825,11 +1282,11 @@ mod tests {
         let (a, b) = two_nics(NicProfile::dec_t3(), us(2), false);
         let got: Rc<StdRefCell<Vec<(u64, usize)>>> = Rc::new(StdRefCell::new(Vec::new()));
         let g = got.clone();
-        b.set_rx_handler(move |eng, f| {
+        b.attach(DriverConfig::per_frame(move |eng, f| {
             g.borrow_mut().push((eng.now().as_micros(), f.len()));
-        });
+        }));
         let mut engine = Engine::new();
-        let ser_end = a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 450]);
+        let ser_end = a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 450]);
         engine.run();
         // 454 wire bytes at 45 Mb/s = 80.711 us.
         assert_eq!(ser_end.as_nanos(), 454 * 8 * 1_000_000_000 / 45_000_000);
@@ -842,11 +1299,13 @@ mod tests {
         let (a, b) = two_nics(NicProfile::dec_t3(), SimDuration::ZERO, false);
         let arrivals: Rc<StdRefCell<Vec<u64>>> = Rc::new(StdRefCell::new(Vec::new()));
         let ar = arrivals.clone();
-        b.set_rx_handler(move |eng, _| ar.borrow_mut().push(eng.now().as_nanos()));
+        b.attach(DriverConfig::per_frame(move |eng, _| {
+            ar.borrow_mut().push(eng.now().as_nanos())
+        }));
         let mut engine = Engine::new();
         let per_frame = a.profile().serialize(446).as_nanos();
-        a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 446]);
-        a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 446]);
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 446]);
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 446]);
         engine.run();
         assert_eq!(*arrivals.borrow(), vec![per_frame, 2 * per_frame]);
     }
@@ -854,11 +1313,11 @@ mod tests {
     #[test]
     fn half_duplex_medium_serializes_both_directions() {
         let (a, b) = two_nics(NicProfile::ethernet_lance(), SimDuration::ZERO, true);
-        b.set_rx_handler(|_, _| {});
-        a.set_rx_handler(|_, _| {});
+        b.attach(DriverConfig::per_frame(|_, _| {}));
+        a.attach(DriverConfig::per_frame(|_, _| {}));
         let mut engine = Engine::new();
-        let end_a = a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 100]);
-        let end_b = b.transmit(&mut engine, SimTime::ZERO, vec![0u8; 100]);
+        let end_a = a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 100]);
+        let end_b = b.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 100]);
         // B's frame must wait for A's to clear the shared segment.
         assert_eq!(end_b.as_nanos(), 2 * end_a.as_nanos());
         engine.run();
@@ -874,11 +1333,13 @@ mod tests {
         let count = Rc::new(Cell::new(0u32));
         for nic in [&b, &c] {
             let cnt = count.clone();
-            nic.set_rx_handler(move |_, _| cnt.set(cnt.get() + 1));
+            nic.attach(DriverConfig::per_frame(move |_, _| cnt.set(cnt.get() + 1)));
         }
-        a.set_rx_handler(|_, _| panic!("sender must not hear its own frame"));
+        a.attach(DriverConfig::per_frame(|_, _| {
+            panic!("sender must not hear its own frame")
+        }));
         let mut engine = Engine::new();
-        a.transmit(&mut engine, SimTime::ZERO, vec![1, 2, 3]);
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![1, 2, 3]);
         engine.run();
         assert_eq!(count.get(), 2);
     }
@@ -886,9 +1347,11 @@ mod tests {
     #[test]
     fn oversize_frames_are_counted_and_dropped() {
         let (a, b) = two_nics(NicProfile::ethernet_lance(), SimDuration::ZERO, false);
-        b.set_rx_handler(|_, _| panic!("oversize frame must not be delivered"));
+        b.attach(DriverConfig::per_frame(|_, _| {
+            panic!("oversize frame must not be delivered")
+        }));
         let mut engine = Engine::new();
-        a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 4000]);
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 4000]);
         engine.run();
         assert_eq!(a.stats().tx_oversize, 1);
         assert_eq!(a.stats().tx_frames, 0);
@@ -903,11 +1366,11 @@ mod tests {
             let b = Nic::new(NicProfile::dec_t3(), &medium);
             let got = Rc::new(Cell::new(0u64));
             let g = got.clone();
-            b.set_rx_handler(move |_, _| g.set(g.get() + 1));
+            b.attach(DriverConfig::per_frame(move |_, _| g.set(g.get() + 1)));
             let mut engine = Engine::new();
             for _ in 0..100 {
                 let at = engine.now();
-                a.transmit(&mut engine, at, vec![0u8; 64]);
+                a.transmit_frame(&mut engine, at, vec![0u8; 64]);
                 engine.run();
             }
             got.get()
@@ -925,9 +1388,9 @@ mod tests {
         let b = Nic::new(NicProfile::dec_t3(), &medium);
         let got = Rc::new(StdRefCell::new(Vec::new()));
         let g = got.clone();
-        b.set_rx_handler(move |_, f| g.borrow_mut().push(f));
+        b.attach(DriverConfig::per_frame(move |_, f| g.borrow_mut().push(f)));
         let mut engine = Engine::new();
-        a.transmit(&mut engine, SimTime::ZERO, vec![0xAA; 32]);
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![0xAA; 32]);
         engine.run();
         let frames = got.borrow();
         assert_eq!(frames.len(), 1);
@@ -938,7 +1401,7 @@ mod tests {
     fn rx_without_handler_is_counted() {
         let (a, b) = two_nics(NicProfile::dec_t3(), SimDuration::ZERO, false);
         let mut engine = Engine::new();
-        a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 10]);
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 10]);
         engine.run();
         assert_eq!(b.stats().rx_no_handler, 1);
     }
@@ -957,11 +1420,11 @@ mod ring_tests {
         let b = Nic::new(NicProfile::dec_t3(), &medium);
         let delivered = Rc::new(Cell::new(0u64));
         let d = delivered.clone();
-        b.set_rx_handler(move |_, _| d.set(d.get() + 1));
+        b.attach(DriverConfig::per_frame(move |_, _| d.set(d.get() + 1)));
         let mut engine = Engine::new();
         // Blast 100 equal frames at t=0: only ~ring-depth may queue.
         for _ in 0..100 {
-            a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 1000]);
+            a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 1000]);
         }
         engine.run();
         let stats = a.stats();
@@ -977,13 +1440,13 @@ mod ring_tests {
         profile.tx_ring_frames = 8;
         let a = Nic::new(profile.clone(), &medium);
         let b = Nic::new(NicProfile::dec_t3(), &medium);
-        b.set_rx_handler(|_, _| {});
+        b.attach(DriverConfig::per_frame(|_, _| {}));
         let mut engine = Engine::new();
         let per_frame = profile.serialize(1000);
         for i in 0..100u64 {
             // Offered exactly at line rate.
             let at = SimTime::ZERO + per_frame.times(i);
-            a.transmit(&mut engine, at, vec![0u8; 1000]);
+            a.transmit_frame(&mut engine, at, vec![0u8; 1000]);
             engine.run();
         }
         assert_eq!(a.stats().tx_ring_drops, 0);
@@ -1010,15 +1473,15 @@ mod coalesce_tests {
         let (a, b) = pair(NicProfile::dec_t3());
         let batches: Rc<StdRefCell<Vec<usize>>> = Rc::new(StdRefCell::new(Vec::new()));
         let bt = batches.clone();
-        b.set_rx_batch_handler(move |eng, frames| {
+        b.attach(DriverConfig::coalesced(move |eng, frames| {
             bt.borrow_mut().push(frames.len());
             eng.now() // instantly done: the driver is never busy
-        });
+        }));
         let mut engine = Engine::new();
-        a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 500]);
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 500]);
         engine.run();
         let now = engine.now();
-        a.transmit(&mut engine, now, vec![0u8; 500]);
+        a.transmit_frame(&mut engine, now, vec![0u8; 500]);
         engine.run();
         assert_eq!(*batches.borrow(), vec![1, 1]);
         assert_eq!(b.stats().rx_interrupts, 2);
@@ -1031,14 +1494,14 @@ mod coalesce_tests {
         let (a, b) = pair(NicProfile::dec_t3());
         let batches: Rc<StdRefCell<Vec<usize>>> = Rc::new(StdRefCell::new(Vec::new()));
         let bt = batches.clone();
-        b.set_rx_batch_handler(move |eng, frames| {
+        b.attach(DriverConfig::coalesced(move |eng, frames| {
             bt.borrow_mut().push(frames.len());
             // Slow driver: 5 ms per interrupt regardless of batch size.
             eng.now() + SimDuration::from_micros(5_000)
-        });
+        }));
         let mut engine = Engine::new();
         for _ in 0..9 {
-            a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 1000]);
+            a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 1000]);
         }
         engine.run();
         // The first frame interrupts alone; the other eight arrive while
@@ -1058,13 +1521,13 @@ mod coalesce_tests {
         let (a, b) = pair(profile);
         let batches: Rc<StdRefCell<Vec<usize>>> = Rc::new(StdRefCell::new(Vec::new()));
         let bt = batches.clone();
-        b.set_rx_batch_handler(move |eng, frames| {
+        b.attach(DriverConfig::coalesced(move |eng, frames| {
             bt.borrow_mut().push(frames.len());
             eng.now() + SimDuration::from_micros(5_000)
-        });
+        }));
         let mut engine = Engine::new();
         for _ in 0..9 {
-            a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 1000]);
+            a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 1000]);
         }
         engine.run();
         assert_eq!(*batches.borrow(), vec![1, 4, 4]);
@@ -1079,10 +1542,12 @@ mod coalesce_tests {
         let (a, b) = pair(profile);
         let rec = Recorder::new(4096);
         b.set_recorder(Some(rec.clone()));
-        b.set_rx_batch_handler(move |eng, _| eng.now() + SimDuration::from_micros(100_000));
+        b.attach(DriverConfig::coalesced(move |eng, _| {
+            eng.now() + SimDuration::from_micros(100_000)
+        }));
         let mut engine = Engine::new();
         for _ in 0..20 {
-            a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 1000]);
+            a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 1000]);
         }
         engine.run();
         let stats = b.stats();
@@ -1109,15 +1574,15 @@ mod coalesce_tests {
         let (a, b) = pair(NicProfile::dec_t3());
         let seen: Rc<StdRefCell<Vec<u8>>> = Rc::new(StdRefCell::new(Vec::new()));
         let s = seen.clone();
-        b.set_rx_batch_handler(move |eng, frames| {
+        b.attach(DriverConfig::coalesced(move |eng, frames| {
             for f in &frames {
                 s.borrow_mut().push(f.bytes[0]);
             }
             eng.now() + SimDuration::from_micros(1_000)
-        });
+        }));
         let mut engine = Engine::new();
         for i in 0..12u8 {
-            a.transmit(&mut engine, SimTime::ZERO, vec![i; 200]);
+            a.transmit_frame(&mut engine, SimTime::ZERO, vec![i; 200]);
         }
         engine.run();
         let order = seen.borrow().clone();
@@ -1127,12 +1592,12 @@ mod coalesce_tests {
     #[test]
     fn installing_a_plain_handler_switches_back_to_per_frame_mode() {
         let (a, b) = pair(NicProfile::dec_t3());
-        b.set_rx_batch_handler(|eng, _| eng.now());
+        b.attach(DriverConfig::coalesced(|eng, _| eng.now()));
         let count = Rc::new(Cell::new(0u64));
         let c = count.clone();
-        b.set_rx_handler(move |_, _| c.set(c.get() + 1));
+        b.attach(DriverConfig::per_frame(move |_, _| c.set(c.get() + 1)));
         let mut engine = Engine::new();
-        a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 100]);
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 100]);
         engine.run();
         assert_eq!(count.get(), 1);
         assert_eq!(b.stats().rx_interrupts, 1);
@@ -1144,7 +1609,7 @@ mod coalesce_tests {
         let rec = Recorder::new(256);
         b.set_recorder(Some(rec.clone()));
         let mut engine = Engine::new();
-        a.transmit(&mut engine, SimTime::ZERO, vec![0u8; 64]);
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 64]);
         engine.run();
         assert_eq!(b.stats().rx_no_handler, 1);
         let events = rec.events();
@@ -1166,6 +1631,236 @@ mod coalesce_tests {
 }
 
 #[cfg(test)]
+mod tx_tests {
+    use super::*;
+    use std::cell::RefCell as StdRefCell;
+
+    /// A multi-segment scatter list with an optional checksum descriptor —
+    /// what an mbuf chain looks like from the adapter's side of the API.
+    struct Segs(Vec<Vec<u8>>, Option<TxCsum>);
+
+    impl TxBuf for Segs {
+        fn total_len(&self) -> usize {
+            self.0.iter().map(Vec::len).sum()
+        }
+        fn gather(&self, f: &mut dyn FnMut(&[u8])) {
+            for s in &self.0 {
+                f(s);
+            }
+        }
+        fn tx_csum(&self) -> Option<TxCsum> {
+            self.1
+        }
+    }
+
+    #[test]
+    fn builder_defaults_are_neutral() {
+        let p = NicProfile::builder("Custom").build();
+        assert_eq!(p.name, "Custom");
+        assert_eq!(p.wire_bytes(100), 100, "no framing by default");
+        assert_eq!(p.tx_cpu_cost(1000), SimDuration::ZERO);
+        assert!(!p.checksum_offload);
+        assert_eq!(p.tso_segs, 1);
+    }
+
+    #[test]
+    fn presets_advertise_their_offloads() {
+        assert!(NicProfile::gigabit().checksum_offload);
+        assert!(NicProfile::gigabit().tso_segs > 1);
+        assert!(!NicProfile::fast_ethernet().checksum_offload);
+        assert!(!NicProfile::ethernet_lance().checksum_offload);
+    }
+
+    #[test]
+    fn scatter_gather_matches_flattened_wire_bytes_and_stats() {
+        let mk = || {
+            let medium = Medium::new(SimDuration::ZERO, false);
+            let a = Nic::new(NicProfile::gigabit(), &medium);
+            let b = Nic::new(NicProfile::gigabit(), &medium);
+            b.attach(DriverConfig::per_frame(|_, _| {}));
+            medium.start_capture();
+            (medium, a, b)
+        };
+        let parts: Vec<Vec<u8>> = vec![
+            (0u8..14).collect(),
+            (14u8..34).collect(),
+            vec![0xAB; 301],
+            vec![7; 1],
+        ];
+        let flat: Vec<u8> = parts.iter().flatten().copied().collect();
+
+        let (m_sg, a_sg, b_sg) = mk();
+        let mut engine = Engine::new();
+        a_sg.transmit(&mut engine, SimTime::ZERO, &Segs(parts, None));
+        engine.run();
+
+        let (m_flat, a_flat, b_flat) = mk();
+        let mut engine = Engine::new();
+        a_flat.transmit_frame(&mut engine, SimTime::ZERO, flat);
+        engine.run();
+
+        assert_eq!(m_sg.stop_capture(), m_flat.stop_capture());
+        assert_eq!(a_sg.stats(), a_flat.stats());
+        assert_eq!(b_sg.stats(), b_flat.stats());
+    }
+
+    #[test]
+    fn adapter_fills_the_deferred_checksum_during_the_gather() {
+        // 20 bytes of "headers", then an 11-byte summed region whose
+        // checksum field sits 2 bytes in, split across segments.
+        let head: Vec<u8> = (0u8..20).collect();
+        let tail: Vec<u8> = vec![0x11, 0x22, 0, 0, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB];
+        let req = TxCsum {
+            start_from_end: 11,
+            field_from_end: 9,
+            pseudo: 0x1234,
+            zero_to_ones: false,
+        };
+        let mut flat: Vec<u8> = head.iter().chain(tail.iter()).copied().collect();
+        let want = req.compute_over(&flat);
+        assert_ne!(want, 0);
+        let field = flat.len() - req.field_from_end;
+        flat[field..field + 2].copy_from_slice(&want.to_be_bytes());
+
+        let medium = Medium::new(SimDuration::ZERO, false);
+        let a = Nic::new(NicProfile::gigabit(), &medium);
+        let got: Rc<StdRefCell<Vec<Frame>>> = Rc::new(StdRefCell::new(Vec::new()));
+        let g = got.clone();
+        let b = Nic::new(NicProfile::gigabit(), &medium);
+        b.attach(DriverConfig::per_frame(move |_, f| g.borrow_mut().push(f)));
+        let mut engine = Engine::new();
+        a.transmit(
+            &mut engine,
+            SimTime::ZERO,
+            &Segs(vec![head, tail], Some(req)),
+        );
+        engine.run();
+        assert_eq!(*got.borrow(), vec![flat], "field patched on the way out");
+        assert_eq!(a.stats().tx_csum_offloads, 1);
+    }
+
+    #[test]
+    fn checksum_engine_applies_the_udp_zero_rule() {
+        // A region summing to 0xFFFF folds to a checksum of 0.
+        let region = [0xFFu8, 0xFF, 0, 0];
+        let req = TxCsum {
+            start_from_end: 4,
+            field_from_end: 2,
+            pseudo: 0,
+            zero_to_ones: true,
+        };
+        assert_eq!(req.compute_over(&region), 0xFFFF);
+        let tcp_like = TxCsum {
+            zero_to_ones: false,
+            ..req
+        };
+        assert_eq!(tcp_like.compute_over(&region), 0);
+    }
+
+    #[test]
+    fn doorbell_mode_amortizes_the_fixed_charge_while_the_adapter_drains() {
+        let medium = Medium::new(SimDuration::ZERO, false);
+        let a = Nic::new(NicProfile::gigabit(), &medium);
+        let b = Nic::new(NicProfile::gigabit(), &medium);
+        b.attach(DriverConfig::per_frame(|_, _| {}));
+        a.attach(DriverConfig::tx_only().doorbell());
+        let p = a.profile().clone();
+        let full = p.tx_cpu_cost(1000);
+        let cheap = p.tx_per_frame;
+        assert!(cheap < full);
+        let mut engine = Engine::new();
+        // Adapter idle: the first frame rings a doorbell at full cost.
+        assert_eq!(a.tx_cpu_charge(SimTime::ZERO, 1000), full);
+        let mut ready = SimTime::ZERO + full;
+        a.transmit_frame(&mut engine, ready, vec![0u8; 1000]);
+        // While the adapter drains, follow-on frames join the doorbell.
+        for _ in 0..3 {
+            let charge = a.tx_cpu_charge(ready, 1000);
+            assert_eq!(charge, cheap);
+            ready += charge;
+            a.transmit_frame(&mut engine, ready, vec![0u8; 1000]);
+        }
+        let stats = a.stats();
+        assert_eq!(stats.tx_doorbells, 1);
+        assert_eq!(stats.tx_frames, 4);
+        engine.run();
+        // Once the adapter has drained, the next frame rings a new one.
+        let idle = engine.now() + SimDuration::from_micros(100);
+        assert_eq!(a.tx_cpu_charge(idle, 1000), full);
+        assert_eq!(a.stats().tx_doorbells, 2);
+    }
+
+    #[test]
+    fn doorbell_batch_cap_forces_a_new_doorbell() {
+        let medium = Medium::new(SimDuration::ZERO, false);
+        let mut p = NicProfile::gigabit();
+        p.tx_batch = 2;
+        let a = Nic::new(p.clone(), &medium);
+        let b = Nic::new(NicProfile::gigabit(), &medium);
+        b.attach(DriverConfig::per_frame(|_, _| {}));
+        a.attach(DriverConfig::tx_only().doorbell());
+        let mut engine = Engine::new();
+        let full = p.tx_cpu_cost(500);
+        // Keep the adapter busy the whole time with a long first frame.
+        assert_eq!(a.tx_cpu_charge(SimTime::ZERO, 500), full);
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 1400]);
+        let t = SimTime::ZERO + SimDuration::from_nanos(1);
+        assert_eq!(a.tx_cpu_charge(t, 500), p.tx_per_frame, "joins doorbell");
+        a.transmit_frame(&mut engine, t, vec![0u8; 500]);
+        // Batch of 2 exhausted: the third frame pays full again.
+        assert_eq!(a.tx_cpu_charge(t, 500), full);
+        assert_eq!(a.stats().tx_doorbells, 2);
+        engine.run();
+    }
+
+    #[test]
+    fn per_frame_mode_always_pays_the_full_charge() {
+        let medium = Medium::new(SimDuration::ZERO, false);
+        let a = Nic::new(NicProfile::gigabit(), &medium);
+        let b = Nic::new(NicProfile::gigabit(), &medium);
+        b.attach(DriverConfig::per_frame(|_, _| {}));
+        a.attach(DriverConfig::tx_only());
+        let p = a.profile().clone();
+        let mut engine = Engine::new();
+        for _ in 0..3 {
+            assert_eq!(a.tx_cpu_charge(SimTime::ZERO, 800), p.tx_cpu_cost(800));
+            a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 800]);
+        }
+        assert_eq!(
+            a.stats().tx_doorbells,
+            0,
+            "doorbells only counted in doorbell mode"
+        );
+        engine.run();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_install_handlers() {
+        let medium = Medium::new(SimDuration::ZERO, false);
+        let a = Nic::new(NicProfile::dec_t3(), &medium);
+        let b = Nic::new(NicProfile::dec_t3(), &medium);
+        let count = Rc::new(Cell::new(0u64));
+        let c = count.clone();
+        b.set_rx_handler(move |_, _| c.set(c.get() + 1));
+        let mut engine = Engine::new();
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![0u8; 100]);
+        engine.run();
+        assert_eq!(count.get(), 1);
+        let batches = Rc::new(Cell::new(0u64));
+        let bt = batches.clone();
+        b.set_rx_batch_handler(move |eng, _| {
+            bt.set(bt.get() + 1);
+            eng.now()
+        });
+        let now = engine.now();
+        a.transmit_frame(&mut engine, now, vec![0u8; 100]);
+        engine.run();
+        assert_eq!(batches.get(), 1);
+    }
+}
+
+#[cfg(test)]
 mod capture_tests {
     use super::*;
 
@@ -1174,11 +1869,11 @@ mod capture_tests {
         let medium = Medium::new(SimDuration::ZERO, false);
         let a = Nic::new(NicProfile::dec_t3(), &medium);
         let b = Nic::new(NicProfile::dec_t3(), &medium);
-        b.set_rx_handler(|_, _| {});
+        b.attach(DriverConfig::per_frame(|_, _| {}));
         medium.start_capture();
         let mut engine = Engine::new();
-        a.transmit(&mut engine, SimTime::ZERO, vec![1u8; 100]);
-        a.transmit(&mut engine, SimTime::ZERO, vec![2u8; 100]);
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![1u8; 100]);
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![2u8; 100]);
         engine.run();
         let cap = medium.stop_capture();
         assert_eq!(cap.len(), 2);
@@ -1187,7 +1882,7 @@ mod capture_tests {
         assert!(cap[1].at > cap[0].at, "wire order preserved");
         // Stopped: further traffic is not recorded.
         let now = engine.now();
-        a.transmit(&mut engine, now, vec![3u8; 100]);
+        a.transmit_frame(&mut engine, now, vec![3u8; 100]);
         engine.run();
         assert!(medium.stop_capture().is_empty());
     }
@@ -1198,10 +1893,12 @@ mod capture_tests {
         medium.set_faults(FaultInjector::new(1.0, 0.0, 3));
         let a = Nic::new(NicProfile::dec_t3(), &medium);
         let b = Nic::new(NicProfile::dec_t3(), &medium);
-        b.set_rx_handler(|_, _| panic!("everything is dropped"));
+        b.attach(DriverConfig::per_frame(|_, _| {
+            panic!("everything is dropped")
+        }));
         medium.start_capture();
         let mut engine = Engine::new();
-        a.transmit(&mut engine, SimTime::ZERO, vec![9u8; 50]);
+        a.transmit_frame(&mut engine, SimTime::ZERO, vec![9u8; 50]);
         engine.run();
         assert_eq!(medium.stop_capture().len(), 1, "the wire saw it");
     }

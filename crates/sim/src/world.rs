@@ -193,6 +193,7 @@ impl Default for World {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::nic::DriverConfig;
     use crate::time::SimTime;
 
     #[test]
@@ -220,11 +221,11 @@ mod tests {
         let (_m, nics) = world.connect(&[&a, &b], NicProfile::dec_t3(), SimDuration::ZERO, false);
         let got = Rc::new(std::cell::Cell::new(false));
         let g = got.clone();
-        nics[1].set_rx_handler(move |_, f| {
+        nics[1].attach(DriverConfig::per_frame(move |_, f| {
             assert_eq!(f, vec![9, 9, 9]);
             g.set(true);
-        });
-        nics[0].transmit(world.engine_mut(), SimTime::ZERO, vec![9, 9, 9]);
+        }));
+        nics[0].transmit_frame(world.engine_mut(), SimTime::ZERO, vec![9, 9, 9]);
         world.run();
         assert!(got.get());
     }

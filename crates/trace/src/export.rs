@@ -87,6 +87,7 @@ pub fn chrome_trace(rec: &Recorder) -> String {
             TraceEvent::PacketTx {
                 nic,
                 bytes,
+                queue_ns,
                 wait_ns,
                 ser_ns,
                 prop_ns,
@@ -95,7 +96,7 @@ pub fn chrome_trace(rec: &Recorder) -> String {
                 "packet",
                 "i",
                 format!(
-                    "{{\"bytes\": {bytes}, \"wait_ns\": {wait_ns}, \
+                    "{{\"bytes\": {bytes}, \"queue_ns\": {queue_ns}, \"wait_ns\": {wait_ns}, \
                      \"ser_ns\": {ser_ns}, \"prop_ns\": {prop_ns}}}"
                 ),
             ),

@@ -283,7 +283,14 @@ pub fn build(profile: &Profile) -> Journeys {
                     .source
                     .map_or_else(|| String::from("origin"), |(p, _)| machine_of(by_id[&p]));
                 let wire = format!("{src}->{machine}.wire");
-                push_segment(&mut segments, format!("{wire}.wait"), c.tx.wait_ns);
+                // The tx-ring/doorbell share of the wait is the sender's
+                // queue, not the medium's: surface it as its own hop
+                // segment so a backlogged transmit path is visible.
+                let queue = c.tx.queue_ns.min(c.tx.wait_ns);
+                if queue > 0 {
+                    push_segment(&mut segments, format!("{src}.tx_queue"), queue);
+                }
+                push_segment(&mut segments, format!("{wire}.wait"), c.tx.wait_ns - queue);
                 push_segment(&mut segments, format!("{wire}.serialize"), c.tx.ser_ns);
                 push_segment(&mut segments, format!("{wire}.propagate"), c.tx.prop_ns);
                 queue_wait = hop.first_ns.saturating_sub(c.wire_arrival());
@@ -536,6 +543,23 @@ mod tests {
         let sum: u64 = jo.segments.iter().map(|s| s.ns).sum();
         assert_eq!(sum, jo.end_to_end_ns);
         assert!(jo.segments.iter().any(|s| s.name == "dut.rx_queue"));
+    }
+
+    #[test]
+    fn tx_ring_backlog_becomes_a_tx_queue_segment() {
+        let rec = Recorder::new(64);
+        let j = rec.tx_journey();
+        // Origin send waited 150 ns, 100 of them behind its own tx ring.
+        rec.packet_tx_queued(1_000, "eth0", 60, 100, 150, 500, 100, Some(j));
+        rec.packet_arrival_hop(1_750, "eth0", "dut", 60, Some(j));
+        rec.packet_done();
+        let js = build(&Profile::build(&rec));
+        let jo = &js.journeys[0];
+        let get = |name: &str| jo.segments.iter().find(|s| s.name == name).map(|s| s.ns);
+        assert_eq!(get("origin.tx_queue"), Some(100));
+        assert_eq!(get("origin->dut.wire.wait"), Some(50));
+        let sum: u64 = jo.segments.iter().map(|s| s.ns).sum();
+        assert_eq!(sum, jo.end_to_end_ns, "queue split keeps the telescope");
     }
 
     #[test]

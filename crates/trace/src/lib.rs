@@ -149,6 +149,11 @@ pub enum TraceEvent {
         nic: Label,
         /// Frame length in bytes.
         bytes: u32,
+        /// The portion of `wait_ns` spent queued behind this NIC's own
+        /// transmit backlog (the tx ring / doorbell queue), as opposed to
+        /// a busy half-duplex medium. Always `<= wait_ns`; the journey
+        /// pass surfaces it as a `tx_queue` hop segment.
+        queue_ns: u64,
         /// Time the frame waited for the transmitter (ring backlog or a
         /// busy half-duplex medium) before serialization started.
         wait_ns: u64,

@@ -123,6 +123,9 @@ pub struct TxRecord {
     pub nic: String,
     /// Frame length.
     pub bytes: u32,
+    /// The share of `wait_ns` spent behind this NIC's own tx backlog
+    /// (ring/doorbell queue); the journey pass shows it as `tx_queue`.
+    pub queue_ns: u64,
     /// Queueing delay before serialization started.
     pub wait_ns: u64,
     /// Serialization time.
@@ -274,6 +277,7 @@ fn resolve_tx(rec: &Recorder, r: &TraceRecord) -> Option<TxRecord> {
     if let TraceEvent::PacketTx {
         nic,
         bytes,
+        queue_ns,
         wait_ns,
         ser_ns,
         prop_ns,
@@ -283,6 +287,7 @@ fn resolve_tx(rec: &Recorder, r: &TraceRecord) -> Option<TxRecord> {
             at_ns: r.at_ns,
             nic: rec.name(nic),
             bytes,
+            queue_ns,
             wait_ns,
             ser_ns,
             prop_ns,

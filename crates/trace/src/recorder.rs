@@ -345,12 +345,34 @@ impl Recorder {
         prop_ns: u64,
         journey: Option<u64>,
     ) {
+        self.packet_tx_queued(at_ns, nic, bytes, 0, wait_ns, ser_ns, prop_ns, journey);
+    }
+
+    /// [`Recorder::packet_tx_journey`] with the transmit-queue share of
+    /// the wait made explicit: `queue_ns <= wait_ns` is the time the frame
+    /// sat behind the NIC's own tx backlog (ring/doorbell queue) before
+    /// the wire was even contended. The journey pass attributes it to a
+    /// `tx_queue` segment instead of folding it into medium wait.
+    #[allow(clippy::too_many_arguments)]
+    pub fn packet_tx_queued(
+        &self,
+        at_ns: u64,
+        nic: &str,
+        bytes: usize,
+        queue_ns: u64,
+        wait_ns: u64,
+        ser_ns: u64,
+        prop_ns: u64,
+        journey: Option<u64>,
+    ) {
+        debug_assert!(queue_ns <= wait_ns, "queue wait is a share of the wait");
         let nic = self.intern(nic);
         self.push_with_journey(
             at_ns,
             TraceEvent::PacketTx {
                 nic,
                 bytes: bytes as u32,
+                queue_ns,
                 wait_ns,
                 ser_ns,
                 prop_ns,
@@ -360,6 +382,9 @@ impl Recorder {
         self.count(Scope::Packet, nic, "tx_frames", 1);
         self.count(Scope::Packet, nic, "tx_bytes", bytes as u64);
         self.count(Scope::Packet, nic, "tx_wait_ns", wait_ns);
+        if queue_ns > 0 {
+            self.count(Scope::Packet, nic, "tx_queue_ns", queue_ns);
+        }
     }
 
     /// A receive interrupt delivered `frames` frames, leaving `ring_after`

@@ -41,6 +41,10 @@ pub struct Window {
     pub tx_bytes: u64,
     /// Worst transmit queueing delay observed in this window.
     pub tx_wait_max_ns: u64,
+    /// Worst tx-ring/doorbell queue share of a transmit wait in this
+    /// window (the `queue_ns` part of `PacketTx`; always `<=`
+    /// `tx_wait_max_ns`'s source waits).
+    pub tx_queue_max_ns: u64,
     /// Latency samples completed in this window (the goodput series).
     pub completions: u64,
     /// Nearest-rank median of this window's latency samples.
@@ -142,10 +146,16 @@ pub fn build(rec: &Recorder, window_ns: u64) -> Timeline {
                 w.arrivals += 1;
                 w.arrival_bytes += u64::from(bytes);
             }
-            TraceEvent::PacketTx { bytes, wait_ns, .. } => {
+            TraceEvent::PacketTx {
+                bytes,
+                queue_ns,
+                wait_ns,
+                ..
+            } => {
                 w.tx_frames += 1;
                 w.tx_bytes += u64::from(bytes);
                 w.tx_wait_max_ns = w.tx_wait_max_ns.max(wait_ns);
+                w.tx_queue_max_ns = w.tx_queue_max_ns.max(queue_ns);
             }
             TraceEvent::LatencySample { ns, .. } => {
                 w.completions += 1;
@@ -209,9 +219,9 @@ pub fn timeline_json(t: &Timeline) -> String {
         out.push_str(&format!(
             "\n    {{\"index\": {}, \"start_ns\": {}, \"arrivals\": {}, \
              \"arrival_bytes\": {}, \"tx_frames\": {}, \"tx_bytes\": {}, \
-             \"tx_wait_max_ns\": {}, \"completions\": {}, \"p50_ns\": {}, \
-             \"p99_ns\": {}, \"interrupts\": {}, \"interrupt_frames\": {}, \
-             \"rx_ring_highwater\": {}, \"drops\": [",
+             \"tx_wait_max_ns\": {}, \"tx_queue_max_ns\": {}, \"completions\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"interrupts\": {}, \
+             \"interrupt_frames\": {}, \"rx_ring_highwater\": {}, \"drops\": [",
             w.index,
             w.index * t.window_ns,
             w.arrivals,
@@ -219,6 +229,7 @@ pub fn timeline_json(t: &Timeline) -> String {
             w.tx_frames,
             w.tx_bytes,
             w.tx_wait_max_ns,
+            w.tx_queue_max_ns,
             w.completions,
             w.p50_ns,
             w.p99_ns,

@@ -24,7 +24,7 @@ use plexus::kernel::domain::ExtensionSpec;
 use plexus::net::ether::MacAddr;
 use plexus::net::mbuf::{cluster_pool_stats, reset_cluster_pool, set_cluster_pool_enabled};
 use plexus::net::udp::UdpConfig;
-use plexus::sim::nic::Nic;
+use plexus::sim::nic::{DriverConfig, Nic};
 use plexus::sim::time::{SimDuration, SimTime};
 use plexus::sim::World;
 use plexus::trace::export::{chrome_trace, stats_json};
@@ -125,7 +125,7 @@ fn run_burst(mode: RxMode, n: u64) -> (Vec<Vec<u8>>, u64) {
         .schedule_at(SimTime::ZERO, move |engine| {
             for k in 0..n {
                 let now = engine.now();
-                gn.transmit(engine, now, numbered_frame(k));
+                gn.transmit_frame(engine, now, numbered_frame(k));
             }
         });
     ew.world.run_for(SimDuration::from_micros(100_000));
@@ -235,11 +235,11 @@ fn steady_state_echo_allocates_no_clusters_after_warmup() {
     {
         let r = replies.clone();
         let mac = MacAddr::local(GEN);
-        ew.gen_nic.set_rx_handler(move |_, frame| {
+        ew.gen_nic.attach(DriverConfig::per_frame(move |_, frame| {
             if frame.len() >= PAYLOAD_OFF && frame[0..6] == mac.0 {
                 r.set(r.get() + 1);
             }
-        });
+        }));
     }
 
     // Offer frames at a quarter of line rate for ~110 ms.
@@ -255,7 +255,7 @@ fn steady_state_echo_allocates_no_clusters_after_warmup() {
         let at = SimTime::ZERO + SimDuration::from_nanos(k * interval_ns);
         ew.world.engine_mut().schedule_at(at, move |engine| {
             let now = engine.now();
-            gn.transmit(engine, now, numbered_frame(k));
+            gn.transmit_frame(engine, now, numbered_frame(k));
         });
     }
 
